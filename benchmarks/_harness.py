@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one experiment from DESIGN.md (E1–E17).
+Because the paper is a theory paper with no numeric tables, the "result" of
+each experiment is either a universally-quantified check (reported as
+``checked``/``violations`` counts in ``extra_info``) or a measured series
+(reported as rows printed to stdout and attached to ``extra_info``).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The ``-s`` flag additionally shows the printed experiment tables.
+"""
+
+from __future__ import annotations
+
+
+def record(benchmark, **info) -> None:
+    """Attach experiment outputs to the benchmark record and echo them."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Print a small fixed-width table (the 'paper row' output of an experiment)."""
+    rows = [tuple(row) for row in rows]
+    widths = []
+    for i, header in enumerate(headers):
+        cell_widths = [len(str(row[i])) for row in rows] if rows else [0]
+        widths.append(max(len(str(header)), *cell_widths))
+    print(f"\n== {title} ==")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,84 @@
+"""Experiments E5 & E8 — acyclicity of NewPR (Theorem 4.3) and PR (Theorem 5.5).
+
+Paper claim: the directed graph is acyclic in every reachable state of NewPR,
+and therefore of PR as well.
+
+Harness:
+* exhaustive — every reachable state of every connected 4-node DAG, for both
+  automata (plus FR for the Section-1 folklore argument, experiment E9's
+  acyclicity half);
+* scaling — acyclicity checked along full executions on random DAGs of
+  100–500 nodes (the timing series shows the cost of online verification).
+
+Expected outcome: zero cycles anywhere.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import print_table, record
+
+from repro.automata.executions import run
+from repro.core.full_reversal import FullReversal
+from repro.core.new_pr import NewPartialReversal
+from repro.core.pr import PartialReversal
+from repro.exploration.enumerate_graphs import all_connected_dag_instances
+from repro.exploration.state_space import explore_and_check
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.topology.generators import random_dag_instance
+from repro.verification.acyclicity import AcyclicityObserver, is_acyclic
+
+
+def _exhaustive_acyclicity():
+    totals = {}
+    for name, automaton_class in (
+        ("NewPR", NewPartialReversal),
+        ("PR", PartialReversal),
+        ("FR", FullReversal),
+    ):
+        states = 0
+        failures = 0
+        for instance in all_connected_dag_instances(4):
+            report = explore_and_check(automaton_class(instance), {"acyclic": is_acyclic})
+            states += report.states_explored
+            failures += len(report.failures)
+        totals[name] = (states, failures)
+    return totals
+
+
+def test_e5_e8_acyclicity_exhaustive(benchmark):
+    totals = benchmark.pedantic(_exhaustive_acyclicity, rounds=1, iterations=1)
+    rows = [(name, states, failures) for name, (states, failures) in totals.items()]
+    print_table(
+        "E5/E8 — acyclicity over every reachable state (all connected 4-node DAGs)",
+        ["algorithm", "reachable states", "cycles found"],
+        rows,
+    )
+    record(benchmark, experiment="E5/E8", results={k: v for k, v in totals.items()})
+    assert all(failures == 0 for _, failures in totals.values())
+
+
+def _acyclicity_along_large_executions():
+    rows = []
+    for n in (100, 200, 400):
+        instance = random_dag_instance(n, edge_probability=max(0.02, 8.0 / n), seed=n)
+        observer = AcyclicityObserver()
+        result = run(
+            NewPartialReversal(instance),
+            RandomScheduler(seed=n),
+            observers=(observer,),
+            record_states=False,
+        )
+        rows.append((n, result.steps_taken, observer.report.states_checked,
+                     len(observer.report.violations)))
+    return rows
+
+
+def test_e5_acyclicity_scaling_random_dags(benchmark):
+    rows = benchmark.pedantic(_acyclicity_along_large_executions, rounds=1, iterations=1)
+    print_table(
+        "E5 — NewPR acyclicity along executions on large random DAGs",
+        ["nodes", "steps to converge", "states checked", "cycles found"],
+        rows,
+    )
+    record(benchmark, experiment="E5-scaling", rows=rows)
+    assert all(row[-1] == 0 for row in rows)

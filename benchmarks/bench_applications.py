@@ -1,0 +1,96 @@
+"""Experiment E16 — leader election and mutual exclusion on link reversal.
+
+Paper context: the abstract lists leader election and mutual exclusion (after
+Welch & Walter) as the other applications of link-reversal algorithms.
+
+Harness:
+* leader election — repeatedly fail the current leader of a 2-connected grid
+  and measure the reversal work needed to re-orient the DAG towards the newly
+  elected leader;
+* mutual exclusion — issue a batch of critical-section requests on a grid and
+  a random DAG and measure token travel distance and re-orientation work per
+  grant, asserting safety (one holder) and liveness (all requests served).
+
+Expected shape: every election/grant succeeds; per-operation work stays small
+relative to the graph size.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import print_table, record
+
+from repro.analysis.statistics import mean
+from repro.applications.leader_election import LeaderElectionService
+from repro.applications.mutual_exclusion import TokenMutex
+from repro.topology.generators import grid_instance, random_dag_instance
+
+
+def _leader_election_sweep():
+    instance = grid_instance(5, 5, oriented_towards_destination=True)
+    service = LeaderElectionService(instance)
+    reports = [service.fail_leader() for _ in range(6)]
+    return service, reports
+
+
+def test_e16_leader_election(benchmark):
+    service, reports = benchmark.pedantic(_leader_election_sweep, rounds=1, iterations=1)
+    rows = [
+        (r.failed_leader, r.new_leader, r.surviving_nodes, r.node_steps, r.rounds,
+         "yes" if r.destination_oriented else "NO")
+        for r in reports
+    ]
+    print_table(
+        "E16 — leader election on a 5x5 grid (successive leader failures)",
+        ["failed", "elected", "survivors", "reversal steps", "rounds", "oriented"],
+        rows,
+    )
+    record(
+        benchmark,
+        experiment="E16-election",
+        elections=len(reports),
+        mean_steps=mean([r.node_steps for r in reports]),
+    )
+    assert all(r.destination_oriented for r in reports)
+    assert service.is_leader_oriented()
+
+
+def _mutex_sweep():
+    outcomes = {}
+    for name, instance in (
+        ("grid-5x5", grid_instance(5, 5, oriented_towards_destination=True)),
+        ("random-dag-30", random_dag_instance(30, edge_probability=0.12, seed=8)),
+    ):
+        mutex = TokenMutex(instance)
+        requesters = [u for u in instance.nodes if u != instance.destination][::3]
+        for node in requesters:
+            mutex.request(node)
+        reports = mutex.grant_all()
+        outcomes[name] = (mutex, reports)
+    return outcomes
+
+
+def test_e16_mutual_exclusion(benchmark):
+    outcomes = benchmark.pedantic(_mutex_sweep, rounds=1, iterations=1)
+    rows = []
+    for name, (mutex, reports) in outcomes.items():
+        rows.append(
+            (
+                name,
+                len(reports),
+                f"{mean([r.request_path_hops for r in reports]):.2f}",
+                f"{mean([r.reversal_steps for r in reports]):.2f}",
+                "yes" if mutex.is_token_oriented() else "NO",
+                "yes" if mutex.is_acyclic() else "NO",
+            )
+        )
+    print_table(
+        "E16 — token mutual exclusion (batch of requests granted FIFO)",
+        ["instance", "grants", "mean hops", "mean reversal steps", "token oriented", "acyclic"],
+        rows,
+    )
+    record(benchmark, experiment="E16-mutex", rows=rows)
+    for name, (mutex, reports) in outcomes.items():
+        assert reports  # liveness: every request granted
+        assert mutex.pending_requests() == ()
+        assert mutex.is_token_oriented()
+        assert mutex.is_acyclic()

@@ -1,0 +1,82 @@
+"""Experiment E12 — the dummy-step overhead of NewPR (Section 4.1 discussion).
+
+Paper context: NewPR's dummy steps "cause it to incur a greater cost in
+certain situations, compared to PR" — a node that is initially a sink or a
+source may have to spend a step flipping its parity without reversing any
+edge.
+
+Harness: compare NewPR vs OneStepPR node-step counts on families with many
+initial sinks/sources (stars, layered DAGs, random DAGs) and report the number
+of dummy steps.
+
+Expected shape: NewPR steps = OneStepPR steps + dummy steps; dummy steps > 0
+exactly on the families that contain initial sinks or sources that must step.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import print_table, record
+
+from repro.analysis.work import count_reversals
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.schedulers.sequential import SequentialScheduler
+from repro.topology.generators import (
+    grid_instance,
+    layered_instance,
+    random_dag_instance,
+    star_instance,
+    worst_case_chain_instance,
+)
+from repro.core.graph import LinkReversalInstance
+
+
+def _source_sink_instance() -> LinkReversalInstance:
+    """A family rich in initial sources: many source nodes feeding one sink."""
+    nodes = tuple(range(8))
+    destination = 0
+    # 0 is the destination; 1..5 are sources feeding node 6; 6 feeds sink 7
+    edges = [(i, 6) for i in range(1, 6)] + [(6, 7), (0, 1)]
+    return LinkReversalInstance(nodes, destination, tuple(edges))
+
+
+FAMILIES = {
+    "star-15": lambda: star_instance(15, destination_is_center=True),
+    "sources-into-sink": _source_sink_instance,
+    "worst-chain-10": lambda: worst_case_chain_instance(10),
+    "grid-4x4": lambda: grid_instance(4, 4, oriented_towards_destination=False),
+    "layered-4x5": lambda: layered_instance(4, 5, seed=1),
+    "random-dag-40": lambda: random_dag_instance(40, edge_probability=0.1, seed=2),
+}
+
+
+def _measure():
+    rows = []
+    for name, factory in FAMILIES.items():
+        instance = factory()
+        newpr = count_reversals(NewPartialReversal(instance), SequentialScheduler())
+        onestep = count_reversals(OneStepPartialReversal(instance), SequentialScheduler())
+        rows.append(
+            (
+                name,
+                instance.node_count,
+                onestep.node_steps,
+                newpr.node_steps,
+                newpr.dummy_steps,
+                newpr.node_steps - onestep.node_steps,
+            )
+        )
+    return rows
+
+
+def test_e12_dummy_step_overhead(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print_table(
+        "E12 — NewPR dummy-step overhead vs OneStepPR (sequential schedule)",
+        ["family", "n", "OneStepPR steps", "NewPR steps", "dummy steps", "overhead"],
+        rows,
+    )
+    record(benchmark, experiment="E12", rows=rows)
+    for _, _, onestep_steps, newpr_steps, dummy, overhead in rows:
+        assert newpr_steps >= onestep_steps
+        assert overhead <= dummy  # extra steps are explained by dummy steps

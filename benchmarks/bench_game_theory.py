@@ -1,0 +1,93 @@
+"""Experiment E11 — the game-theoretic PR vs FR comparison (Charron-Bost et al.).
+
+Paper context (Section 1): viewed as a game, the all-FR strategy profile is a
+Nash equilibrium with the largest social cost among equilibria, while the
+all-PR profile, whenever it is an equilibrium, attains the global optimum.
+
+Harness: for several small instances, enumerate every profile of the
+restricted {FULL, PARTIAL} strategy game, mark the Nash equilibria, and report
+the social costs of the FR profile, the PR profile, the optimum and the most
+expensive equilibrium.
+
+Expected shape per instance: FR is an equilibrium; FR cost = max equilibrium
+cost; PR cost = optimum whenever PR is an equilibrium; PR cost <= FR cost.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import print_table, record
+
+from repro.analysis.game_theory import (
+    analyse_game,
+    full_reversal_profile,
+    partial_reversal_profile,
+)
+from repro.topology.generators import (
+    chain_instance,
+    grid_instance,
+    star_instance,
+    worst_case_chain_instance,
+)
+
+
+INSTANCES = {
+    "chain-4bad": lambda: worst_case_chain_instance(4),
+    "chain-5bad": lambda: worst_case_chain_instance(5),
+    "chain-middle-dest": lambda: chain_instance(6, towards_destination=False,
+                                                destination_at_end=False),
+    "star-5": lambda: star_instance(5, destination_is_center=True),
+    "grid-2x3": lambda: grid_instance(2, 3, oriented_towards_destination=False),
+}
+
+
+def _analyse_all():
+    rows = []
+    checks = []
+    for name, factory in INSTANCES.items():
+        instance = factory()
+        analysis = analyse_game(instance)
+        fr_profile = full_reversal_profile(instance)
+        pr_profile = partial_reversal_profile(instance)
+        fr_cost = analysis.cost_of(fr_profile)
+        pr_cost = analysis.cost_of(pr_profile)
+        equilibrium_costs = analysis.equilibrium_costs()
+        fr_is_ne = fr_profile in analysis.equilibria
+        pr_is_ne = pr_profile in analysis.equilibria
+        rows.append(
+            (
+                name,
+                len(instance.non_destination_nodes),
+                fr_cost,
+                pr_cost,
+                analysis.optimum_cost,
+                len(analysis.equilibria),
+                max(equilibrium_costs) if equilibrium_costs else "-",
+                "yes" if fr_is_ne else "no",
+                "yes" if pr_is_ne else "no",
+            )
+        )
+        checks.append(
+            {
+                "fr_is_ne": fr_is_ne,
+                "fr_cost_is_max_ne": (not equilibrium_costs) or fr_cost == max(equilibrium_costs),
+                "pr_optimal_if_ne": (not pr_is_ne) or pr_cost == analysis.optimum_cost,
+                "pr_not_worse": pr_cost <= fr_cost,
+            }
+        )
+    return rows, checks
+
+
+def test_e11_game_theoretic_comparison(benchmark):
+    rows, checks = benchmark.pedantic(_analyse_all, rounds=1, iterations=1)
+    print_table(
+        "E11 — restricted FR/PR strategy game (greedy schedule, all profiles enumerated)",
+        ["instance", "players", "FR cost", "PR cost", "optimum", "#NE", "max NE cost",
+         "FR is NE", "PR is NE"],
+        rows,
+    )
+    record(benchmark, experiment="E11", rows=rows)
+    for check in checks:
+        assert check["fr_is_ne"]
+        assert check["fr_cost_is_max_ne"]
+        assert check["pr_optimal_if_ne"]
+        assert check["pr_not_worse"]

@@ -1,0 +1,90 @@
+"""Experiment E14 — Gafni–Bertsekas height labelings vs the list-based algorithms.
+
+Paper context (Section 1): the original acyclicity proof assigns each node a
+pair (FR) or triple (PR) of integers forming a total order; edges point from
+the larger to the smaller height, so acyclicity is structural.
+
+Harness: on several families, run the height automata and the corresponding
+list-based automata to quiescence and compare (a) convergence, (b) destination
+orientation, (c) work.  For FR the height formulation performs *exactly* the
+same steps; for PR the height formulation is the Gafni–Bertsekas variant,
+which does comparable (partial) work — far below FR's quadratic blow-up on
+the worst-case chain.
+
+Expected shape: identical step counts for FR vs FR-heights; PR-heights within
+the same order of magnitude as list-PR and well below FR on the chain family.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import print_table, record
+
+from repro.automata.executions import run
+from repro.core.full_reversal import FullReversal
+from repro.core.heights import GBFullReversalHeights, GBPartialReversalHeights
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.schedulers.sequential import SequentialScheduler
+from repro.topology.generators import (
+    grid_instance,
+    random_dag_instance,
+    worst_case_chain_instance,
+)
+
+
+FAMILIES = {
+    "worst-chain-12": lambda: worst_case_chain_instance(12),
+    "grid-4x4": lambda: grid_instance(4, 4, oriented_towards_destination=False),
+    "random-dag-30": lambda: random_dag_instance(30, edge_probability=0.12, seed=6),
+}
+
+
+def _measure():
+    rows = []
+    checks = []
+    for name, factory in FAMILIES.items():
+        instance = factory()
+        results = {}
+        for label, automaton_class in (
+            ("FR", FullReversal),
+            ("FR-heights", GBFullReversalHeights),
+            ("PR", OneStepPartialReversal),
+            ("PR-heights", GBPartialReversalHeights),
+        ):
+            outcome = run(automaton_class(instance), SequentialScheduler())
+            results[label] = outcome
+        rows.append(
+            (
+                name,
+                results["FR"].steps_taken,
+                results["FR-heights"].steps_taken,
+                results["PR"].steps_taken,
+                results["PR-heights"].steps_taken,
+            )
+        )
+        checks.append(
+            {
+                "all_converge": all(r.converged for r in results.values()),
+                "all_oriented": all(
+                    r.final_state.is_destination_oriented() for r in results.values()
+                ),
+                "fr_heights_exact": results["FR"].steps_taken == results["FR-heights"].steps_taken,
+                "pr_heights_below_fr": results["PR-heights"].steps_taken
+                <= results["FR"].steps_taken,
+            }
+        )
+    return rows, checks
+
+
+def test_e14_height_formulations(benchmark):
+    rows, checks = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print_table(
+        "E14 — height-based vs list-based link reversal (node steps to converge)",
+        ["family", "FR", "FR-heights", "PR", "PR-heights"],
+        rows,
+    )
+    record(benchmark, experiment="E14", rows=rows)
+    for check in checks:
+        assert check["all_converge"]
+        assert check["all_oriented"]
+        assert check["fr_heights_exact"]
+        assert check["pr_heights_below_fr"]

@@ -1,0 +1,67 @@
+"""Experiments E3 & E4 — Invariants 4.1 / 4.2 for NewPR.
+
+Paper claim: in every reachable state of NewPR, (4.1) neighbours with equal
+parity determine the edge direction relative to the left-to-right embedding,
+and (4.2) the step-count relations (a)–(d) hold.
+
+Harness: exhaustive over all connected 4-node DAGs, plus randomized executions
+on a 60-node random DAG.  Expected outcome: zero violations.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import print_table, record
+
+from repro.core.new_pr import NewPartialReversal
+from repro.exploration.enumerate_graphs import all_connected_dag_instances
+from repro.exploration.random_walk import RandomWalkChecker
+from repro.exploration.state_space import explore_and_check
+from repro.topology.generators import random_dag_instance
+from repro.verification.invariants import newpr_invariant_checks
+
+
+def _exhaustive_newpr_check():
+    rows = []
+    total_states = 0
+    total_failures = 0
+    for index, instance in enumerate(all_connected_dag_instances(4)):
+        report = explore_and_check(NewPartialReversal(instance), newpr_invariant_checks())
+        total_states += report.states_explored
+        total_failures += len(report.failures)
+        rows.append((index, instance.edge_count, report.states_explored, len(report.failures)))
+    return rows, total_states, total_failures
+
+
+def test_e3_e4_invariants_exhaustive_small_graphs(benchmark):
+    rows, states, failures = benchmark.pedantic(_exhaustive_newpr_check, rounds=1, iterations=1)
+    print_table(
+        "E3/E4 — NewPR invariants, exhaustive over all connected 4-node DAGs",
+        ["graph#", "edges", "reachable states", "violations"],
+        rows,
+    )
+    record(benchmark, experiment="E3/E4", reachable_states=states, violations=failures)
+    assert failures == 0
+
+
+def _randomized_newpr_check():
+    instance = random_dag_instance(60, edge_probability=0.08, seed=6)
+    checker = RandomWalkChecker(
+        NewPartialReversal(instance),
+        newpr_invariant_checks(),
+        walks=10,
+        base_seed=6,
+    )
+    return checker.check()
+
+
+def test_e3_e4_invariants_randomized_large_graph(benchmark):
+    report = benchmark.pedantic(_randomized_newpr_check, rounds=1, iterations=1)
+    record(
+        benchmark,
+        experiment="E3/E4-random",
+        walks=report.walks,
+        states_checked=report.states_checked,
+        violations=len(report.failures),
+    )
+    print(f"\nE3/E4 randomized: {report}")
+    assert report.all_predicates_hold

@@ -1,0 +1,116 @@
+"""Experiment E15 — routing: route maintenance under link failures and mobility.
+
+Paper context: link reversal exists to provide "an efficient graph structure
+for routing" in networks "with frequently changing topology" (abstract and
+introduction, citing Gafni–Bertsekas).  The measurable claims are that after a
+link failure the reversal cascade restores destination orientation with work
+localised around the failure, and that routes stay usable.
+
+Harness:
+* synchronous repair — fail each non-partitioning link of a grid in turn and
+  rerun PR from the surviving orientation; report steps needed per repair;
+* asynchronous repair — inject random link failures into the message-passing
+  network on a geometric (MANET-style) topology and report reversals,
+  messages and recovery time per failure;
+* mobility — drive a random-waypoint model for several steps and report the
+  fraction of non-partitioning changes from which routing recovered.
+
+Expected shape: every non-partitioning failure is recovered; per-failure work
+is far smaller than re-running the algorithm from scratch on the whole graph.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import print_table, record
+
+from repro.analysis.statistics import mean
+from repro.core.pr import PartialReversal
+from repro.routing.dag_routing import RoutingTable
+from repro.routing.maintenance import RouteMaintenanceSimulation, repair_with_automaton
+from repro.topology.generators import grid_instance
+from repro.topology.manet import random_geometric_instance
+from repro.topology.mobility import RandomWaypointMobility
+
+
+def _synchronous_repair_sweep():
+    instance = grid_instance(5, 5, oriented_towards_destination=True)
+    orientation = instance.initial_orientation()
+    rows = []
+    for u, v in instance.initial_edges:
+        new_instance, result = repair_with_automaton(
+            instance, orientation, (u, v), PartialReversal
+        )
+        table = RoutingTable.from_orientation(result.final_state.orientation)
+        rows.append(((u, v), result.steps_taken, table.routable_fraction()))
+    return rows
+
+
+def test_e15_synchronous_link_failure_repair(benchmark):
+    rows = benchmark.pedantic(_synchronous_repair_sweep, rounds=1, iterations=1)
+    display = [(f"{u}-{v}", steps, f"{fraction:.2f}") for (u, v), steps, fraction in rows]
+    print_table(
+        "E15 — PR repair after each single link failure on a 5x5 grid",
+        ["failed link", "repair steps", "routable fraction"],
+        display[:12] + [("...", "", "")],
+    )
+    record(
+        benchmark,
+        experiment="E15-sync",
+        failures=len(rows),
+        mean_repair_steps=mean([steps for _, steps, _ in rows]),
+        all_recovered=all(fraction == 1.0 for _, _, fraction in rows),
+    )
+    # a 5x5 grid is 2-edge-connected: every single failure is recoverable
+    assert all(fraction == 1.0 for _, _, fraction in rows)
+    # locality: a single repair needs far fewer steps than the node count
+    assert mean([steps for _, steps, _ in rows]) < 25
+
+
+def _asynchronous_failure_sweep():
+    instance, _network = random_geometric_instance(25, radius=0.35, seed=11)
+    simulation = RouteMaintenanceSimulation(instance, seed=11)
+    results = simulation.fail_random_links(8)
+    return simulation, results
+
+
+def test_e15_asynchronous_failures_on_manet(benchmark):
+    simulation, results = benchmark.pedantic(_asynchronous_failure_sweep, rounds=1, iterations=1)
+    rows = [
+        (
+            "-".join(map(str, r.failed_links[0])) if r.failed_links else "-",
+            r.reversals,
+            r.messages,
+            f"{r.elapsed_time:.1f}",
+            "partitioned" if r.partitioned else ("yes" if r.destination_oriented else "NO"),
+        )
+        for r in results
+    ]
+    print_table(
+        "E15 — asynchronous recovery from random link failures (25-node MANET)",
+        ["failed link", "reversals", "messages", "time", "recovered"],
+        rows,
+    )
+    summary = simulation.summary()
+    record(benchmark, experiment="E15-async", **summary)
+    assert summary["recovered_fraction"] == 1.0
+
+
+def _mobility_sweep():
+    instance, network = random_geometric_instance(20, radius=0.45, seed=21)
+    simulation = RouteMaintenanceSimulation(instance, seed=21)
+    mobility = RandomWaypointMobility(network, speed=0.04, seed=21)
+    results = simulation.apply_topology_changes(mobility.run(12))
+    return simulation, results
+
+
+def test_e15_mobility_route_maintenance(benchmark):
+    simulation, results = benchmark.pedantic(_mobility_sweep, rounds=1, iterations=1)
+    summary = simulation.summary()
+    print(
+        f"\nE15 mobility: {summary['failures']} change batches, "
+        f"mean reversals {summary['mean_reversals']:.1f}, "
+        f"mean messages {summary['mean_messages']:.1f}, "
+        f"recovered fraction {summary['recovered_fraction']:.2f}"
+    )
+    record(benchmark, experiment="E15-mobility", **summary)
+    assert summary["recovered_fraction"] == 1.0

@@ -1,0 +1,95 @@
+"""Ablation — sensitivity of work and convergence to the scheduler (adversary).
+
+DESIGN.md separates the algorithms from the adversary that picks which sink
+steps next.  This ablation quantifies how much that choice matters:
+
+* for PR and FR the *total work* is schedule independent (a classical
+  property the test suite also asserts); the ablation confirms it across five
+  very different schedulers and reports the (identical) counts;
+* what the scheduler does change is the number of *rounds* of the greedy
+  concurrent schedule versus fully serialised schedules, i.e. the available
+  parallelism — reported here as steps vs rounds.
+
+Expected shape: per-algorithm step counts identical across schedulers; greedy
+rounds much smaller than total steps on wide graphs.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import print_table, record
+
+from repro.analysis.work import count_reversals
+from repro.core.full_reversal import FullReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.schedulers.adversarial import AdversarialScheduler, LazyScheduler
+from repro.schedulers.base import RoundRobinScheduler
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.schedulers.sequential import SequentialScheduler
+from repro.topology.generators import grid_instance, worst_case_chain_instance
+
+
+SCHEDULERS = {
+    "greedy": GreedyScheduler,
+    "sequential": SequentialScheduler,
+    "round-robin": RoundRobinScheduler,
+    "adversarial": AdversarialScheduler,
+    "lazy": LazyScheduler,
+    "random": lambda: RandomScheduler(seed=33),
+}
+
+FAMILIES = {
+    "worst-chain-10": lambda: worst_case_chain_instance(10),
+    "grid-5x5": lambda: grid_instance(5, 5, oriented_towards_destination=False),
+}
+
+
+def _sweep():
+    rows = []
+    schedule_independent = True
+    for family_name, family in FAMILIES.items():
+        for algorithm_name, algorithm in (("PR", OneStepPartialReversal), ("FR", FullReversal)):
+            counts = {}
+            for scheduler_name, scheduler_factory in SCHEDULERS.items():
+                instance = family()
+                summary = count_reversals(algorithm(instance), scheduler_factory())
+                counts[scheduler_name] = summary.node_steps
+            distinct = set(counts.values())
+            schedule_independent = schedule_independent and len(distinct) == 1
+            rows.append(
+                (family_name, algorithm_name, *[counts[s] for s in SCHEDULERS], len(distinct))
+            )
+    return rows, schedule_independent
+
+
+def test_ablation_scheduler_independence_of_work(benchmark):
+    rows, schedule_independent = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_table(
+        "Ablation — total node steps under six schedulers",
+        ["family", "algorithm", *SCHEDULERS.keys(), "#distinct"],
+        rows,
+    )
+    record(benchmark, experiment="ablation-schedulers", rows=rows)
+    assert schedule_independent
+
+
+def _parallelism():
+    rows = []
+    for family_name, family in FAMILIES.items():
+        instance = family()
+        scheduler = GreedyScheduler()
+        summary = count_reversals(OneStepPartialReversal(instance), scheduler)
+        rows.append((family_name, summary.node_steps, scheduler.rounds))
+    return rows
+
+
+def test_ablation_greedy_parallelism(benchmark):
+    rows = benchmark.pedantic(_parallelism, rounds=1, iterations=1)
+    print_table(
+        "Ablation — steps vs greedy rounds (available parallelism)",
+        ["family", "total steps", "greedy rounds"],
+        rows,
+    )
+    record(benchmark, experiment="ablation-parallelism", rows=rows)
+    for _, steps, rounds in rows:
+        assert rounds <= steps

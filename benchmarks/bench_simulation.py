@@ -1,0 +1,80 @@
+"""Experiments E6 & E7 — the simulation relations R′ (Thm 5.2) and R (Thm 5.4).
+
+Paper claim: for every reachable PR state there is a reachable OneStepPR state
+related by R′, and for every reachable OneStepPR state a reachable NewPR state
+related by R; composing the two transfers acyclicity to PR (Thm 5.5).
+
+Harness: record PR executions under greedy, random and random-subset
+schedulers on several graph families, construct the corresponding OneStepPR
+and NewPR executions exactly as Lemmas 5.1/5.3 prescribe, and verify the
+relations at every correspondence point.
+
+Expected outcome: the relations hold at 100% of correspondence points; the
+NewPR execution is never shorter than the OneStepPR one (dummy steps).
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import print_table, record
+
+from repro.automata.executions import run
+from repro.core.pr import PartialReversal
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.topology.generators import (
+    grid_instance,
+    random_dag_instance,
+    worst_case_chain_instance,
+)
+from repro.verification.simulation import check_full_simulation_chain
+
+
+FAMILIES = {
+    "worst-chain-10": lambda: worst_case_chain_instance(10),
+    "grid-4x4": lambda: grid_instance(4, 4, oriented_towards_destination=False),
+    "random-dag-30": lambda: random_dag_instance(30, edge_probability=0.12, seed=3),
+}
+
+SCHEDULERS = {
+    "greedy": lambda: GreedyScheduler(),
+    "random": lambda: RandomScheduler(seed=17),
+    "random-subsets": lambda: RandomScheduler(seed=17, subset_probability=0.5),
+}
+
+
+def _check_all_families():
+    rows = []
+    all_hold = True
+    for family_name, family in FAMILIES.items():
+        for scheduler_name, scheduler_factory in SCHEDULERS.items():
+            instance = family()
+            result = run(PartialReversal(instance), scheduler_factory())
+            chain = check_full_simulation_chain(result.execution)
+            all_hold = all_hold and chain.holds
+            onestep_len = chain.r_prime.corresponding_execution.length
+            newpr_len = chain.r.corresponding_execution.length
+            rows.append(
+                (
+                    family_name,
+                    scheduler_name,
+                    result.steps_taken,
+                    onestep_len,
+                    newpr_len,
+                    "yes" if chain.r_prime.holds else "NO",
+                    "yes" if chain.r.holds else "NO",
+                )
+            )
+    return rows, all_hold
+
+
+def test_e6_e7_simulation_relations(benchmark):
+    rows, all_hold = benchmark.pedantic(_check_all_families, rounds=1, iterations=1)
+    print_table(
+        "E6/E7 — simulation relations R' and R along PR executions",
+        ["family", "scheduler", "PR actions", "OneStepPR steps", "NewPR steps", "R' holds", "R holds"],
+        rows,
+    )
+    record(benchmark, experiment="E6/E7", rows=rows)
+    assert all_hold
+    # NewPR never needs fewer steps than OneStepPR (dummy steps only add)
+    assert all(row[4] >= row[3] for row in rows)

@@ -1,0 +1,114 @@
+"""Extension experiment E15b — TORA: reference levels and partition detection.
+
+TORA is the deployed descendant of the partial-reversal idea the paper
+analyses: the reference-level machinery performs the *partial* reversal
+(only the links towards not-yet-reversed neighbours flip), and the reflection
+bit turns the non-terminating partition behaviour of plain Gafni–Bertsekas
+reversal into explicit partition detection plus route erasure.
+
+Harness:
+* sequential single-link failures on a 5×5 grid — every failure is repaired,
+  maintenance work stays local, heights stay distinct (acyclic);
+* a partitioning cut on a chain — the partition is detected, the cut-off
+  component erases its routes in bounded work (contrast with experiment E17's
+  unbounded cascade for plain reversal under partition);
+* link restoration — routes are rebuilt for the previously erased component.
+
+Expected shape: 100% repair for non-partitioning failures; bounded work and
+explicit detection for partitioning ones.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import print_table, record
+
+from repro.routing.tora import ToraRouter
+from repro.topology.generators import chain_instance, grid_instance
+
+
+def _still_connected_without(router, u, v) -> bool:
+    """Whether the current link set minus {u, v} keeps the graph connected."""
+    links = set(router.links) - {frozenset((u, v))}
+    nodes = router.instance.nodes
+    adjacency = {node: [] for node in nodes}
+    for link in links:
+        a, b = tuple(link)
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    seen = {nodes[0]}
+    frontier = [nodes[0]]
+    while frontier:
+        current = frontier.pop()
+        for nxt in adjacency[current]:
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return len(seen) == len(nodes)
+
+
+def _grid_failure_sweep():
+    instance = grid_instance(5, 5, oriented_towards_destination=True)
+    router = ToraRouter(instance)
+    rows = []
+    failed = 0
+    for u, v in instance.initial_edges:
+        if failed >= 14:
+            break
+        if frozenset((u, v)) not in router.links:
+            continue
+        if not _still_connected_without(router, u, v):
+            continue  # only study non-partitioning failures here
+        before = router.maintenance_steps
+        router.fail_link(u, v)
+        failed += 1
+        rows.append(
+            (
+                f"{u}-{v}",
+                router.maintenance_steps - before,
+                f"{router.routed_fraction():.2f}",
+                "yes" if router.is_acyclic() else "NO",
+            )
+        )
+    return router, rows, failed
+
+
+def test_e15b_tora_grid_failures(benchmark):
+    router, rows, failed = benchmark.pedantic(_grid_failure_sweep, rounds=1, iterations=1)
+    print_table(
+        "E15b — TORA maintenance for successive link failures on a 5x5 grid",
+        ["failed link", "maintenance steps", "routed fraction", "acyclic"],
+        rows,
+    )
+    record(benchmark, experiment="E15b-grid", failures=failed, summary=router.summary())
+    assert router.routed_fraction() == 1.0
+    assert router.partitions_detected == 0
+    assert router.is_acyclic()
+
+
+def _partition_scenario():
+    instance = chain_instance(12, towards_destination=True)
+    router = ToraRouter(instance)
+    router.fail_link(1, 0)  # cuts nodes 1..11 off the destination
+    after_cut = router.summary()
+    router.restore_link(1, 0)
+    after_restore = router.summary()
+    return after_cut, after_restore
+
+
+def test_e15b_tora_partition_detection(benchmark):
+    after_cut, after_restore = benchmark.pedantic(_partition_scenario, rounds=1, iterations=1)
+    print(
+        "\nE15b partition: detected={:d}, maintenance steps={:d}, erased nodes={:d}; "
+        "after restore routed fraction={:.2f}".format(
+            int(after_cut["partitions_detected"]),
+            int(after_cut["maintenance_steps"]),
+            int(after_cut["erased_nodes"]),
+            after_restore["routed_fraction"],
+        )
+    )
+    record(benchmark, experiment="E15b-partition", after_cut=after_cut,
+           after_restore=after_restore)
+    assert after_cut["partitions_detected"] >= 1
+    # bounded work: far below the quadratic cascade plain reversal would attempt
+    assert after_cut["maintenance_steps"] < 12 ** 2
+    assert after_restore["routed_fraction"] == 1.0

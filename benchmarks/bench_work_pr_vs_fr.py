@@ -1,0 +1,76 @@
+"""Experiment E9 — total work of PR vs FR (and NewPR) across graph families.
+
+Paper context (Section 1): PR "seems much more efficient" than FR, and on most
+instances it is, yet both share the same Θ(n_b²) worst case.  This benchmark
+reports the total node steps and edge reversals of PR, OneStepPR, NewPR and FR
+on the standard families under the greedy schedule.
+
+Expected shape: PR ≤ FR everywhere (often strictly), NewPR ≥ OneStepPR by at
+most the number of dummy steps, PR == OneStepPR.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import print_table, record
+
+from repro.analysis.work import compare_algorithms
+from repro.schedulers.greedy import GreedyScheduler
+from repro.topology.generators import (
+    grid_instance,
+    layered_instance,
+    random_dag_instance,
+    star_instance,
+    tree_instance,
+    worst_case_chain_instance,
+)
+
+
+FAMILIES = {
+    "worst-chain-12": lambda: worst_case_chain_instance(12),
+    "star-20": lambda: star_instance(20, destination_is_center=True),
+    "tree-40": lambda: tree_instance(40, seed=2),
+    "grid-5x5": lambda: grid_instance(5, 5, oriented_towards_destination=False),
+    "layered-5x6": lambda: layered_instance(5, 6, seed=4),
+    "random-dag-50": lambda: random_dag_instance(50, edge_probability=0.08, seed=9),
+}
+
+
+def _compare_all():
+    rows = []
+    summaries = {}
+    for family_name, family in FAMILIES.items():
+        instance = family()
+        results = compare_algorithms(instance, GreedyScheduler)
+        summaries[family_name] = results
+        rows.append(
+            (
+                family_name,
+                instance.node_count,
+                len(instance.bad_nodes()),
+                results["PR"].node_steps,
+                results["NewPR"].node_steps,
+                results["FR"].node_steps,
+                results["PR"].edge_reversals,
+                results["FR"].edge_reversals,
+            )
+        )
+    return rows, summaries
+
+
+def test_e9_pr_vs_fr_work(benchmark):
+    rows, summaries = benchmark.pedantic(_compare_all, rounds=1, iterations=1)
+    print_table(
+        "E9 — total work under the greedy schedule (node steps / edge reversals)",
+        ["family", "n", "n_bad", "PR steps", "NewPR steps", "FR steps", "PR revs", "FR revs"],
+        rows,
+    )
+    record(benchmark, experiment="E9", rows=rows)
+    for family_name, results in summaries.items():
+        assert results["PR"].destination_oriented
+        assert results["FR"].destination_oriented
+        # the headline comparison: PR never does more work than FR here
+        assert results["PR"].node_steps <= results["FR"].node_steps, family_name
+        # PR and its one-step serialisation perform identical work
+        assert results["PR"].node_steps == results["OneStepPR"].node_steps, family_name
+        # dummy steps only ever add work
+        assert results["NewPR"].node_steps >= results["OneStepPR"].node_steps, family_name

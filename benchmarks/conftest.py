@@ -1,0 +1,5 @@
+"""Pytest configuration for the benchmark harness.
+
+The actual helpers live in :mod:`benchmarks._harness`; this conftest only
+exists to make the benchmarks directory self-describing when collected.
+"""

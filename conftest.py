@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable when the package is not installed.
+
+The canonical way to use the library is ``pip install -e .``; this hook only
+exists so that ``pytest`` run from a fresh checkout (e.g. in offline CI
+containers where editable installs are awkward) still finds ``repro``.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

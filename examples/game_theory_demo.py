@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Game-theoretic comparison of Full and Partial Reversal (after Charron-Bost et al.).
+
+Section 1 of the paper recalls that, viewed as a game in which every node
+chooses its own reversal strategy, the all-Full-Reversal profile is a Nash
+equilibrium with maximal social cost, while the all-Partial-Reversal profile
+achieves the global optimum whenever it is an equilibrium.  This example
+enumerates the restricted {FULL, PARTIAL} strategy game on a few small
+instances and prints the full picture.
+
+Run with::
+
+    python examples/game_theory_demo.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.analysis.game_theory import (
+    Strategy,
+    analyse_game,
+    full_reversal_profile,
+    partial_reversal_profile,
+)
+from repro.topology.generators import grid_instance, worst_case_chain_instance
+
+
+def describe(name, instance) -> None:
+    analysis = analyse_game(instance)
+    fr_profile = full_reversal_profile(instance)
+    pr_profile = partial_reversal_profile(instance)
+    print(f"\n=== {name} ({len(instance.non_destination_nodes)} players, "
+          f"{2 ** len(instance.non_destination_nodes)} profiles) ===")
+    print(f"  social cost of all-FR profile : {analysis.cost_of(fr_profile)}"
+          f"  (Nash equilibrium: {fr_profile in analysis.equilibria})")
+    print(f"  social cost of all-PR profile : {analysis.cost_of(pr_profile)}"
+          f"  (Nash equilibrium: {pr_profile in analysis.equilibria})")
+    print(f"  global optimum                : {analysis.optimum_cost}")
+    print(f"  Nash equilibria               : {len(analysis.equilibria)} "
+          f"with costs {list(analysis.equilibrium_costs())}")
+
+    # show the cheapest and the most expensive equilibrium profiles
+    if analysis.equilibria:
+        cheapest = min(analysis.equilibria, key=analysis.cost_of)
+        priciest = max(analysis.equilibria, key=analysis.cost_of)
+        def fmt(profile):
+            return ", ".join(
+                f"{node}:{'F' if profile.strategy_of(node) is Strategy.FULL else 'P'}"
+                for node in instance.non_destination_nodes
+            )
+        print(f"  cheapest equilibrium          : cost {analysis.cost_of(cheapest)}  [{fmt(cheapest)}]")
+        print(f"  most expensive equilibrium    : cost {analysis.cost_of(priciest)}  [{fmt(priciest)}]")
+
+
+def main() -> None:
+    describe("worst-case chain, 4 bad nodes", worst_case_chain_instance(4))
+    describe("worst-case chain, 6 bad nodes", worst_case_chain_instance(6))
+    describe("2x3 grid, all edges away from the destination",
+             grid_instance(2, 3, oriented_towards_destination=False))
+
+
+if __name__ == "__main__":
+    main()

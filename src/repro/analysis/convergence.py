@@ -1,0 +1,92 @@
+"""Convergence measurements for the routing experiments.
+
+Link-reversal routing converges when the graph becomes destination oriented
+again after a disruption.  The relevant quantities are:
+
+* the number of *rounds* (greedy concurrent steps) until convergence — the
+  time measure of the literature;
+* the number of individual node steps — the work measure;
+* whether the run converged at all within the step budget.
+
+These are measured by :func:`measure_convergence` for a single instance and
+by :func:`convergence_series` for a parameter sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.automata.executions import run
+from repro.automata.ioa import IOAutomaton
+from repro.core.graph import LinkReversalInstance
+from repro.schedulers.greedy import GreedyScheduler
+
+
+@dataclass
+class ConvergenceSummary:
+    """Rounds and steps needed for one instance to become destination oriented."""
+
+    algorithm: str
+    node_count: int
+    edge_count: int
+    bad_node_count: int
+    rounds: int
+    node_steps: int
+    converged: bool
+    destination_oriented: bool
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"{self.algorithm}: n={self.node_count}, n_b={self.bad_node_count}, "
+            f"rounds={self.rounds}, steps={self.node_steps}, "
+            f"{'oriented' if self.destination_oriented else 'NOT oriented'}"
+        )
+
+
+def measure_convergence(
+    automaton: IOAutomaton,
+    max_steps: Optional[int] = None,
+) -> ConvergenceSummary:
+    """Run the automaton to quiescence under the greedy schedule and summarise.
+
+    The greedy scheduler's round counter provides the round measure; node
+    steps are counted from the executed actions.
+    """
+    instance: LinkReversalInstance = automaton.instance
+    scheduler = GreedyScheduler()
+    node_steps = 0
+
+    def observer(step_index, pre_state, action, post_state) -> None:
+        nonlocal node_steps
+        node_steps += len(action.actors())
+
+    result = run(
+        automaton, scheduler, max_steps=max_steps, observers=(observer,), record_states=False
+    )
+    final = result.final_state
+    oriented = (
+        final.is_destination_oriented() if hasattr(final, "is_destination_oriented") else False
+    )
+    return ConvergenceSummary(
+        algorithm=automaton.name,
+        node_count=instance.node_count,
+        edge_count=instance.edge_count,
+        bad_node_count=len(instance.bad_nodes()),
+        rounds=scheduler.rounds,
+        node_steps=node_steps,
+        converged=result.converged,
+        destination_oriented=oriented,
+    )
+
+
+def convergence_series(
+    instances: Sequence[LinkReversalInstance],
+    algorithm_factory: Callable[[LinkReversalInstance], IOAutomaton],
+    max_steps: Optional[int] = None,
+) -> List[ConvergenceSummary]:
+    """Measure convergence for every instance in a sweep."""
+    return [
+        measure_convergence(algorithm_factory(instance), max_steps=max_steps)
+        for instance in instances
+    ]

@@ -1,0 +1,236 @@
+"""Game-theoretic comparison of Full and Partial Reversal strategies.
+
+Section 1 of the paper cites Charron-Bost, Welch and Widder ("Link reversal:
+how to play better to work less") for the result that, viewed as a game in
+which every node picks its own reversal strategy,
+
+* the all-Full-Reversal profile is always a Nash equilibrium but has the
+  largest social cost among Nash equilibria, and
+* the all-Partial-Reversal profile is not necessarily an equilibrium, but
+  when it is one it attains the global optimum (minimum social cost).
+
+This module reproduces the *shape* of that result on small instances with an
+explicit, enumerable strategy space: each non-destination node independently
+plays either ``FULL`` (when it steps it reverses all incident edges) or
+``PARTIAL`` (it plays the list-based PR rule).  A profile induces a
+well-defined "mixed" link-reversal algorithm; the cost of a node is the number
+of steps it takes until the graph is destination oriented (work is measured
+under the deterministic greedy schedule), and the social cost is the sum.
+
+The strategy space here is a two-point restriction of the richer game in the
+cited paper, which is enough to check the headline comparisons empirically
+(experiment E11); DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterator, Mapping, Optional, Tuple
+
+from repro.automata.executions import run
+from repro.core.base import LinkReversalAutomaton
+from repro.core.graph import LinkReversalInstance, Orientation
+from repro.core.pr import PRState
+from repro.schedulers.greedy import GreedyScheduler
+
+Node = Hashable
+
+
+class Strategy(enum.Enum):
+    """A node's reversal strategy in the restricted game."""
+
+    FULL = "full"
+    PARTIAL = "partial"
+
+
+@dataclass(frozen=True)
+class StrategyProfile:
+    """An assignment of a strategy to every non-destination node."""
+
+    assignment: Mapping[Node, Strategy]
+
+    def strategy_of(self, node: Node) -> Strategy:
+        """The strategy played by ``node``."""
+        return self.assignment[node]
+
+    def with_strategy(self, node: Node, strategy: Strategy) -> "StrategyProfile":
+        """A copy of the profile in which ``node`` deviates to ``strategy``."""
+        new_assignment = dict(self.assignment)
+        new_assignment[node] = strategy
+        return StrategyProfile(new_assignment)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        parts = ", ".join(f"{node}:{s.value}" for node, s in sorted(self.assignment.items(), key=lambda kv: repr(kv[0])))
+        return f"Profile({parts})"
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(((repr(k), v) for k, v in self.assignment.items()))))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StrategyProfile):
+            return NotImplemented
+        return dict(self.assignment) == dict(other.assignment)
+
+
+def full_reversal_profile(instance: LinkReversalInstance) -> StrategyProfile:
+    """The profile in which every node plays Full Reversal."""
+    return StrategyProfile({u: Strategy.FULL for u in instance.non_destination_nodes})
+
+
+def partial_reversal_profile(instance: LinkReversalInstance) -> StrategyProfile:
+    """The profile in which every node plays Partial Reversal."""
+    return StrategyProfile({u: Strategy.PARTIAL for u in instance.non_destination_nodes})
+
+
+def enumerate_profiles(instance: LinkReversalInstance) -> Iterator[StrategyProfile]:
+    """Every profile of the two-strategy game (``2^(n-1)`` of them)."""
+    nodes = instance.non_destination_nodes
+    for combo in itertools.product((Strategy.FULL, Strategy.PARTIAL), repeat=len(nodes)):
+        yield StrategyProfile(dict(zip(nodes, combo)))
+
+
+class MixedStrategyReversal(LinkReversalAutomaton):
+    """The link-reversal automaton induced by a strategy profile.
+
+    A node playing ``PARTIAL`` follows the PR rule (dynamic list of neighbours
+    that reversed towards it since its last step); a node playing ``FULL``
+    reverses all incident edges whenever it steps.  Neighbours of a stepping
+    node update their lists regardless of their own strategy, exactly as in PR
+    (the list only matters for nodes that play ``PARTIAL``).
+    """
+
+    name = "MixedStrategy"
+
+    def __init__(self, instance: LinkReversalInstance, profile: StrategyProfile):
+        super().__init__(instance)
+        missing = set(instance.non_destination_nodes) - set(profile.assignment)
+        if missing:
+            raise ValueError(f"profile missing strategies for nodes {sorted(map(str, missing))}")
+        self.profile = profile
+
+    def initial_state(self) -> PRState:
+        return PRState(self.instance, self.instance.initial_orientation())
+
+    def _apply_reverse(self, state: PRState, u: Node) -> PRState:
+        new_state = state.copy()
+        orientation = new_state.orientation
+        lists = new_state.lists
+
+        nbrs = self.instance.nbrs(u)
+        if self.profile.strategy_of(u) is Strategy.FULL:
+            targets: FrozenSet[Node] = nbrs
+        else:
+            u_list = state.lists[u]
+            targets = nbrs if u_list == nbrs else nbrs - u_list
+        for v in targets:
+            orientation.reverse_edge(u, v)
+            lists[v] = lists[v] | {u}
+        lists[u] = frozenset()
+        return new_state
+
+
+@dataclass
+class GameOutcome:
+    """Per-node costs and social cost of one profile on one instance."""
+
+    profile: StrategyProfile
+    node_costs: Dict[Node, int]
+    converged: bool
+
+    @property
+    def social_cost(self) -> int:
+        """Total number of steps taken by all nodes."""
+        return sum(self.node_costs.values())
+
+
+def play(
+    instance: LinkReversalInstance,
+    profile: StrategyProfile,
+    max_steps: Optional[int] = None,
+) -> GameOutcome:
+    """Run the mixed-strategy automaton to quiescence under the greedy schedule."""
+    automaton = MixedStrategyReversal(instance, profile)
+    node_costs: Dict[Node, int] = {u: 0 for u in instance.non_destination_nodes}
+
+    def observer(step_index, pre_state, action, post_state) -> None:
+        for node in action.actors():
+            node_costs[node] = node_costs.get(node, 0) + 1
+
+    result = run(
+        automaton,
+        GreedyScheduler(),
+        max_steps=max_steps,
+        observers=(observer,),
+        record_states=False,
+    )
+    return GameOutcome(profile=profile, node_costs=node_costs, converged=result.converged)
+
+
+def social_cost(
+    instance: LinkReversalInstance,
+    profile: StrategyProfile,
+    max_steps: Optional[int] = None,
+) -> int:
+    """The social cost (total steps) of a profile on an instance."""
+    return play(instance, profile, max_steps=max_steps).social_cost
+
+
+def is_nash_equilibrium(
+    instance: LinkReversalInstance,
+    profile: StrategyProfile,
+    max_steps: Optional[int] = None,
+) -> bool:
+    """Whether no single node can strictly reduce *its own* cost by deviating."""
+    baseline = play(instance, profile, max_steps=max_steps)
+    for node in instance.non_destination_nodes:
+        current = profile.strategy_of(node)
+        alternative = Strategy.FULL if current is Strategy.PARTIAL else Strategy.PARTIAL
+        deviated = play(instance, profile.with_strategy(node, alternative), max_steps=max_steps)
+        if deviated.node_costs[node] < baseline.node_costs[node]:
+            return False
+    return True
+
+
+@dataclass
+class GameAnalysis:
+    """Full enumeration of the restricted game on one instance."""
+
+    instance: LinkReversalInstance
+    outcomes: Dict[StrategyProfile, GameOutcome] = field(default_factory=dict)
+    equilibria: Tuple[StrategyProfile, ...] = ()
+
+    @property
+    def optimum_cost(self) -> int:
+        """The minimum social cost over all profiles."""
+        return min(outcome.social_cost for outcome in self.outcomes.values())
+
+    def cost_of(self, profile: StrategyProfile) -> int:
+        """Social cost of a specific profile."""
+        return self.outcomes[profile].social_cost
+
+    def equilibrium_costs(self) -> Tuple[int, ...]:
+        """Social costs of all Nash equilibria, sorted ascending."""
+        return tuple(sorted(self.outcomes[p].social_cost for p in self.equilibria))
+
+
+def analyse_game(
+    instance: LinkReversalInstance,
+    max_steps: Optional[int] = None,
+) -> GameAnalysis:
+    """Enumerate every profile of the restricted game, marking Nash equilibria.
+
+    Exponential in the number of non-destination nodes; intended for instances
+    with at most ~10 such nodes (the benchmark uses 4-7).
+    """
+    analysis = GameAnalysis(instance=instance)
+    for profile in enumerate_profiles(instance):
+        analysis.outcomes[profile] = play(instance, profile, max_steps=max_steps)
+    equilibria = [
+        profile
+        for profile in analysis.outcomes
+        if is_nash_equilibrium(instance, profile, max_steps=max_steps)
+    ]
+    analysis.equilibria = tuple(equilibria)
+    return analysis

@@ -1,0 +1,112 @@
+"""Small statistics helpers used by the analysis layer and the benchmarks.
+
+Kept dependency-free (no scipy at runtime) and deliberately simple: the
+benchmarks only need means, percentiles and a least-squares polynomial fit to
+verify that the worst-case work curves are quadratic in the number of bad
+nodes (experiment E10).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty sequence."""
+    if not values:
+        raise ValueError("mean() of an empty sequence")
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) using linear interpolation."""
+    if not values:
+        raise ValueError("percentile() of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    return float(ordered[low] * (1 - weight) + ordered[high] * weight)
+
+
+def fit_polynomial(xs: Sequence[float], ys: Sequence[float], degree: int) -> List[float]:
+    """Least-squares polynomial fit; returns coefficients, highest degree first.
+
+    Implemented via the normal equations with Gaussian elimination so the
+    library has no hard scipy dependency.  Adequate for the small, well
+    conditioned fits the benchmarks perform (degree <= 3, |xs| <= 100).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if len(xs) <= degree:
+        raise ValueError("need more points than the polynomial degree")
+
+    n = degree + 1
+    # Vandermonde normal equations: (V^T V) c = V^T y
+    vandermonde = [[x ** (degree - j) for j in range(n)] for x in xs]
+    ata = [[0.0] * n for _ in range(n)]
+    aty = [0.0] * n
+    for row, y in zip(vandermonde, ys):
+        for i in range(n):
+            aty[i] += row[i] * y
+            for j in range(n):
+                ata[i][j] += row[i] * row[j]
+
+    # Gaussian elimination with partial pivoting
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(ata[r][col]))
+        if abs(ata[pivot][col]) < 1e-12:
+            raise ValueError("singular system in polynomial fit")
+        if pivot != col:
+            ata[col], ata[pivot] = ata[pivot], ata[col]
+            aty[col], aty[pivot] = aty[pivot], aty[col]
+        for row in range(col + 1, n):
+            factor = ata[row][col] / ata[col][col]
+            for k in range(col, n):
+                ata[row][k] -= factor * ata[col][k]
+            aty[row] -= factor * aty[col]
+
+    coefficients = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        total = aty[row] - sum(ata[row][k] * coefficients[k] for k in range(row + 1, n))
+        coefficients[row] = total / ata[row][row]
+    return coefficients
+
+
+def evaluate_polynomial(coefficients: Sequence[float], x: float) -> float:
+    """Evaluate a polynomial given coefficients with the highest degree first."""
+    result = 0.0
+    for c in coefficients:
+        result = result * x + c
+    return result
+
+
+def r_squared(xs: Sequence[float], ys: Sequence[float], coefficients: Sequence[float]) -> float:
+    """Coefficient of determination of a polynomial fit."""
+    if not ys:
+        raise ValueError("r_squared() needs data")
+    y_mean = mean(list(ys))
+    ss_res = sum((y - evaluate_polynomial(coefficients, x)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - y_mean) ** 2 for y in ys)
+    if ss_tot == 0:
+        return 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def quadratic_fit_r2(xs: Sequence[float], ys: Sequence[float]) -> Tuple[List[float], float]:
+    """Fit ``y = a x² + b x + c`` and return ``(coefficients, R²)``.
+
+    Used by the Θ(n_b²) experiment: a good quadratic fit (R² close to 1 with a
+    clearly positive leading coefficient) is the measured analogue of the
+    worst-case bound quoted in Section 1 of the paper.
+    """
+    coefficients = fit_polynomial(xs, ys, degree=2)
+    return coefficients, r_squared(xs, ys, coefficients)

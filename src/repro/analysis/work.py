@@ -1,0 +1,189 @@
+"""Work accounting: reversal counts, step counts and algorithm comparison.
+
+The efficiency measure used throughout the link-reversal literature (and in
+Section 1 of the paper) is the *total number of reversals* performed by all
+nodes until the graph becomes destination oriented.  This module measures it
+for any automaton / scheduler combination and provides:
+
+* :func:`count_reversals` — run one execution and summarise the work;
+* :func:`per_node_reversals` — work broken down per node;
+* :func:`compare_algorithms` — PR vs OneStepPR vs NewPR vs FR on the same
+  instance under the same scheduler family (experiments E9 and E12);
+* :func:`worst_case_sweep` — total work on the worst-case chain family as a
+  function of the number of bad nodes ``n_b`` (experiment E10, the Θ(n_b²)
+  bound of Busch & Tirthapura quoted by the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.automata.executions import run
+from repro.automata.ioa import IOAutomaton
+from repro.core.full_reversal import FullReversal
+from repro.core.graph import LinkReversalInstance
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal
+from repro.topology.generators import worst_case_chain_instance
+
+Node = Hashable
+
+
+@dataclass
+class WorkSummary:
+    """Work performed by one execution of a link-reversal algorithm."""
+
+    algorithm: str
+    scheduler: str
+    node_steps: int
+    edge_reversals: int
+    dummy_steps: int
+    converged: bool
+    destination_oriented: bool
+    per_node_steps: Dict[Node, int] = field(default_factory=dict)
+    per_node_reversals: Dict[Node, int] = field(default_factory=dict)
+
+    @property
+    def total_work(self) -> int:
+        """Total node steps — the cost measure of the literature."""
+        return self.node_steps
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"{self.algorithm}/{self.scheduler}: {self.node_steps} steps, "
+            f"{self.edge_reversals} edge reversals, {self.dummy_steps} dummy steps, "
+            f"{'converged' if self.converged else 'NOT converged'}"
+        )
+
+
+class _WorkObserver:
+    """Per-step observer accumulating step and reversal counts."""
+
+    def __init__(self) -> None:
+        self.node_steps = 0
+        self.edge_reversals = 0
+        self.dummy_steps = 0
+        self.per_node_steps: Dict[Node, int] = {}
+        self.per_node_reversals: Dict[Node, int] = {}
+
+    def __call__(self, step_index, pre_state, action, post_state) -> None:
+        actors = action.actors()
+        self.node_steps += len(actors)
+        pre_edges = dict_of_edges(pre_state)
+        post_edges = dict_of_edges(post_state)
+        flipped_by: Dict[Node, int] = {}
+        flipped_total = 0
+        for edge, direction in pre_edges.items():
+            if post_edges[edge] != direction:
+                flipped_total += 1
+                # attribute the reversal to the actor incident to the edge
+                for node in actors:
+                    if node in edge:
+                        flipped_by[node] = flipped_by.get(node, 0) + 1
+                        break
+        self.edge_reversals += flipped_total
+        for node in actors:
+            self.per_node_steps[node] = self.per_node_steps.get(node, 0) + 1
+            reversed_here = flipped_by.get(node, 0)
+            self.per_node_reversals[node] = (
+                self.per_node_reversals.get(node, 0) + reversed_here
+            )
+            if reversed_here == 0:
+                self.dummy_steps += 1
+
+
+def dict_of_edges(state) -> Dict[frozenset, Node]:
+    """Map every undirected edge of a state to its current head node."""
+    orientation = getattr(state, "orientation", None)
+    if orientation is None:
+        orientation = state.to_orientation()
+    return {frozenset((tail, head)): head for tail, head in orientation.directed_edges()}
+
+
+def count_reversals(
+    automaton: IOAutomaton,
+    scheduler,
+    max_steps: Optional[int] = None,
+) -> WorkSummary:
+    """Run one execution to quiescence and summarise the work performed."""
+    observer = _WorkObserver()
+    result = run(
+        automaton, scheduler, max_steps=max_steps, observers=(observer,), record_states=False
+    )
+    final = result.final_state
+    oriented = final.is_destination_oriented() if hasattr(final, "is_destination_oriented") else False
+    return WorkSummary(
+        algorithm=automaton.name,
+        scheduler=type(scheduler).__name__,
+        node_steps=observer.node_steps,
+        edge_reversals=observer.edge_reversals,
+        dummy_steps=observer.dummy_steps,
+        converged=result.converged,
+        destination_oriented=oriented,
+        per_node_steps=observer.per_node_steps,
+        per_node_reversals=observer.per_node_reversals,
+    )
+
+
+def per_node_reversals(
+    automaton: IOAutomaton,
+    scheduler,
+    max_steps: Optional[int] = None,
+) -> Dict[Node, int]:
+    """Per-node edge-reversal counts of one execution (zero for idle nodes)."""
+    summary = count_reversals(automaton, scheduler, max_steps=max_steps)
+    counts = {u: 0 for u in automaton.instance.nodes}
+    counts.update(summary.per_node_reversals)
+    return counts
+
+
+#: The default set of algorithms compared by :func:`compare_algorithms`.
+DEFAULT_ALGORITHMS: Mapping[str, Callable[[LinkReversalInstance], IOAutomaton]] = {
+    "PR": PartialReversal,
+    "OneStepPR": OneStepPartialReversal,
+    "NewPR": NewPartialReversal,
+    "FR": FullReversal,
+}
+
+
+def compare_algorithms(
+    instance: LinkReversalInstance,
+    scheduler_factory: Callable[[], object],
+    algorithms: Optional[Mapping[str, Callable[[LinkReversalInstance], IOAutomaton]]] = None,
+    max_steps: Optional[int] = None,
+) -> Dict[str, WorkSummary]:
+    """Run every algorithm on the same instance and return their work summaries.
+
+    ``scheduler_factory`` is called once per algorithm so that scheduler state
+    (round queues, RNG position) never leaks between runs.
+    """
+    algorithms = dict(algorithms or DEFAULT_ALGORITHMS)
+    results: Dict[str, WorkSummary] = {}
+    for name, factory in algorithms.items():
+        automaton = factory(instance)
+        scheduler = scheduler_factory()
+        results[name] = count_reversals(automaton, scheduler, max_steps=max_steps)
+    return results
+
+
+def worst_case_sweep(
+    bad_node_counts: Sequence[int],
+    algorithm_factory: Callable[[LinkReversalInstance], IOAutomaton],
+    scheduler_factory: Callable[[], object],
+    max_steps: Optional[int] = None,
+) -> List[Tuple[int, int]]:
+    """Total work on the worst-case chain as a function of ``n_b``.
+
+    Returns ``[(n_b, total node steps), ...]`` — the data series behind the
+    Θ(n_b²) experiment (E10).  Callers typically feed the series to
+    :func:`repro.analysis.statistics.quadratic_fit_r2`.
+    """
+    series: List[Tuple[int, int]] = []
+    for n_bad in bad_node_counts:
+        instance = worst_case_chain_instance(n_bad)
+        automaton = algorithm_factory(instance)
+        summary = count_reversals(automaton, scheduler_factory(), max_steps=max_steps)
+        series.append((n_bad, summary.node_steps))
+    return series

@@ -1,0 +1,27 @@
+"""Applications built on link reversal: leader election and mutual exclusion.
+
+The paper's abstract and introduction list routing, leader election and mutual
+exclusion as the problems link-reversal algorithms are used for (following
+Welch & Walter's synthesis lecture).  Routing lives in :mod:`repro.routing`;
+this subpackage provides the other two:
+
+* :mod:`repro.applications.leader_election` — a leader-election service: the
+  current leader plays the role of the destination; when the leader fails, the
+  remaining nodes agree on a new leader and re-orient the DAG towards it by
+  running link reversal;
+* :mod:`repro.applications.mutual_exclusion` — token-based mutual exclusion on
+  a destination-oriented DAG: the token holder is the destination, requests
+  are forwarded along outgoing links, and passing the token reverses the edges
+  it traverses so the DAG stays token oriented (safety: one token; liveness:
+  every request is eventually served).
+"""
+
+from repro.applications.leader_election import LeaderElectionService, LeaderElectionReport
+from repro.applications.mutual_exclusion import TokenMutex, MutexReport
+
+__all__ = [
+    "LeaderElectionReport",
+    "LeaderElectionService",
+    "MutexReport",
+    "TokenMutex",
+]

@@ -1,0 +1,173 @@
+"""Leader election on top of link reversal.
+
+The idea (due to the link-reversal leader-election line of work surveyed by
+Welch & Walter) is that "being the leader" and "being the destination of a
+destination-oriented DAG" are the same thing: if every node has a directed
+path to the leader, every node implicitly knows a route to it, and the DAG
+doubles as a dissemination structure.
+
+:class:`LeaderElectionService` maintains that invariant over a sequence of
+leader failures:
+
+1. initially the designated leader is the instance's destination and the DAG
+   is made destination oriented by running Partial Reversal;
+2. when the current leader fails (``fail_leader``), the node with the highest
+   identifier among the surviving nodes is elected (a deterministic rule all
+   nodes can evaluate locally once failure information propagates);
+3. the surviving graph is re-oriented towards the new leader by running
+   Partial Reversal on the instance restricted to the surviving nodes, reusing
+   the surviving edge directions as the initial orientation.
+
+The service records, per election, how many reversal steps the re-orientation
+needed — the cost measure reported by experiment E16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.automata.executions import run
+from repro.core.graph import LinkReversalInstance, Orientation
+from repro.core.pr import PartialReversal
+from repro.schedulers.greedy import GreedyScheduler
+
+Node = Hashable
+
+
+@dataclass
+class LeaderElectionReport:
+    """Statistics for one election round."""
+
+    failed_leader: Node
+    new_leader: Node
+    surviving_nodes: int
+    node_steps: int
+    rounds: int
+    destination_oriented: bool
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"leader {self.failed_leader} -> {self.new_leader}: "
+            f"{self.node_steps} steps, {self.rounds} rounds, "
+            f"{'oriented' if self.destination_oriented else 'NOT oriented'}"
+        )
+
+
+class LeaderElectionService:
+    """Maintains a leader-oriented DAG across leader failures.
+
+    Parameters
+    ----------
+    instance:
+        The initial topology; its destination is the initial leader.
+    algorithm_factory:
+        Which link-reversal automaton re-orients the DAG (defaults to PR).
+    """
+
+    def __init__(self, instance: LinkReversalInstance, algorithm_factory=PartialReversal):
+        instance.validate(require_dag=True, require_connected=True)
+        self.algorithm_factory = algorithm_factory
+        self.alive_nodes: Tuple[Node, ...] = instance.nodes
+        self.leader: Node = instance.destination
+        self.instance = instance
+        self.history: List[LeaderElectionReport] = []
+        # establish initial leader orientation
+        self._orientation, steps, rounds = self._reorient(instance)
+
+    # ------------------------------------------------------------------
+    @property
+    def orientation(self) -> Orientation:
+        """The current leader-oriented orientation."""
+        return self._orientation
+
+    def current_leader(self) -> Node:
+        """The node all routes currently point to."""
+        return self.leader
+
+    def is_leader_oriented(self) -> bool:
+        """Whether every surviving node has a directed path to the leader."""
+        return self._orientation.is_destination_oriented()
+
+    # ------------------------------------------------------------------
+    def _reorient(self, instance: LinkReversalInstance, initial_orientation=None):
+        """Run the configured algorithm to quiescence; return (orientation, steps, rounds)."""
+        automaton = self.algorithm_factory(instance)
+        scheduler = GreedyScheduler()
+        node_steps = 0
+
+        def observer(step_index, pre_state, action, post_state) -> None:
+            nonlocal node_steps
+            node_steps += len(action.actors())
+
+        initial_state = None
+        if initial_orientation is not None:
+            initial_state = automaton.initial_state()
+            # start from the surviving directions rather than the instance default
+            initial_state = type(initial_state)(instance, initial_orientation)
+        result = run(
+            automaton,
+            scheduler,
+            observers=(observer,),
+            record_states=False,
+            initial_state=initial_state,
+        )
+        rounds = getattr(scheduler, "rounds", result.steps_taken)
+        return result.final_state.orientation, node_steps, rounds
+
+    # ------------------------------------------------------------------
+    def elect(self, candidates: Sequence[Node]) -> Node:
+        """Deterministic election rule: the largest identifier wins.
+
+        Every node can evaluate this locally once it learns which nodes are
+        alive, so no extra agreement protocol is needed in this synchronous
+        abstraction.
+        """
+        if not candidates:
+            raise ValueError("cannot elect a leader from an empty candidate set")
+        try:
+            return max(candidates)
+        except TypeError:
+            # mixed / unorderable identifier types: fall back to a total order on repr
+            return max(candidates, key=repr)
+
+    def fail_leader(self) -> LeaderElectionReport:
+        """Remove the current leader, elect a new one and re-orient the DAG."""
+        failed = self.leader
+        survivors = tuple(u for u in self.alive_nodes if u != failed)
+        if not survivors:
+            raise RuntimeError("no nodes left to elect a leader from")
+
+        new_leader = self.elect(survivors)
+
+        surviving_edges = [
+            (u, v)
+            for u, v in self._orientation.directed_edges()
+            if u != failed and v != failed
+        ]
+        new_instance = LinkReversalInstance(
+            nodes=survivors,
+            destination=new_leader,
+            initial_edges=tuple(surviving_edges),
+        )
+        if not new_instance.is_connected():
+            raise RuntimeError(
+                "removing the leader partitioned the graph; "
+                "leader election requires a 2-connected topology"
+            )
+
+        self.instance = new_instance
+        self.alive_nodes = survivors
+        self.leader = new_leader
+        self._orientation, steps, rounds = self._reorient(new_instance)
+
+        report = LeaderElectionReport(
+            failed_leader=failed,
+            new_leader=new_leader,
+            surviving_nodes=len(survivors),
+            node_steps=steps,
+            rounds=rounds,
+            destination_oriented=self._orientation.is_destination_oriented(),
+        )
+        self.history.append(report)
+        return report

@@ -1,0 +1,247 @@
+"""Token-based mutual exclusion on a token-oriented DAG.
+
+The mutual-exclusion application of link reversal (surveyed by Welch & Walter,
+and realised for MANETs by Walter, Welch and Vaidya) keeps the graph oriented
+towards the current *token holder*.  Nodes that want the critical section send
+a request along their outgoing links; the request reaches the holder because
+every node has a directed path to it; when the token is handed over, the new
+holder takes on a height lower than every other node and the remaining nodes
+perform ordinary link-reversal steps until the graph is oriented towards the
+new holder again.
+
+:class:`TokenMutex` implements this with the height representation (each node
+has a totally ordered height, an edge points from the higher to the lower
+endpoint).  The total order makes **acyclicity structural** — it can never be
+violated, matching the role Theorem 4.3 plays for the state-based algorithms —
+and the two properties the experiments check are:
+
+* **safety** — exactly one node holds the token at any time (maintained by
+  construction and asserted via :meth:`token_holder`);
+* **liveness** — every request is eventually granted: the graph is re-oriented
+  towards the holder after every transfer, so the next request always has a
+  forwarding path.
+
+The per-grant cost (request path length, reversal steps needed to re-orient)
+is what experiment E16 reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.graph import LinkReversalInstance, Orientation
+
+Node = Hashable
+
+#: A node height: totally ordered triple (a, b, rank).
+Height = Tuple[int, int, int]
+
+
+@dataclass
+class MutexReport:
+    """Statistics for one completed critical-section grant."""
+
+    requester: Node
+    previous_holder: Node
+    request_path_hops: int
+    reversal_steps: int
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"token {self.previous_holder} -> {self.requester}: "
+            f"{self.request_path_hops} hops, {self.reversal_steps} reversal steps"
+        )
+
+
+class TokenMutex:
+    """Mutual exclusion via a token-oriented, height-ordered DAG.
+
+    Parameters
+    ----------
+    instance:
+        The topology.  The instance's destination is the initial token holder.
+    """
+
+    def __init__(self, instance: LinkReversalInstance):
+        instance.validate(require_dag=True, require_connected=True)
+        self.instance = instance
+        self.holder: Node = instance.destination
+        self._rank = {u: i for i, u in enumerate(instance.nodes)}
+        self._heights: Dict[Node, Height] = self._initial_heights(instance.destination)
+        self._requests: Deque[Node] = deque()
+        self.grants: List[MutexReport] = []
+        self.total_reversal_steps = 0
+
+    # ------------------------------------------------------------------
+    # heights and the derived orientation
+    # ------------------------------------------------------------------
+    def _initial_heights(self, holder: Node) -> Dict[Node, Height]:
+        """Heights equal to the BFS hop distance from the holder (holder lowest)."""
+        distances: Dict[Node, int] = {holder: 0}
+        frontier = [holder]
+        while frontier:
+            next_frontier: List[Node] = []
+            for u in frontier:
+                for v in self.instance.nbrs(u):
+                    if v not in distances:
+                        distances[v] = distances[u] + 1
+                        next_frontier.append(v)
+            frontier = next_frontier
+        return {u: (distances[u], 0, self._rank[u]) for u in self.instance.nodes}
+
+    def height_of(self, node: Node) -> Height:
+        """The current height of a node."""
+        return self._heights[node]
+
+    def directed_edges(self) -> Tuple[Tuple[Node, Node], ...]:
+        """The orientation induced by the heights (higher endpoint -> lower endpoint)."""
+        edges = []
+        for u, v in self.instance.initial_edges:
+            if self._heights[u] > self._heights[v]:
+                edges.append((u, v))
+            else:
+                edges.append((v, u))
+        return tuple(edges)
+
+    def orientation(self) -> Orientation:
+        """The current orientation as an :class:`~repro.core.graph.Orientation`."""
+        return Orientation.from_directed_edges(self.instance, self.directed_edges())
+
+    def is_acyclic(self) -> bool:
+        """Always true: heights are totally ordered (the rank breaks all ties)."""
+        return len(set(self._heights.values())) == len(self._heights)
+
+    def is_token_oriented(self) -> bool:
+        """Whether every node currently has a directed path to the token holder."""
+        predecessors: Dict[Node, List[Node]] = {u: [] for u in self.instance.nodes}
+        for tail, head in self.directed_edges():
+            predecessors[head].append(tail)
+        reached = {self.holder}
+        frontier = [self.holder]
+        while frontier:
+            u = frontier.pop()
+            for v in predecessors[u]:
+                if v not in reached:
+                    reached.add(v)
+                    frontier.append(v)
+        return len(reached) == len(self.instance.nodes)
+
+    def token_holder(self) -> Node:
+        """The unique node currently holding the token."""
+        return self.holder
+
+    def pending_requests(self) -> Tuple[Node, ...]:
+        """Requests not yet granted, in FIFO order."""
+        return tuple(self._requests)
+
+    # ------------------------------------------------------------------
+    # the protocol
+    # ------------------------------------------------------------------
+    def request(self, node: Node) -> None:
+        """Enqueue a critical-section request for ``node``."""
+        if node not in self.instance.nodes:
+            raise ValueError(f"unknown node {node!r}")
+        self._requests.append(node)
+
+    def _request_path_length(self, source: Node) -> int:
+        """Directed hop count of the request's forwarding path to the holder."""
+        if source == self.holder:
+            return 0
+        successors: Dict[Node, List[Node]] = {u: [] for u in self.instance.nodes}
+        for tail, head in self.directed_edges():
+            successors[tail].append(head)
+        distances = {source: 0}
+        frontier = [source]
+        while frontier:
+            next_frontier: List[Node] = []
+            for u in frontier:
+                for v in successors[u]:
+                    if v not in distances:
+                        distances[v] = distances[u] + 1
+                        if v == self.holder:
+                            return distances[v]
+                        next_frontier.append(v)
+            frontier = next_frontier
+        raise RuntimeError(
+            f"no forwarding path from {source!r} to holder {self.holder!r}: "
+            "token-orientation invariant violated"
+        )
+
+    def _min_height(self) -> Height:
+        return min(self._heights.values())
+
+    def _sinks_other_than_holder(self) -> List[Node]:
+        """Non-holder nodes whose incident edges all point at them."""
+        result = []
+        for u in self.instance.nodes:
+            if u == self.holder or not self.instance.nbrs(u):
+                continue
+            if all(self._heights[v] > self._heights[u] for v in self.instance.nbrs(u)):
+                result.append(u)
+        return result
+
+    def _partial_reversal_lift(self, u: Node) -> None:
+        """The Gafni–Bertsekas partial-reversal height update for a sink ``u``."""
+        nbr_heights = [self._heights[v] for v in self.instance.nbrs(u)]
+        min_a = min(h[0] for h in nbr_heights)
+        new_a = min_a + 1
+        same_level = [h[1] for h in nbr_heights if h[0] == new_a]
+        old = self._heights[u]
+        new_b = (min(same_level) - 1) if same_level else old[1]
+        self._heights[u] = (new_a, new_b, self._rank[u])
+
+    def grant_next(self) -> Optional[MutexReport]:
+        """Grant the oldest pending request; returns ``None`` if none are pending."""
+        if not self._requests:
+            return None
+        requester = self._requests.popleft()
+        previous_holder = self.holder
+        hops = self._request_path_length(requester)
+        if requester == previous_holder:
+            report = MutexReport(requester, previous_holder, request_path_hops=0, reversal_steps=0)
+            self.grants.append(report)
+            return report
+
+        # hand the token over: the new holder drops below every other height,
+        # which reverses all of its incident edges towards it in one move.
+        min_a, min_b, _ = self._min_height()
+        self.holder = requester
+        self._heights[requester] = (min_a - 1, min_b, self._rank[requester])
+
+        # remaining nodes perform ordinary (partial) link reversal until the
+        # graph is oriented towards the new holder: repeatedly lift non-holder sinks.
+        reversal_steps = 0
+        guard = 0
+        max_lifts = 4 * len(self.instance.nodes) ** 2 * (self.instance.edge_count + 1)
+        while True:
+            sinks = self._sinks_other_than_holder()
+            if not sinks:
+                break
+            for u in sinks:
+                self._partial_reversal_lift(u)
+                reversal_steps += 1
+            guard += len(sinks)
+            if guard > max_lifts:  # pragma: no cover - defensive
+                raise RuntimeError("re-orientation did not converge; this indicates a bug")
+
+        self.total_reversal_steps += reversal_steps
+        report = MutexReport(
+            requester=requester,
+            previous_holder=previous_holder,
+            request_path_hops=hops,
+            reversal_steps=reversal_steps,
+        )
+        self.grants.append(report)
+        return report
+
+    def grant_all(self) -> List[MutexReport]:
+        """Grant every pending request in FIFO order."""
+        reports = []
+        while self._requests:
+            report = self.grant_next()
+            if report is None:  # pragma: no cover - defensive
+                break
+            reports.append(report)
+        return reports

@@ -1,0 +1,28 @@
+"""A small I/O-automaton framework (after Lynch, *Distributed Algorithms*).
+
+The paper expresses every algorithm as a single I/O automaton with one family
+of actions (``reverse``).  This subpackage provides the minimal machinery
+needed to express those automata faithfully and to reason about their
+executions:
+
+* :class:`~repro.automata.ioa.IOAutomaton` — states, actions, preconditions
+  and effects;
+* :class:`~repro.automata.executions.Execution` — alternating sequences of
+  states and actions, with helpers for replay and validation;
+* :func:`~repro.automata.executions.run` — drive an automaton with a
+  scheduler until quiescence (or a step bound).
+"""
+
+from repro.automata.ioa import Action, IOAutomaton, TransitionError
+from repro.automata.executions import Execution, ExecutionResult, Step, run, replay
+
+__all__ = [
+    "Action",
+    "Execution",
+    "ExecutionResult",
+    "IOAutomaton",
+    "Step",
+    "TransitionError",
+    "replay",
+    "run",
+]

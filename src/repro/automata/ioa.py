@@ -1,0 +1,129 @@
+"""I/O automaton abstraction (states, actions, preconditions, effects).
+
+The paper models each algorithm as *one* I/O automaton for the whole system
+(Section 3.1): the state holds the ``dir`` variables for every edge plus the
+per-node bookkeeping (``list`` for PR/OneStepPR, ``count`` for NewPR), and
+there is a single family of internal actions (``reverse``).  An action is
+*enabled* in a state when its precondition holds; performing it applies the
+effect, producing a new state.
+
+This module defines the abstract interface those automata implement.  The
+interface is deliberately pure-functional: :meth:`IOAutomaton.apply` returns a
+*new* state and never mutates its argument, so that executions can be
+replayed, states can be hashed and deduplicated by the model checker, and
+simulation relations can be checked between automata without aliasing bugs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Generic, Hashable, Iterable, Iterator, Optional, Tuple, TypeVar
+
+StateT = TypeVar("StateT")
+
+
+class TransitionError(RuntimeError):
+    """Raised when an action is applied in a state where it is not enabled."""
+
+
+class Action(abc.ABC):
+    """Base class for automaton actions.
+
+    Concrete actions are small frozen dataclasses (e.g. ``ReverseSet`` or
+    ``Reverse``) and must be hashable so that executions and model-checker
+    frontiers can store them in sets and dictionaries.
+    """
+
+    __slots__ = ()
+
+    @abc.abstractmethod
+    def actors(self) -> Tuple[Hashable, ...]:
+        """The nodes that take a step in this action.
+
+        For ``reverse(S)`` this is the set ``S``; for ``reverse(u)`` it is
+        ``(u,)``.  Used by work counting and by fairness checks.
+        """
+
+
+class IOAutomaton(abc.ABC, Generic[StateT]):
+    """Abstract I/O automaton over a state type ``StateT``.
+
+    Subclasses provide the initial state, the enabled-action relation and the
+    transition function.  ``StateT`` must expose a ``signature()`` method
+    returning a hashable canonical form (used for reachability analysis) and a
+    ``copy()`` method; all states in this library follow that protocol.
+    """
+
+    #: Human-readable name of the algorithm (used in reports and benchmarks).
+    name: str = "automaton"
+
+    # ------------------------------------------------------------------
+    # core interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def initial_state(self) -> StateT:
+        """Return the unique initial state of the automaton."""
+
+    @abc.abstractmethod
+    def enabled_actions(self, state: StateT) -> Iterator[Action]:
+        """Yield every action whose precondition holds in ``state``.
+
+        For automata with a set-valued action (PR's ``reverse(S)``), the
+        iterator may be exponential in the number of simultaneously enabled
+        nodes; callers that only need single-node actions should use
+        :meth:`enabled_single_actions` which subclasses may override with a
+        cheaper enumeration.
+        """
+
+    @abc.abstractmethod
+    def is_enabled(self, state: StateT, action: Action) -> bool:
+        """Whether ``action``'s precondition holds in ``state``."""
+
+    @abc.abstractmethod
+    def apply(self, state: StateT, action: Action) -> StateT:
+        """Apply ``action`` to ``state`` and return the successor state.
+
+        Raises :class:`TransitionError` if the action is not enabled.  The
+        input state is never mutated.
+        """
+
+    # ------------------------------------------------------------------
+    # conveniences shared by all link-reversal automata
+    # ------------------------------------------------------------------
+    def enabled_single_actions(self, state: StateT) -> Iterator[Action]:
+        """Yield only the actions in which a single node takes a step.
+
+        The default implementation filters :meth:`enabled_actions`; automata
+        with set-valued actions override this to avoid enumerating subsets.
+        """
+        for action in self.enabled_actions(state):
+            if len(action.actors()) == 1:
+                yield action
+
+    def has_enabled_action(self, state: StateT) -> bool:
+        """Whether any action is enabled in ``state`` (i.e. it is not quiescent)."""
+        return next(iter(self.enabled_actions(state)), None) is not None
+
+    def is_quiescent(self, state: StateT) -> bool:
+        """Whether no action is enabled in ``state``.
+
+        For the link-reversal automata quiescence means no non-destination
+        node is a sink, which (for connected graphs with a DAG orientation)
+        coincides with the graph being destination oriented.
+        """
+        return not self.has_enabled_action(state)
+
+    def step(self, state: StateT, action: Action) -> StateT:
+        """Alias for :meth:`apply` (reads better in example scripts)."""
+        return self.apply(state, action)
+
+    def run_to_quiescence(
+        self, scheduler, max_steps: Optional[int] = None
+    ):
+        """Convenience wrapper around :func:`repro.automata.executions.run`."""
+        from repro.automata.executions import run
+
+        return run(self, scheduler, max_steps=max_steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return f"<{type(self).__name__} name={self.name!r}>"

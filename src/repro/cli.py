@@ -1,0 +1,311 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The CLI exposes the workflows a user typically wants without writing code:
+
+``run``
+    Run one link-reversal algorithm on a generated topology and print the
+    work summary (optionally the final orientation as DOT).
+``compare``
+    Run PR, OneStepPR, NewPR and FR on the same topology and print a
+    comparison table.
+``verify``
+    Exhaustively model-check the paper's invariants and the acyclicity
+    theorems over every connected DAG with up to N nodes.
+``worst-case``
+    Print the Θ(n_b²) worst-case sweep for FR and PR with a quadratic fit.
+``game``
+    Enumerate the restricted FR/PR strategy game on a small topology.
+``simulate``
+    Run the asynchronous message-passing protocol, optionally injecting
+    random link failures, and print the network report.
+
+Every command accepts ``--seed`` so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.analysis.game_theory import (
+    analyse_game,
+    full_reversal_profile,
+    partial_reversal_profile,
+)
+from repro.analysis.statistics import quadratic_fit_r2
+from repro.analysis.work import compare_algorithms, count_reversals, worst_case_sweep
+from repro.core.full_reversal import FullReversal
+from repro.core.graph import LinkReversalInstance
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal
+from repro.distributed.network import AsyncLinkReversalNetwork
+from repro.distributed.protocol import ReversalMode
+from repro.exploration.enumerate_graphs import all_connected_dag_instances
+from repro.exploration.state_space import explore_and_check
+from repro.io.dot import orientation_to_dot
+from repro.routing.maintenance import RouteMaintenanceSimulation
+from repro.schedulers.adversarial import AdversarialScheduler, LazyScheduler
+from repro.schedulers.base import RoundRobinScheduler
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.schedulers.sequential import SequentialScheduler
+from repro.topology.generators import (
+    chain_instance,
+    grid_instance,
+    layered_instance,
+    random_dag_instance,
+    star_instance,
+    tree_instance,
+    worst_case_chain_instance,
+)
+from repro.topology.manet import random_geometric_instance
+from repro.verification.acyclicity import is_acyclic
+from repro.verification.invariants import newpr_invariant_checks, pr_invariant_checks
+
+
+ALGORITHMS: Dict[str, Callable[[LinkReversalInstance], object]] = {
+    "pr": PartialReversal,
+    "onestep-pr": OneStepPartialReversal,
+    "new-pr": NewPartialReversal,
+    "fr": FullReversal,
+}
+
+SCHEDULERS: Dict[str, Callable[[int], object]] = {
+    "greedy": lambda seed: GreedyScheduler(seed=seed),
+    "sequential": lambda seed: SequentialScheduler(seed=seed),
+    "random": lambda seed: RandomScheduler(seed=seed),
+    "adversarial": lambda seed: AdversarialScheduler(seed=seed),
+    "lazy": lambda seed: LazyScheduler(seed=seed),
+    "round-robin": lambda seed: RoundRobinScheduler(),
+}
+
+
+def build_topology(name: str, size: int, seed: int) -> LinkReversalInstance:
+    """Build one of the named topology families at the requested size."""
+    if name == "chain":
+        return worst_case_chain_instance(max(1, size - 1))
+    if name == "oriented-chain":
+        return chain_instance(size, towards_destination=True)
+    if name == "star":
+        return star_instance(max(1, size - 1), destination_is_center=True)
+    if name == "tree":
+        return tree_instance(size, seed=seed)
+    if name == "grid":
+        side = max(2, int(round(size ** 0.5)))
+        return grid_instance(side, side, oriented_towards_destination=False)
+    if name == "layered":
+        width = max(1, size // 4)
+        return layered_instance(4, width, seed=seed)
+    if name == "random-dag":
+        return random_dag_instance(size, edge_probability=min(0.5, 6.0 / size), seed=seed)
+    if name == "geometric":
+        instance, _ = random_geometric_instance(size, radius=0.4, seed=seed)
+        return instance
+    raise ValueError(f"unknown topology {name!r}")
+
+
+TOPOLOGIES = (
+    "chain",
+    "oriented-chain",
+    "star",
+    "tree",
+    "grid",
+    "layered",
+    "random-dag",
+    "geometric",
+)
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_run(args: argparse.Namespace) -> int:
+    instance = build_topology(args.topology, args.nodes, args.seed)
+    automaton = ALGORITHMS[args.algorithm](instance)
+    scheduler = SCHEDULERS[args.scheduler](args.seed)
+    summary = count_reversals(automaton, scheduler, max_steps=args.max_steps)
+    print(f"topology      : {args.topology} ({instance.node_count} nodes, "
+          f"{instance.edge_count} edges, {len(instance.bad_nodes())} bad)")
+    print(f"algorithm     : {summary.algorithm}")
+    print(f"scheduler     : {summary.scheduler}")
+    print(f"node steps    : {summary.node_steps}")
+    print(f"edge reversals: {summary.edge_reversals}")
+    print(f"dummy steps   : {summary.dummy_steps}")
+    print(f"converged     : {summary.converged}")
+    print(f"dest oriented : {summary.destination_oriented}")
+    if args.dot:
+        from repro.automata.executions import run as run_execution
+
+        result = run_execution(
+            ALGORITHMS[args.algorithm](instance), SCHEDULERS[args.scheduler](args.seed)
+        )
+        orientation = getattr(result.final_state, "orientation", None)
+        if orientation is None:
+            orientation = result.final_state.to_orientation()
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(orientation_to_dot(orientation))
+        print(f"final orientation written to {args.dot}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    instance = build_topology(args.topology, args.nodes, args.seed)
+    results = compare_algorithms(instance, lambda: SCHEDULERS[args.scheduler](args.seed))
+    print(f"{'algorithm':<12} {'steps':>8} {'reversals':>10} {'dummy':>6} {'oriented':>9}")
+    for name, summary in results.items():
+        print(f"{name:<12} {summary.node_steps:>8} {summary.edge_reversals:>10} "
+              f"{summary.dummy_steps:>6} {str(summary.destination_oriented):>9}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    total_failures = 0
+    graphs = 0
+    states = 0
+    for size in range(2, args.max_nodes + 1):
+        for instance in all_connected_dag_instances(size):
+            graphs += 1
+            for automaton_class, predicates in (
+                (PartialReversal, pr_invariant_checks()),
+                (NewPartialReversal, newpr_invariant_checks()),
+                (FullReversal, {"acyclic": is_acyclic}),
+            ):
+                report = explore_and_check(automaton_class(instance), dict(predicates))
+                states += report.states_explored
+                total_failures += len(report.failures)
+    print(f"checked {graphs} graphs, {states} automaton states")
+    print(f"violations: {total_failures}")
+    if total_failures == 0:
+        print("all invariants and acyclicity claims hold on every reachable state")
+    return 0 if total_failures == 0 else 1
+
+
+def cmd_worst_case(args: argparse.Namespace) -> int:
+    sizes = range(1, args.max_bad + 1)
+    fr_series = worst_case_sweep(sizes, FullReversal, GreedyScheduler)
+    pr_series = worst_case_sweep(sizes, OneStepPartialReversal, GreedyScheduler)
+    print(f"{'n_bad':>6} {'FR steps':>10} {'PR steps':>10}")
+    for (n_bad, fr_steps), (_, pr_steps) in zip(fr_series, pr_series):
+        print(f"{n_bad:>6} {fr_steps:>10} {pr_steps:>10}")
+    if len(fr_series) >= 4:
+        xs = [float(n) for n, _ in fr_series]
+        ys = [float(s) for _, s in fr_series]
+        coefficients, r2 = quadratic_fit_r2(xs, ys)
+        print(f"FR quadratic fit: {coefficients[0]:.3f}x² + {coefficients[1]:.3f}x "
+              f"+ {coefficients[2]:.3f}  (R²={r2:.5f})")
+    return 0
+
+
+def cmd_game(args: argparse.Namespace) -> int:
+    instance = build_topology(args.topology, args.nodes, args.seed)
+    players = len(instance.non_destination_nodes)
+    if players > args.max_players:
+        print(f"error: topology has {players} players; the game enumerates 2^players "
+              f"profiles, refusing above --max-players={args.max_players}", file=sys.stderr)
+        return 2
+    analysis = analyse_game(instance)
+    fr_profile = full_reversal_profile(instance)
+    pr_profile = partial_reversal_profile(instance)
+    print(f"players              : {players}")
+    print(f"profiles             : {2 ** players}")
+    print(f"all-FR social cost   : {analysis.cost_of(fr_profile)} "
+          f"(equilibrium: {fr_profile in analysis.equilibria})")
+    print(f"all-PR social cost   : {analysis.cost_of(pr_profile)} "
+          f"(equilibrium: {pr_profile in analysis.equilibria})")
+    print(f"global optimum       : {analysis.optimum_cost}")
+    print(f"equilibria           : {len(analysis.equilibria)} "
+          f"with costs {list(analysis.equilibrium_costs())}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    instance = build_topology(args.topology, args.nodes, args.seed)
+    mode = ReversalMode.PARTIAL if args.mode == "partial" else ReversalMode.FULL
+    if args.failures > 0:
+        simulation = RouteMaintenanceSimulation(
+            instance, mode=mode, loss_probability=args.loss, seed=args.seed
+        )
+        results = simulation.fail_random_links(args.failures)
+        for result in results:
+            print(f"  {result}")
+        summary = simulation.summary()
+        print("summary:")
+        for key, value in summary.items():
+            print(f"  {key}: {value:.2f}" if isinstance(value, float) else f"  {key}: {value}")
+        return 0
+    network = AsyncLinkReversalNetwork(
+        instance, mode=mode, loss_probability=args.loss, seed=args.seed
+    )
+    report = network.run_to_quiescence()
+    print(report)
+    return 0 if report.destination_oriented else 1
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Link reversal algorithms (Partial Reversal Acyclicity reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one algorithm on a topology")
+    run_parser.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="pr")
+    run_parser.add_argument("--topology", choices=TOPOLOGIES, default="chain")
+    run_parser.add_argument("--nodes", type=int, default=20)
+    run_parser.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="greedy")
+    run_parser.add_argument("--max-steps", type=int, default=None)
+    run_parser.add_argument("--dot", help="write the final orientation to this DOT file")
+    run_parser.set_defaults(handler=cmd_run)
+
+    compare_parser = subparsers.add_parser("compare", help="compare all algorithms")
+    compare_parser.add_argument("--topology", choices=TOPOLOGIES, default="chain")
+    compare_parser.add_argument("--nodes", type=int, default=20)
+    compare_parser.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="greedy")
+    compare_parser.set_defaults(handler=cmd_compare)
+
+    verify_parser = subparsers.add_parser(
+        "verify", help="exhaustively model-check the paper's invariants"
+    )
+    verify_parser.add_argument("--max-nodes", type=int, default=4)
+    verify_parser.set_defaults(handler=cmd_verify)
+
+    worst_parser = subparsers.add_parser("worst-case", help="Θ(n_b²) worst-case sweep")
+    worst_parser.add_argument("--max-bad", type=int, default=12)
+    worst_parser.set_defaults(handler=cmd_worst_case)
+
+    game_parser = subparsers.add_parser("game", help="FR/PR strategy game analysis")
+    game_parser.add_argument("--topology", choices=TOPOLOGIES, default="chain")
+    game_parser.add_argument("--nodes", type=int, default=5)
+    game_parser.add_argument("--max-players", type=int, default=12)
+    game_parser.set_defaults(handler=cmd_game)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="asynchronous message-passing simulation"
+    )
+    simulate_parser.add_argument("--topology", choices=TOPOLOGIES, default="grid")
+    simulate_parser.add_argument("--nodes", type=int, default=16)
+    simulate_parser.add_argument("--mode", choices=("partial", "full"), default="partial")
+    simulate_parser.add_argument("--loss", type=float, default=0.0)
+    simulate_parser.add_argument(
+        "--failures", type=int, default=0, help="inject this many random link failures"
+    )
+    simulate_parser.set_defaults(handler=cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Core link-reversal algorithms and the graph substrate they operate on.
+
+Modules
+-------
+
+``graph``
+    The system model of Section 2 of the paper: an undirected graph with a
+    single destination, a fixed initial orientation (``G'_init``), and the
+    mutable :class:`~repro.core.graph.Orientation` that the algorithms evolve.
+``embedding``
+    The left-to-right planar embedding used by the acyclicity proof
+    (Invariants 4.1 / 4.2).
+``base``
+    Shared machinery for link-reversal automata.
+``pr`` / ``one_step_pr`` / ``new_pr`` / ``full_reversal``
+    Algorithms 1-3 of the paper plus the Full Reversal baseline.
+``bll`` / ``heights``
+    The earlier proof routes the paper discusses: Binary Link Labels
+    (Welch & Walter) and Gafni-Bertsekas height labelings.
+"""
+
+from repro.core.graph import EdgeDirection, LinkReversalInstance, Orientation
+from repro.core.embedding import PlanarEmbedding
+
+__all__ = [
+    "EdgeDirection",
+    "LinkReversalInstance",
+    "Orientation",
+    "PlanarEmbedding",
+]

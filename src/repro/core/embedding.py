@@ -1,0 +1,154 @@
+"""Left-to-right planar embedding of the initial DAG (Section 4.2).
+
+The acyclicity proof of the paper starts from the observation that, because
+the input graph ``G'_init`` is a DAG, it can be "embedded in a plane, ensuring
+all edges are initially directed from left to right".  Under this embedding,
+for every node ``u``, all of ``u``'s initial in-neighbours lie to its *left*
+and all of its initial out-neighbours lie to its *right*.
+
+We realise this embedding as a strict total order on the nodes that is
+consistent with the initial orientation — i.e. a topological order of
+``G'_init`` extended to a total order.  Invariants 4.1 and 4.2 then speak of
+edges being directed "from left to right" (from the smaller position to the
+larger) or "from right to left".
+
+The embedding is a *proof device*: the algorithms never consult it, only the
+verification layer does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping, Sequence, Tuple
+
+from repro.core.graph import GraphValidationError, LinkReversalInstance, Orientation
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class PlanarEmbedding:
+    """A left-to-right embedding of the nodes of a link-reversal instance.
+
+    ``position[u] < position[v]`` means ``u`` is drawn to the left of ``v``.
+    The embedding is valid for an instance when every initial edge goes from
+    a smaller position to a larger one.
+    """
+
+    instance: LinkReversalInstance
+    positions: Mapping[Node, int] = field(compare=False)
+
+    def __post_init__(self) -> None:
+        missing = set(self.instance.nodes) - set(self.positions)
+        if missing:
+            raise GraphValidationError(f"embedding missing positions for nodes {sorted(map(str, missing))}")
+        values = sorted(self.positions[u] for u in self.instance.nodes)
+        if values != list(range(len(values))):
+            raise GraphValidationError("embedding positions must be a permutation of 0..n-1")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_topological_order(cls, instance: LinkReversalInstance) -> "PlanarEmbedding":
+        """Build the canonical embedding from a topological order of ``G'_init``.
+
+        Raises :class:`GraphValidationError` if the initial orientation is not
+        acyclic (the paper's system model requires a DAG).
+        """
+        order = topological_order(instance)
+        return cls(instance, {u: i for i, u in enumerate(order)})
+
+    @classmethod
+    def from_order(cls, instance: LinkReversalInstance, order: Sequence[Node]) -> "PlanarEmbedding":
+        """Build an embedding from an explicit left-to-right node order."""
+        return cls(instance, {u: i for i, u in enumerate(order)})
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def position(self, u: Node) -> int:
+        """The left-to-right position of ``u`` (0 is leftmost)."""
+        return self.positions[u]
+
+    def is_left_of(self, u: Node, v: Node) -> bool:
+        """Whether ``u`` is drawn strictly to the left of ``v``."""
+        return self.positions[u] < self.positions[v]
+
+    def is_right_of(self, u: Node, v: Node) -> bool:
+        """Whether ``u`` is drawn strictly to the right of ``v``."""
+        return self.positions[u] > self.positions[v]
+
+    def left_to_right_order(self) -> Tuple[Node, ...]:
+        """All nodes sorted from leftmost to rightmost."""
+        return tuple(sorted(self.instance.nodes, key=self.positions.__getitem__))
+
+    def rightmost(self, nodes: Sequence[Node]) -> Node:
+        """The rightmost node among ``nodes`` (used in the proof of Theorem 4.3)."""
+        if not nodes:
+            raise ValueError("rightmost() of an empty node sequence")
+        return max(nodes, key=self.positions.__getitem__)
+
+    def leftmost(self, nodes: Sequence[Node]) -> Node:
+        """The leftmost node among ``nodes``."""
+        if not nodes:
+            raise ValueError("leftmost() of an empty node sequence")
+        return min(nodes, key=self.positions.__getitem__)
+
+    def edge_goes_left_to_right(self, orientation: Orientation, u: Node, v: Node) -> bool:
+        """Whether the edge ``{u, v}`` is currently directed from left to right."""
+        tail = orientation.tail(u, v)
+        head = orientation.head(u, v)
+        return self.is_left_of(tail, head)
+
+    def is_consistent_with_initial_orientation(self) -> bool:
+        """Whether every initial edge points from a smaller to a larger position.
+
+        This is the defining property of the embedding used in Section 4.2.
+        """
+        return all(
+            self.positions[u] < self.positions[v] for u, v in self.instance.initial_edges
+        )
+
+    def validate(self) -> None:
+        """Raise if the embedding is not consistent with the initial orientation."""
+        if not self.is_consistent_with_initial_orientation():
+            offending = [
+                (u, v)
+                for u, v in self.instance.initial_edges
+                if self.positions[u] >= self.positions[v]
+            ]
+            raise GraphValidationError(
+                f"embedding is inconsistent with initial edges {offending!r}"
+            )
+
+
+def topological_order(instance: LinkReversalInstance) -> Tuple[Node, ...]:
+    """A deterministic topological order of ``G'_init``.
+
+    Ties are broken by the instance's node declaration order so the embedding
+    is reproducible run to run.  Raises :class:`GraphValidationError` if the
+    initial orientation contains a cycle.
+    """
+    rank = {u: i for i, u in enumerate(instance.nodes)}
+    indegree: Dict[Node, int] = {u: 0 for u in instance.nodes}
+    successors: Dict[Node, list] = {u: [] for u in instance.nodes}
+    for u, v in instance.initial_edges:
+        indegree[v] += 1
+        successors[u].append(v)
+
+    available = sorted((u for u in instance.nodes if indegree[u] == 0), key=rank.__getitem__)
+    order: list = []
+    while available:
+        u = available.pop(0)
+        order.append(u)
+        newly = []
+        for v in successors[u]:
+            indegree[v] -= 1
+            if indegree[v] == 0:
+                newly.append(v)
+        if newly:
+            available = sorted(available + newly, key=rank.__getitem__)
+    if len(order) != len(instance.nodes):
+        raise GraphValidationError("initial orientation is not a DAG; no topological order exists")
+    return tuple(order)

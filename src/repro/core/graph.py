@@ -1,0 +1,590 @@
+"""System model of the paper (Section 2).
+
+The paper models the system as an undirected graph ``G = (V, E)`` with a
+single predetermined destination node ``D``.  A *directed version* ``G'`` of
+``G`` assigns exactly one direction to every undirected edge.  A fixed
+*initial* directed version ``G'_init`` determines, for every node ``u``, the
+constant neighbour sets
+
+* ``nbrs(u)``      — all neighbours of ``u`` in ``G``,
+* ``in_nbrs(u)``   — neighbours ``v`` with an edge ``v -> u`` in ``G'_init``,
+* ``out_nbrs(u)``  — neighbours ``v`` with an edge ``u -> v`` in ``G'_init``.
+
+These sets never change during an execution; only the current orientation of
+the edges changes.  This module provides:
+
+:class:`LinkReversalInstance`
+    The immutable problem instance: nodes, undirected edges, destination and
+    the initial orientation.
+:class:`Orientation`
+    A (cheaply copyable) assignment of a direction to every edge — the
+    ``dir[u, v]`` state variables of the paper's automata.
+:class:`EdgeDirection`
+    The two values ``IN`` / ``OUT`` of a ``dir`` variable.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+Node = Hashable
+UndirectedEdge = FrozenSet[Node]
+DirectedEdge = Tuple[Node, Node]
+
+
+class EdgeDirection(enum.Enum):
+    """Value of a ``dir[u, v]`` state variable, from ``u``'s perspective.
+
+    ``dir[u, v] = IN`` means the edge between ``u`` and ``v`` currently points
+    *towards* ``u`` (i.e. the directed edge is ``v -> u``); ``OUT`` means it
+    points away from ``u`` (``u -> v``).  Invariant 3.1 of the paper states
+    that ``dir[u, v] = IN`` iff ``dir[v, u] = OUT`` — the :class:`Orientation`
+    representation below enforces this by construction.
+    """
+
+    IN = "in"
+    OUT = "out"
+
+    def flipped(self) -> "EdgeDirection":
+        """Return the opposite direction."""
+        return EdgeDirection.OUT if self is EdgeDirection.IN else EdgeDirection.IN
+
+
+class GraphValidationError(ValueError):
+    """Raised when a problem instance violates the paper's system model."""
+
+
+def undirected(u: Node, v: Node) -> UndirectedEdge:
+    """Return the canonical (unordered) representation of the edge ``{u, v}``."""
+    return frozenset((u, v))
+
+
+@dataclass(frozen=True)
+class LinkReversalInstance:
+    """An immutable link-reversal problem instance.
+
+    Parameters
+    ----------
+    nodes:
+        All nodes ``V`` of the graph (order is preserved and used as a
+        deterministic iteration order throughout the library).
+    destination:
+        The destination node ``D``; it never takes a step in any algorithm.
+    initial_edges:
+        The edges of ``G'_init`` as directed pairs ``(u, v)`` meaning
+        ``u -> v`` initially.  Each undirected edge must appear exactly once.
+
+    The instance exposes the constant neighbour sets ``nbrs``, ``in_nbrs`` and
+    ``out_nbrs`` of the paper, plus convenience accessors used by the
+    algorithms, the verification layer and the topology generators.
+    """
+
+    nodes: Tuple[Node, ...]
+    destination: Node
+    initial_edges: Tuple[DirectedEdge, ...]
+    _nbrs: Mapping[Node, FrozenSet[Node]] = field(init=False, repr=False, compare=False)
+    _in_nbrs: Mapping[Node, FrozenSet[Node]] = field(init=False, repr=False, compare=False)
+    _out_nbrs: Mapping[Node, FrozenSet[Node]] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        node_set = set(self.nodes)
+        if len(node_set) != len(self.nodes):
+            raise GraphValidationError("duplicate nodes in instance")
+        if self.destination not in node_set:
+            raise GraphValidationError(f"destination {self.destination!r} is not a node")
+
+        seen_undirected: set[UndirectedEdge] = set()
+        nbrs: Dict[Node, set] = {u: set() for u in self.nodes}
+        in_nbrs: Dict[Node, set] = {u: set() for u in self.nodes}
+        out_nbrs: Dict[Node, set] = {u: set() for u in self.nodes}
+        for u, v in self.initial_edges:
+            if u not in node_set or v not in node_set:
+                raise GraphValidationError(f"edge ({u!r}, {v!r}) references unknown node")
+            if u == v:
+                raise GraphValidationError(f"self loop on node {u!r} is not allowed")
+            edge = undirected(u, v)
+            if edge in seen_undirected:
+                raise GraphValidationError(
+                    f"edge between {u!r} and {v!r} specified more than once"
+                )
+            seen_undirected.add(edge)
+            nbrs[u].add(v)
+            nbrs[v].add(u)
+            out_nbrs[u].add(v)
+            in_nbrs[v].add(u)
+
+        object.__setattr__(self, "_nbrs", {u: frozenset(s) for u, s in nbrs.items()})
+        object.__setattr__(self, "_in_nbrs", {u: frozenset(s) for u, s in in_nbrs.items()})
+        object.__setattr__(self, "_out_nbrs", {u: frozenset(s) for u, s in out_nbrs.items()})
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_directed_edges(
+        cls,
+        nodes: Sequence[Node],
+        destination: Node,
+        edges: Iterable[DirectedEdge],
+    ) -> "LinkReversalInstance":
+        """Build an instance from an explicit list of initially directed edges."""
+        return cls(tuple(nodes), destination, tuple((u, v) for u, v in edges))
+
+    @classmethod
+    def from_networkx(cls, graph, destination: Node) -> "LinkReversalInstance":
+        """Build an instance from a ``networkx.DiGraph`` (the initial orientation).
+
+        The node iteration order of the DiGraph is preserved.
+        """
+        nodes = tuple(graph.nodes())
+        edges = tuple(graph.edges())
+        return cls(nodes, destination, edges)
+
+    def to_networkx(self):
+        """Return the initial orientation ``G'_init`` as a ``networkx.DiGraph``."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.nodes)
+        graph.add_edges_from(self.initial_edges)
+        return graph
+
+    # ------------------------------------------------------------------
+    # basic structure
+    # ------------------------------------------------------------------
+    @property
+    def non_destination_nodes(self) -> Tuple[Node, ...]:
+        """All nodes except the destination (the nodes that may take steps)."""
+        return tuple(u for u in self.nodes if u != self.destination)
+
+    @property
+    def undirected_edges(self) -> FrozenSet[UndirectedEdge]:
+        """The edge set ``E`` of the undirected graph ``G``."""
+        return frozenset(undirected(u, v) for u, v in self.initial_edges)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return len(self.initial_edges)
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes ``|V|``."""
+        return len(self.nodes)
+
+    def nbrs(self, u: Node) -> FrozenSet[Node]:
+        """Neighbours of ``u`` in the undirected graph ``G`` (constant)."""
+        return self._nbrs[u]
+
+    def in_nbrs(self, u: Node) -> FrozenSet[Node]:
+        """Nodes with edges directed *towards* ``u`` in ``G'_init`` (constant)."""
+        return self._in_nbrs[u]
+
+    def out_nbrs(self, u: Node) -> FrozenSet[Node]:
+        """Nodes with edges directed *away from* ``u`` in ``G'_init`` (constant)."""
+        return self._out_nbrs[u]
+
+    def degree(self, u: Node) -> int:
+        """Degree of ``u`` in the undirected graph."""
+        return len(self._nbrs[u])
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether ``{u, v}`` is an edge of ``G``."""
+        return v in self._nbrs.get(u, frozenset())
+
+    def iter_edges(self) -> Iterator[DirectedEdge]:
+        """Iterate over the initial directed edges in declaration order."""
+        return iter(self.initial_edges)
+
+    # ------------------------------------------------------------------
+    # initial-orientation structure
+    # ------------------------------------------------------------------
+    def initial_orientation(self) -> "Orientation":
+        """Return the mutable orientation corresponding to ``G'_init``."""
+        return Orientation.from_directed_edges(self, self.initial_edges)
+
+    def initial_sinks(self) -> Tuple[Node, ...]:
+        """Nodes that are sinks in ``G'_init`` (every incident edge incoming)."""
+        return tuple(
+            u
+            for u in self.nodes
+            if self._nbrs[u] and not self._out_nbrs[u]
+        )
+
+    def initial_sources(self) -> Tuple[Node, ...]:
+        """Nodes that are sources in ``G'_init`` (every incident edge outgoing)."""
+        return tuple(
+            u
+            for u in self.nodes
+            if self._nbrs[u] and not self._in_nbrs[u]
+        )
+
+    def is_initially_acyclic(self) -> bool:
+        """Whether ``G'_init`` is a DAG (a requirement of the system model)."""
+        return _is_acyclic_edge_list(self.nodes, self.initial_edges)
+
+    def is_connected(self) -> bool:
+        """Whether the undirected graph ``G`` is connected."""
+        if not self.nodes:
+            return True
+        seen = {self.nodes[0]}
+        frontier = [self.nodes[0]]
+        while frontier:
+            u = frontier.pop()
+            for v in self._nbrs[u]:
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        return len(seen) == len(self.nodes)
+
+    def validate(self, require_dag: bool = True, require_connected: bool = False) -> None:
+        """Raise :class:`GraphValidationError` if the instance violates the model.
+
+        Parameters
+        ----------
+        require_dag:
+            The paper assumes the initial graph is a DAG.  Set to ``False``
+            only for experiments that deliberately start from a non-DAG.
+        require_connected:
+            Routing experiments typically need a connected graph.
+        """
+        if require_dag and not self.is_initially_acyclic():
+            raise GraphValidationError("initial orientation contains a cycle")
+        if require_connected and not self.is_connected():
+            raise GraphValidationError("underlying undirected graph is not connected")
+
+    def bad_nodes(self) -> FrozenSet[Node]:
+        """Nodes with no directed path to the destination in ``G'_init``.
+
+        This is the set whose cardinality ``n_b`` parameterises the
+        Θ(n_b²) worst-case work bound discussed in Section 1 of the paper.
+        """
+        return self.initial_orientation().nodes_without_path_to_destination()
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def relabelled(self, mapping: Mapping[Node, Node]) -> "LinkReversalInstance":
+        """Return a copy of the instance with nodes renamed via ``mapping``."""
+        return LinkReversalInstance(
+            nodes=tuple(mapping[u] for u in self.nodes),
+            destination=mapping[self.destination],
+            initial_edges=tuple((mapping[u], mapping[v]) for u, v in self.initial_edges),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"LinkReversalInstance(|V|={self.node_count}, |E|={self.edge_count}, "
+            f"destination={self.destination!r})"
+        )
+
+
+def _is_acyclic_edge_list(nodes: Sequence[Node], edges: Sequence[DirectedEdge]) -> bool:
+    """Kahn's algorithm acyclicity check on an explicit edge list."""
+    indegree: Dict[Node, int] = {u: 0 for u in nodes}
+    successors: Dict[Node, List[Node]] = {u: [] for u in nodes}
+    for u, v in edges:
+        indegree[v] += 1
+        successors[u].append(v)
+    queue = [u for u in nodes if indegree[u] == 0]
+    removed = 0
+    while queue:
+        u = queue.pop()
+        removed += 1
+        for v in successors[u]:
+            indegree[v] -= 1
+            if indegree[v] == 0:
+                queue.append(v)
+    return removed == len(nodes)
+
+
+class Orientation:
+    """A directed version ``G'`` of the undirected graph ``G``.
+
+    Internally the orientation stores, for every undirected edge, the *head*
+    node the edge currently points to.  This representation makes the paper's
+    Invariant 3.1 (``dir[u, v] = in`` iff ``dir[v, u] = out``) true by
+    construction, while still exposing the ``dir`` view used by the automata.
+
+    The class is deliberately small and copyable in O(|E|): the model checker
+    copies orientations for every explored transition.
+    """
+
+    __slots__ = ("instance", "_head")
+
+    def __init__(self, instance: LinkReversalInstance, head: Dict[UndirectedEdge, Node]):
+        self.instance = instance
+        self._head = head
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_directed_edges(
+        cls, instance: LinkReversalInstance, edges: Iterable[DirectedEdge]
+    ) -> "Orientation":
+        """Build an orientation from explicit directed edges ``u -> v``."""
+        head: Dict[UndirectedEdge, Node] = {}
+        for u, v in edges:
+            edge = undirected(u, v)
+            if not instance.has_edge(u, v):
+                raise GraphValidationError(f"({u!r}, {v!r}) is not an edge of the instance")
+            head[edge] = v
+        missing = instance.undirected_edges - set(head)
+        if missing:
+            raise GraphValidationError(f"orientation missing directions for {sorted(map(tuple, missing))!r}")
+        return cls(instance, head)
+
+    def copy(self) -> "Orientation":
+        """Return an independent copy of this orientation."""
+        return Orientation(self.instance, dict(self._head))
+
+    # ------------------------------------------------------------------
+    # the paper's ``dir`` view
+    # ------------------------------------------------------------------
+    def dir(self, u: Node, v: Node) -> EdgeDirection:
+        """The paper's ``dir[u, v]`` variable: direction of ``{u, v}`` from ``u``."""
+        head = self._head[undirected(u, v)]
+        return EdgeDirection.IN if head == u else EdgeDirection.OUT
+
+    def head(self, u: Node, v: Node) -> Node:
+        """The node the edge ``{u, v}`` currently points to."""
+        return self._head[undirected(u, v)]
+
+    def tail(self, u: Node, v: Node) -> Node:
+        """The node the edge ``{u, v}`` currently points away from."""
+        head = self._head[undirected(u, v)]
+        return v if head == u else u
+
+    def points_towards(self, u: Node, v: Node) -> bool:
+        """Whether the edge between ``u`` and ``v`` is currently directed ``u -> v``."""
+        return self._head[undirected(u, v)] == v
+
+    def reverse_edge(self, u: Node, v: Node) -> None:
+        """Flip the direction of the edge ``{u, v}`` (in place)."""
+        edge = undirected(u, v)
+        current = self._head[edge]
+        self._head[edge] = u if current == v else v
+
+    def reverse_edges_from(self, u: Node, targets: Iterable[Node]) -> Tuple[Node, ...]:
+        """Reverse the edges between ``u`` and each node in ``targets``.
+
+        Only edges currently directed *towards* ``u`` are flipped (matching the
+        automata, where a reversing node is a sink so all its edges point at
+        it); edges already directed away from ``u`` are left untouched.
+        Returns the neighbours whose edge was actually flipped.
+        """
+        flipped: List[Node] = []
+        for v in targets:
+            if self._head[undirected(u, v)] == u:
+                self._head[undirected(u, v)] = v
+                flipped.append(v)
+        return tuple(flipped)
+
+    # ------------------------------------------------------------------
+    # node-level structure
+    # ------------------------------------------------------------------
+    def current_in_nbrs(self, u: Node) -> FrozenSet[Node]:
+        """Neighbours whose edge currently points towards ``u``."""
+        return frozenset(v for v in self.instance.nbrs(u) if self._head[undirected(u, v)] == u)
+
+    def current_out_nbrs(self, u: Node) -> FrozenSet[Node]:
+        """Neighbours whose edge currently points away from ``u``."""
+        return frozenset(v for v in self.instance.nbrs(u) if self._head[undirected(u, v)] == v)
+
+    def is_sink(self, u: Node) -> bool:
+        """Whether ``u`` is a sink: it has neighbours and every incident edge is incoming.
+
+        The destination is never considered a sink for scheduling purposes by
+        the automata (it never takes steps), but this predicate is purely
+        structural and applies to any node.
+        """
+        nbrs = self.instance.nbrs(u)
+        if not nbrs:
+            return False
+        return all(self._head[undirected(u, v)] == u for v in nbrs)
+
+    def is_source(self, u: Node) -> bool:
+        """Whether ``u`` has neighbours and every incident edge is outgoing."""
+        nbrs = self.instance.nbrs(u)
+        if not nbrs:
+            return False
+        return all(self._head[undirected(u, v)] == v for v in nbrs)
+
+    def sinks(self, exclude_destination: bool = True) -> Tuple[Node, ...]:
+        """All sink nodes, optionally excluding the destination."""
+        result = []
+        for u in self.instance.nodes:
+            if exclude_destination and u == self.instance.destination:
+                continue
+            if self.is_sink(u):
+                result.append(u)
+        return tuple(result)
+
+    # ------------------------------------------------------------------
+    # whole-graph structure
+    # ------------------------------------------------------------------
+    def directed_edges(self) -> Tuple[DirectedEdge, ...]:
+        """All edges as directed pairs ``(tail, head)`` in instance edge order."""
+        result = []
+        for u, v in self.instance.initial_edges:
+            head = self._head[undirected(u, v)]
+            tail = u if head == v else v
+            result.append((tail, head))
+        return tuple(result)
+
+    def to_networkx(self):
+        """Return the current directed graph ``G'`` as a ``networkx.DiGraph``."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.instance.nodes)
+        graph.add_edges_from(self.directed_edges())
+        return graph
+
+    def is_acyclic(self) -> bool:
+        """Whether the current directed graph is a DAG."""
+        return _is_acyclic_edge_list(self.instance.nodes, self.directed_edges())
+
+    def find_cycle(self) -> Tuple[Node, ...]:
+        """Return a directed cycle as a node tuple, or ``()`` if none exists.
+
+        Used by the verification layer to produce counterexample traces.
+        """
+        successors: Dict[Node, List[Node]] = {u: [] for u in self.instance.nodes}
+        for tail, head in self.directed_edges():
+            successors[tail].append(head)
+
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {u: WHITE for u in self.instance.nodes}
+        parent: Dict[Node, Node] = {}
+
+        for root in self.instance.nodes:
+            if colour[root] != WHITE:
+                continue
+            stack: List[Tuple[Node, Iterator[Node]]] = [(root, iter(successors[root]))]
+            colour[root] = GREY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if colour[nxt] == WHITE:
+                        colour[nxt] = GREY
+                        parent[nxt] = node
+                        stack.append((nxt, iter(successors[nxt])))
+                        advanced = True
+                        break
+                    if colour[nxt] == GREY:
+                        cycle = [nxt, node]
+                        cur = node
+                        while cur != nxt:
+                            cur = parent[cur]
+                            cycle.append(cur)
+                        cycle.reverse()
+                        return tuple(cycle[:-1])
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return ()
+
+    def nodes_with_path_to_destination(self) -> FrozenSet[Node]:
+        """Nodes that currently have a directed path to the destination."""
+        destination = self.instance.destination
+        predecessors: Dict[Node, List[Node]] = {u: [] for u in self.instance.nodes}
+        for tail, head in self.directed_edges():
+            predecessors[head].append(tail)
+        reached = {destination}
+        frontier = [destination]
+        while frontier:
+            u = frontier.pop()
+            for v in predecessors[u]:
+                if v not in reached:
+                    reached.add(v)
+                    frontier.append(v)
+        return frozenset(reached)
+
+    def nodes_without_path_to_destination(self) -> FrozenSet[Node]:
+        """Nodes with no directed path to the destination (the "bad" nodes)."""
+        return frozenset(self.instance.nodes) - self.nodes_with_path_to_destination()
+
+    def is_destination_oriented(self) -> bool:
+        """Whether every node has a directed path to the destination.
+
+        This is the goal condition of link-reversal routing: the graph is
+        *destination oriented* when the only sink is the destination and every
+        node can reach it.
+        """
+        return len(self.nodes_with_path_to_destination()) == len(self.instance.nodes)
+
+    def shortest_path_to_destination(self, u: Node) -> Tuple[Node, ...]:
+        """A shortest directed path from ``u`` to the destination, or ``()``.
+
+        Breadth-first search over the current orientation; used by the routing
+        layer to extract routes and measure stretch.
+        """
+        destination = self.instance.destination
+        if u == destination:
+            return (u,)
+        successors: Dict[Node, List[Node]] = {w: [] for w in self.instance.nodes}
+        for tail, head in self.directed_edges():
+            successors[tail].append(head)
+        parent: Dict[Node, Node] = {}
+        frontier = [u]
+        seen = {u}
+        while frontier:
+            next_frontier: List[Node] = []
+            for w in frontier:
+                for x in successors[w]:
+                    if x in seen:
+                        continue
+                    parent[x] = w
+                    if x == destination:
+                        path = [x]
+                        while path[-1] != u:
+                            path.append(parent[path[-1]])
+                        path.reverse()
+                        return tuple(path)
+                    seen.add(x)
+                    next_frontier.append(x)
+            frontier = next_frontier
+        return ()
+
+    # ------------------------------------------------------------------
+    # hashing / equality (used by the model checker)
+    # ------------------------------------------------------------------
+    def signature(self) -> Tuple[DirectedEdge, ...]:
+        """A canonical, hashable fingerprint of this orientation."""
+        return self.directed_edges()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Orientation):
+            return NotImplemented
+        return self.instance is other.instance and self._head == other._head or (
+            self.instance.undirected_edges == other.instance.undirected_edges
+            and self._head == other._head
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        edges = ", ".join(f"{t}->{h}" for t, h in self.directed_edges())
+        return f"Orientation({edges})"
+
+
+def all_orientations(instance: LinkReversalInstance) -> Iterator[Orientation]:
+    """Yield every possible orientation of the instance's undirected edges.
+
+    Exponential in ``|E|``; intended for exhaustive testing on tiny graphs.
+    """
+    edges = list(instance.undirected_edges)
+    pairs = [tuple(edge) for edge in edges]
+    for choice in itertools.product((0, 1), repeat=len(pairs)):
+        directed = [
+            (pair[0], pair[1]) if bit == 0 else (pair[1], pair[0])
+            for pair, bit in zip(pairs, choice)
+        ]
+        yield Orientation.from_directed_edges(instance, directed)

@@ -1,0 +1,113 @@
+"""The paper's new algorithm ``NewPR`` (Algorithm 2).
+
+NewPR dispenses with the dynamic neighbour list of PR.  Each node ``u`` keeps
+only a step counter ``count[u]`` (a *history variable*; initially 0) whose
+parity determines which of two *constant* sets ``u`` reverses when it is a
+sink:
+
+* ``parity[u] = even`` → reverse the edges to ``in_nbrs(u)`` (the initial
+  in-neighbours);
+* ``parity[u] = odd``  → reverse the edges to ``out_nbrs(u)`` (the initial
+  out-neighbours).
+
+A step always increments ``count[u]``.  If the selected set is empty (the node
+was initially a source or a sink), the step is a *dummy step*: no edge is
+reversed, only the parity flips, and the node remains a sink so it can take a
+"real" step next time.  The dummy step is what lets the paper state the clean
+counting invariants (Invariant 4.2) that drive the label-free acyclicity
+proof (Theorem 4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Hashable, Mapping, Optional, Tuple
+
+from repro.core.base import LinkReversalAutomaton, LinkReversalState
+from repro.core.graph import LinkReversalInstance, Orientation
+
+Node = Hashable
+
+
+class Parity(enum.Enum):
+    """Derived variable ``parity[u]``: the parity of ``count[u]``."""
+
+    EVEN = "even"
+    ODD = "odd"
+
+    @classmethod
+    def of(cls, count: int) -> "Parity":
+        """The parity of an integer step count."""
+        return cls.EVEN if count % 2 == 0 else cls.ODD
+
+    def flipped(self) -> "Parity":
+        """The opposite parity."""
+        return Parity.ODD if self is Parity.EVEN else Parity.EVEN
+
+
+class NewPRState(LinkReversalState):
+    """State of NewPR: edge directions plus the history variable ``count[u]``."""
+
+    __slots__ = ("counts",)
+
+    def __init__(
+        self,
+        instance: LinkReversalInstance,
+        orientation: Orientation,
+        counts: Optional[Mapping[Node, int]] = None,
+    ):
+        super().__init__(instance, orientation)
+        if counts is None:
+            counts = {u: 0 for u in instance.nodes}
+        self.counts: Dict[Node, int] = dict(counts)
+
+    def count(self, u: Node) -> int:
+        """The history variable ``count[u]``: steps taken by ``u`` so far."""
+        return self.counts[u]
+
+    def parity(self, u: Node) -> Parity:
+        """The derived variable ``parity[u]``."""
+        return Parity.of(self.counts[u])
+
+    def total_steps(self) -> int:
+        """Total number of steps taken by all nodes (including dummy steps)."""
+        return sum(self.counts.values())
+
+    def copy(self) -> "NewPRState":
+        return NewPRState(self.instance, self.orientation.copy(), dict(self.counts))
+
+    def signature(self) -> Tuple:
+        count_sig = tuple((u, self.counts[u]) for u in self.instance.nodes)
+        return (self.graph_signature(), count_sig)
+
+
+class NewPartialReversal(LinkReversalAutomaton):
+    """Algorithm 2: the parity-based Partial Reversal variant of the paper."""
+
+    name = "NewPR"
+
+    def initial_state(self) -> NewPRState:
+        return NewPRState(self.instance, self.instance.initial_orientation())
+
+    def reversal_targets(self, state: NewPRState, u: Node) -> FrozenSet[Node]:
+        """The set ``u`` would reverse if it stepped now (may be empty — dummy step)."""
+        if state.parity(u) is Parity.EVEN:
+            return self.instance.in_nbrs(u)
+        return self.instance.out_nbrs(u)
+
+    def is_dummy_step(self, state: NewPRState, u: Node) -> bool:
+        """Whether a ``reverse(u)`` step taken now would reverse no edges."""
+        return not self.reversal_targets(state, u)
+
+    def _apply_reverse(self, state: NewPRState, u: Node) -> NewPRState:
+        new_state = state.copy()
+        orientation = new_state.orientation
+
+        if state.parity(u) is Parity.EVEN:
+            targets = self.instance.in_nbrs(u)
+        else:
+            targets = self.instance.out_nbrs(u)
+        for v in targets:
+            orientation.reverse_edge(u, v)
+        new_state.counts[u] = state.counts[u] + 1
+        return new_state

@@ -1,0 +1,63 @@
+"""The ``OneStepPR`` automaton (Algorithm 3 of the paper).
+
+OneStepPR is identical to PR except that only a *single* node takes a step at
+a time: the action family is ``reverse(u)`` rather than ``reverse(S)``.  The
+state variables (``dir`` and ``list``) and the effect of a step are exactly
+those of PR restricted to one node.
+
+The paper uses OneStepPR as the intermediate automaton in the two-stage
+simulation argument: relation R′ maps PR to OneStepPR (Lemma 5.1 /
+Theorem 5.2) and relation R maps OneStepPR to NewPR (Lemma 5.3 /
+Theorem 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterator
+
+from repro.automata.ioa import Action, TransitionError
+from repro.core.base import LinkReversalAutomaton, Reverse
+from repro.core.graph import LinkReversalInstance
+from repro.core.pr import PRState
+
+Node = Hashable
+
+
+class OneStepPRState(PRState):
+    """State of OneStepPR — structurally identical to :class:`PRState`.
+
+    A distinct type is used so that states of the two automata cannot be
+    accidentally interchanged in the simulation-relation checker.
+    """
+
+    def copy(self) -> "OneStepPRState":
+        return OneStepPRState(self.instance, self.orientation.copy(), dict(self.lists))
+
+
+class OneStepPartialReversal(LinkReversalAutomaton):
+    """Algorithm 3: Partial Reversal with one node stepping at a time."""
+
+    name = "OneStepPR"
+
+    def initial_state(self) -> OneStepPRState:
+        return OneStepPRState(self.instance, self.instance.initial_orientation())
+
+    def reversal_targets(self, state: OneStepPRState, u: Node) -> FrozenSet[Node]:
+        """The neighbours whose edge ``u`` would reverse if it stepped now."""
+        nbrs = self.instance.nbrs(u)
+        u_list = state.lists[u]
+        return frozenset(nbrs if u_list == nbrs else nbrs - u_list)
+
+    def _apply_reverse(self, state: OneStepPRState, u: Node) -> OneStepPRState:
+        new_state = state.copy()
+        orientation = new_state.orientation
+        lists = new_state.lists
+
+        nbrs = self.instance.nbrs(u)
+        u_list = state.lists[u]
+        targets = nbrs if u_list == nbrs else nbrs - u_list
+        for v in targets:
+            orientation.reverse_edge(u, v)
+            lists[v] = lists[v] | {u}
+        lists[u] = frozenset()
+        return new_state

@@ -1,0 +1,166 @@
+"""The original Partial Reversal automaton ``PR`` (Algorithm 1 of the paper).
+
+The whole system is a single I/O automaton with one family of actions,
+``reverse(S)``, where ``S`` is a non-empty set of nodes not containing the
+destination and every node in ``S`` is a sink.  Each node ``u`` keeps a state
+variable ``list[u]`` — the set of neighbours that reversed their edge towards
+``u`` since the last time ``u`` took a step (initially empty).
+
+Effect of ``reverse(S)`` for each ``u ∈ S`` (Algorithm 1):
+
+* if ``list[u] != nbrs(u)``, reverse exactly the edges to ``nbrs(u) \\ list[u]``;
+* otherwise (the list contains *all* neighbours), reverse every incident edge;
+* every neighbour ``v`` whose edge was reversed adds ``u`` to ``list[v]``;
+* finally ``list[u]`` is emptied.
+
+Because all nodes in ``S`` are sinks, no two of them are adjacent, so the
+per-node effects are independent and can be applied in any order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.automata.ioa import Action, IOAutomaton, TransitionError
+from repro.core.base import LinkReversalState, Reverse
+from repro.core.graph import LinkReversalInstance, Orientation
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ReverseSet(Action):
+    """The ``reverse(S)`` action of PR: every node in ``S`` steps simultaneously."""
+
+    nodes: FrozenSet[Node]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.nodes, frozenset):
+            object.__setattr__(self, "nodes", frozenset(self.nodes))
+        if not self.nodes:
+            raise ValueError("reverse(S) requires a non-empty set S")
+
+    def actors(self) -> Tuple[Node, ...]:
+        return tuple(sorted(self.nodes, key=repr))
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"reverse({{{', '.join(map(str, self.actors()))}}})"
+
+
+class PRState(LinkReversalState):
+    """State of the PR automaton: edge directions plus ``list[u]`` per node."""
+
+    __slots__ = ("lists",)
+
+    def __init__(
+        self,
+        instance: LinkReversalInstance,
+        orientation: Orientation,
+        lists: Optional[Mapping[Node, FrozenSet[Node]]] = None,
+    ):
+        super().__init__(instance, orientation)
+        if lists is None:
+            lists = {u: frozenset() for u in instance.nodes}
+        self.lists: Dict[Node, FrozenSet[Node]] = dict(lists)
+
+    def list_of(self, u: Node) -> FrozenSet[Node]:
+        """The paper's ``list[u]``: neighbours that reversed towards ``u`` since its last step."""
+        return self.lists[u]
+
+    def copy(self) -> "PRState":
+        return PRState(self.instance, self.orientation.copy(), dict(self.lists))
+
+    def signature(self) -> Tuple:
+        list_sig = tuple(
+            (u, tuple(sorted(self.lists[u], key=repr))) for u in self.instance.nodes
+        )
+        return (self.graph_signature(), list_sig)
+
+
+class PartialReversal(IOAutomaton):
+    """Algorithm 1: the original Partial Reversal automaton with set actions.
+
+    ``enabled_actions`` enumerates every non-empty subset of the current sink
+    set (exponentially many); most callers use :meth:`enabled_single_actions`
+    (singleton sets only) or the greedy "all sinks at once" action via
+    :meth:`greedy_action`.
+    """
+
+    name = "PR"
+
+    def __init__(self, instance: LinkReversalInstance, require_dag: bool = True):
+        instance.validate(require_dag=require_dag)
+        self.instance = instance
+
+    # ------------------------------------------------------------------
+    # IOAutomaton interface
+    # ------------------------------------------------------------------
+    def initial_state(self) -> PRState:
+        return PRState(self.instance, self.instance.initial_orientation())
+
+    def enabled_actions(self, state: PRState) -> Iterator[Action]:
+        sinks = state.sinks()
+        # non-empty subsets of the sink set, smallest first for determinism
+        from itertools import combinations
+
+        for size in range(1, len(sinks) + 1):
+            for subset in combinations(sinks, size):
+                yield ReverseSet(frozenset(subset))
+
+    def enabled_single_actions(self, state: PRState) -> Iterator[Action]:
+        for u in state.sinks():
+            yield ReverseSet(frozenset((u,)))
+
+    def greedy_action(self, state: PRState) -> Optional[ReverseSet]:
+        """The "all current sinks step together" action, or ``None`` if quiescent."""
+        sinks = state.sinks()
+        if not sinks:
+            return None
+        return ReverseSet(frozenset(sinks))
+
+    def is_enabled(self, state: PRState, action: Action) -> bool:
+        if isinstance(action, Reverse):
+            action = ReverseSet(frozenset((action.node,)))
+        if not isinstance(action, ReverseSet):
+            return False
+        if not action.nodes:
+            return False
+        if self.instance.destination in action.nodes:
+            return False
+        return all(state.is_sink(u) for u in action.nodes)
+
+    def apply(self, state: PRState, action: Action) -> PRState:
+        if isinstance(action, Reverse):
+            action = ReverseSet(frozenset((action.node,)))
+        if not self.is_enabled(state, action):
+            raise TransitionError(f"{action!r} is not enabled in the given PR state")
+
+        new_state = state.copy()
+        orientation = new_state.orientation
+        lists = new_state.lists
+
+        for u in action.nodes:
+            nbrs = self.instance.nbrs(u)
+            u_list = state.lists[u]
+            if u_list != nbrs:
+                targets = nbrs - u_list
+            else:
+                targets = nbrs
+            for v in targets:
+                orientation.reverse_edge(u, v)  # u was a sink: edge v->u becomes u->v
+                lists[v] = lists[v] | {u}
+            lists[u] = frozenset()
+        return new_state
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def reversal_targets(self, state: PRState, u: Node) -> FrozenSet[Node]:
+        """The set of neighbours whose edge ``u`` would reverse if it stepped now."""
+        nbrs = self.instance.nbrs(u)
+        u_list = state.lists[u]
+        return frozenset(nbrs if u_list == nbrs else nbrs - u_list)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PartialReversal({self.instance})"

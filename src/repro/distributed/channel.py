@@ -1,0 +1,123 @@
+"""Point-to-point message channels with delay and loss.
+
+Each undirected link of the network is modelled by two directed channels (one
+per direction).  A channel delivers messages after a delay drawn uniformly
+from ``[min_delay, max_delay]`` and drops each message independently with
+``loss_probability``.  Channels keep per-link statistics so the benchmarks can
+report message complexity alongside convergence time.
+
+Channels can be taken *down* (link failure) and brought back *up*; messages
+sent while a channel is down are counted as dropped, and messages already in
+flight when the channel goes down are lost as well — the usual fail-prone
+link model of the MANET literature.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, List, Optional
+
+from repro.distributed.events import DiscreteEventSimulator, ScheduledEvent
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Message:
+    """A protocol message travelling on a channel."""
+
+    sender: Node
+    receiver: Node
+    kind: str
+    payload: Any = None
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.kind}({self.sender} -> {self.receiver}: {self.payload!r})"
+
+
+@dataclass
+class ChannelStats:
+    """Per-channel delivery statistics."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    lost_to_failure: int = 0
+
+    @property
+    def in_flight_loss(self) -> int:
+        """Messages lost for any reason."""
+        return self.dropped + self.lost_to_failure
+
+
+class Channel:
+    """A unidirectional, delay- and loss-prone channel between two nodes."""
+
+    def __init__(
+        self,
+        simulator: DiscreteEventSimulator,
+        sender: Node,
+        receiver: Node,
+        deliver: Callable[[Message], None],
+        min_delay: float = 1.0,
+        max_delay: float = 1.0,
+        loss_probability: float = 0.0,
+        seed: int = 0,
+    ):
+        if min_delay < 0 or max_delay < min_delay:
+            raise ValueError("delays must satisfy 0 <= min_delay <= max_delay")
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        self.simulator = simulator
+        self.sender = sender
+        self.receiver = receiver
+        self._deliver = deliver
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+        self.loss_probability = loss_probability
+        self._rng = random.Random(seed)
+        self.up = True
+        self.stats = ChannelStats()
+        self._in_flight: List[ScheduledEvent] = []
+
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Send a message; it is delivered later unless lost or the link is down."""
+        self.stats.sent += 1
+        if not self.up:
+            self.stats.lost_to_failure += 1
+            return
+        if self.loss_probability > 0 and self._rng.random() < self.loss_probability:
+            self.stats.dropped += 1
+            return
+        if self.max_delay > self.min_delay:
+            delay = self._rng.uniform(self.min_delay, self.max_delay)
+        else:
+            delay = self.min_delay
+
+        def deliver_event(_sim: DiscreteEventSimulator, _message=message) -> None:
+            self.stats.delivered += 1
+            self._deliver(_message)
+
+        event = self.simulator.schedule(delay, deliver_event, label=f"deliver {message.kind}")
+        self._in_flight.append(event)
+        self._in_flight = [e for e in self._in_flight if not e.cancelled]
+
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Take the link down, losing every in-flight message."""
+        self.up = False
+        for event in self._in_flight:
+            if not event.cancelled:
+                event.cancel()
+                self.stats.lost_to_failure += 1
+        self._in_flight.clear()
+
+    def repair(self) -> None:
+        """Bring the link back up."""
+        self.up = True
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        state = "up" if self.up else "down"
+        return f"<Channel {self.sender}->{self.receiver} {state} sent={self.stats.sent}>"

@@ -1,0 +1,32 @@
+"""Exhaustive and randomized exploration of automaton state spaces.
+
+The paper's invariants are universally quantified over *reachable states*.
+On small instances the reachable state space of each automaton is finite and
+small enough to enumerate exhaustively, which turns the paper's proofs into
+machine-checked facts for those instances:
+
+* :class:`~repro.exploration.state_space.StateSpaceExplorer` — breadth-first
+  exploration of every reachable state (following every enabled action),
+  checking a set of named predicates on each state;
+* :mod:`repro.exploration.random_walk` — long random executions for larger
+  instances where exhaustive exploration is infeasible;
+* :mod:`repro.exploration.enumerate_graphs` — enumeration of all small DAG
+  instances (up to isomorphism-insensitive labelling) so the exhaustive check
+  can quantify over *graphs* as well as over states.
+"""
+
+from repro.exploration.state_space import ExplorationReport, StateSpaceExplorer
+from repro.exploration.random_walk import RandomWalkChecker, RandomWalkReport
+from repro.exploration.enumerate_graphs import (
+    all_dag_instances,
+    all_connected_dag_instances,
+)
+
+__all__ = [
+    "ExplorationReport",
+    "RandomWalkChecker",
+    "RandomWalkReport",
+    "StateSpaceExplorer",
+    "all_connected_dag_instances",
+    "all_dag_instances",
+]

@@ -1,0 +1,72 @@
+"""Graphviz DOT export of instances and orientations.
+
+Purely textual (no graphviz dependency): the functions return DOT source
+strings that can be written to a file and rendered offline.  The destination
+node is drawn as a double circle; sinks are highlighted so that stepping
+through an execution visually shows the reversal waves.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.core.graph import LinkReversalInstance, Orientation
+
+Node = Hashable
+
+
+def _quote(node: Node) -> str:
+    """DOT-quote a node identifier."""
+    return '"' + str(node).replace('"', r"\"") + '"'
+
+
+def to_dot(instance: LinkReversalInstance, name: str = "G") -> str:
+    """DOT source for the initial orientation of an instance."""
+    return orientation_to_dot(instance.initial_orientation(), name=name)
+
+
+def orientation_to_dot(
+    orientation: Orientation,
+    name: str = "G",
+    highlight_sinks: bool = True,
+) -> str:
+    """DOT source for an arbitrary orientation.
+
+    Parameters
+    ----------
+    orientation:
+        The orientation to render.
+    name:
+        Graph name in the DOT output.
+    highlight_sinks:
+        When set, non-destination sinks are filled grey so that the nodes
+        about to take a step stand out.
+    """
+    instance = orientation.instance
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    sinks = set(orientation.sinks(exclude_destination=True)) if highlight_sinks else set()
+    for node in instance.nodes:
+        attributes = []
+        if node == instance.destination:
+            attributes.append("shape=doublecircle")
+        else:
+            attributes.append("shape=circle")
+        if node in sinks:
+            attributes.append('style=filled fillcolor="lightgrey"')
+        lines.append(f"  {_quote(node)} [{' '.join(attributes)}];")
+    for tail, head in orientation.directed_edges():
+        lines.append(f"  {_quote(tail)} -> {_quote(head)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_ascii(orientation: Orientation) -> str:
+    """A compact one-line-per-edge textual rendering, for logs and doctests."""
+    instance = orientation.instance
+    parts = [f"destination={instance.destination}"]
+    for tail, head in orientation.directed_edges():
+        parts.append(f"{tail}->{head}")
+    sinks = orientation.sinks(exclude_destination=True)
+    if sinks:
+        parts.append(f"sinks={{{', '.join(map(str, sinks))}}}")
+    return "  ".join(parts)

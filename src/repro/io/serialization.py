@@ -1,0 +1,53 @@
+"""JSON-friendly serialisation of instances and executions.
+
+The benchmark harness stores the instances and traces it generates so that
+runs can be reproduced and diffed.  Only built-in types appear in the output
+(dicts, lists, strings, ints), so the structures can be dumped with
+:mod:`json` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List
+
+from repro.automata.executions import Execution
+from repro.core.graph import LinkReversalInstance
+
+Node = Hashable
+
+
+def instance_to_dict(instance: LinkReversalInstance) -> Dict[str, Any]:
+    """Serialise an instance to plain data."""
+    return {
+        "nodes": list(instance.nodes),
+        "destination": instance.destination,
+        "initial_edges": [list(edge) for edge in instance.initial_edges],
+    }
+
+
+def instance_from_dict(data: Dict[str, Any]) -> LinkReversalInstance:
+    """Rebuild an instance previously produced by :func:`instance_to_dict`."""
+    return LinkReversalInstance(
+        nodes=tuple(data["nodes"]),
+        destination=data["destination"],
+        initial_edges=tuple((u, v) for u, v in data["initial_edges"]),
+    )
+
+
+def execution_to_dict(execution: Execution) -> Dict[str, Any]:
+    """Serialise an execution to plain data (actions plus endpoint orientations).
+
+    Intermediate states are not serialised — they can be reconstructed by
+    replaying the actions with :func:`repro.automata.executions.replay`.
+    """
+    actions: List[Dict[str, Any]] = []
+    for action in execution.actions:
+        actions.append({"actors": list(action.actors())})
+    return {
+        "automaton": execution.automaton.name,
+        "instance": instance_to_dict(execution.automaton.instance),
+        "actions": actions,
+        "initial_edges": [list(edge) for edge in execution.initial_state.directed_edges()],
+        "final_edges": [list(edge) for edge in execution.final_state.directed_edges()],
+        "length": execution.length,
+    }

@@ -1,0 +1,163 @@
+"""Next-hop routing tables derived from a link-reversal orientation.
+
+Once the graph is destination oriented, routing is trivial: any outgoing link
+leads (acyclically) towards the destination, so a node may forward a packet to
+any of its current out-neighbours.  :class:`RoutingTable` materialises that
+choice, preferring the out-neighbour with the shortest remaining directed
+distance, and offers the route-quality metrics the routing experiments report
+(hop counts and stretch relative to the undirected shortest path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.graph import LinkReversalInstance, Orientation
+
+Node = Hashable
+
+
+def _directed_distances_to_destination(
+    instance: LinkReversalInstance, directed_edges: Sequence[Tuple[Node, Node]]
+) -> Dict[Node, int]:
+    """BFS distance (in directed hops) from every node to the destination."""
+    destination = instance.destination
+    predecessors: Dict[Node, List[Node]] = {u: [] for u in instance.nodes}
+    for tail, head in directed_edges:
+        predecessors[head].append(tail)
+    distances: Dict[Node, int] = {destination: 0}
+    frontier = [destination]
+    while frontier:
+        next_frontier: List[Node] = []
+        for u in frontier:
+            for v in predecessors[u]:
+                if v not in distances:
+                    distances[v] = distances[u] + 1
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return distances
+
+
+def _undirected_distances_to_destination(instance: LinkReversalInstance) -> Dict[Node, int]:
+    """BFS hop distance from every node to the destination, ignoring directions."""
+    destination = instance.destination
+    distances: Dict[Node, int] = {destination: 0}
+    frontier = [destination]
+    while frontier:
+        next_frontier: List[Node] = []
+        for u in frontier:
+            for v in instance.nbrs(u):
+                if v not in distances:
+                    distances[v] = distances[u] + 1
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return distances
+
+
+@dataclass
+class RoutingTable:
+    """Next hops towards the destination derived from a directed edge set."""
+
+    instance: LinkReversalInstance
+    next_hop: Dict[Node, Optional[Node]]
+    directed_distance: Dict[Node, int]
+    undirected_distance: Dict[Node, int]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_orientation(cls, orientation: Orientation) -> "RoutingTable":
+        """Build the table from an :class:`~repro.core.graph.Orientation`."""
+        return cls.from_directed_edges(orientation.instance, orientation.directed_edges())
+
+    @classmethod
+    def from_directed_edges(
+        cls, instance: LinkReversalInstance, directed_edges: Sequence[Tuple[Node, Node]]
+    ) -> "RoutingTable":
+        """Build the table from an explicit directed edge list."""
+        directed_distance = _directed_distances_to_destination(instance, directed_edges)
+        undirected_distance = _undirected_distances_to_destination(instance)
+
+        out_neighbours: Dict[Node, List[Node]] = {u: [] for u in instance.nodes}
+        for tail, head in directed_edges:
+            out_neighbours[tail].append(head)
+
+        next_hop: Dict[Node, Optional[Node]] = {}
+        order = {u: i for i, u in enumerate(instance.nodes)}
+        for u in instance.nodes:
+            if u == instance.destination:
+                next_hop[u] = None
+                continue
+            candidates = [v for v in out_neighbours[u] if v in directed_distance]
+            if not candidates:
+                next_hop[u] = None
+                continue
+            next_hop[u] = min(candidates, key=lambda v: (directed_distance[v], order[v]))
+        return cls(instance, next_hop, directed_distance, undirected_distance)
+
+    # ------------------------------------------------------------------
+    def has_route(self, node: Node) -> bool:
+        """Whether ``node`` currently has a usable route to the destination."""
+        return node == self.instance.destination or self.next_hop.get(node) is not None
+
+    def routable_fraction(self) -> float:
+        """Fraction of nodes with a route (1.0 means destination oriented)."""
+        nodes = self.instance.nodes
+        routable = sum(1 for u in nodes if self.has_route(u))
+        return routable / len(nodes)
+
+    def route(self, source: Node, max_hops: Optional[int] = None) -> Tuple[Node, ...]:
+        """The full next-hop route from ``source`` to the destination (or ``()``)."""
+        if source == self.instance.destination:
+            return (source,)
+        if max_hops is None:
+            max_hops = len(self.instance.nodes)
+        path = [source]
+        current = source
+        for _ in range(max_hops):
+            nxt = self.next_hop.get(current)
+            if nxt is None:
+                return ()
+            path.append(nxt)
+            if nxt == self.instance.destination:
+                return tuple(path)
+            current = nxt
+        return ()
+
+    def stretch(self, source: Node) -> Optional[float]:
+        """Route length divided by the undirected shortest-path length.
+
+        ``None`` if the node has no route (or is unreachable even ignoring
+        directions).  A stretch of 1.0 means the DAG route is a shortest path.
+        """
+        route = self.route(source)
+        if not route:
+            return None
+        shortest = self.undirected_distance.get(source)
+        if not shortest:
+            return None
+        return (len(route) - 1) / shortest
+
+    def average_stretch(self) -> Optional[float]:
+        """Mean stretch over all nodes with a route, or ``None`` if no node has one."""
+        values = [
+            s
+            for u in self.instance.nodes
+            if u != self.instance.destination
+            for s in (self.stretch(u),)
+            if s is not None
+        ]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+
+def extract_route(orientation: Orientation, source: Node) -> Tuple[Node, ...]:
+    """Shortest directed route from ``source`` to the destination in an orientation."""
+    return orientation.shortest_path_to_destination(source)
+
+
+def route_stretch(orientation: Orientation, source: Node) -> Optional[float]:
+    """Stretch of the shortest directed route against the undirected shortest path."""
+    table = RoutingTable.from_orientation(orientation)
+    return table.stretch(source)

@@ -1,0 +1,241 @@
+"""Route maintenance under link failures and mobility (the TORA scenario).
+
+Link reversal's selling point is *reaction to topology change*: when a link
+failure leaves some node without an outgoing link, a local reversal cascade
+restores destination orientation without any global recomputation.  This
+module measures exactly that, in two flavours:
+
+* :class:`RouteMaintenanceSimulation` drives an asynchronous
+  :class:`~repro.distributed.network.AsyncLinkReversalNetwork`, injects a
+  sequence of link failures (explicit, random, or derived from a mobility
+  model), lets the protocol re-converge after each, and records per-failure
+  statistics (reversals, messages, time to restore routes);
+* the synchronous helper :func:`repair_with_automaton` applies a failure to a
+  plain :class:`~repro.core.graph.LinkReversalInstance` and re-runs one of the
+  global automata (PR/FR/NewPR) from the surviving orientation, which is the
+  abstraction level of the paper itself.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from repro.automata.executions import run
+from repro.core.graph import LinkReversalInstance, Orientation
+from repro.distributed.network import AsyncLinkReversalNetwork, NetworkReport
+from repro.distributed.protocol import ReversalMode
+from repro.routing.dag_routing import RoutingTable
+from repro.schedulers.greedy import GreedyScheduler
+
+Node = Hashable
+Link = FrozenSet[Node]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One injected link failure."""
+
+    time: float
+    link: Tuple[Node, Node]
+
+
+@dataclass
+class MaintenanceResult:
+    """Statistics for one failure (or one batch of simultaneous failures)."""
+
+    failed_links: Tuple[Tuple[Node, Node], ...]
+    reversals: int
+    messages: int
+    elapsed_time: float
+    destination_oriented: bool
+    routable_fraction: float
+    partitioned: bool
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        links = ", ".join(f"{u}-{v}" for u, v in self.failed_links)
+        return (
+            f"fail[{links}]: reversals={self.reversals} msgs={self.messages} "
+            f"t={self.elapsed_time:.1f} oriented={self.destination_oriented} "
+            f"routable={self.routable_fraction:.2f}"
+        )
+
+
+class RouteMaintenanceSimulation:
+    """Inject failures into an asynchronous network and measure recovery."""
+
+    def __init__(
+        self,
+        instance: LinkReversalInstance,
+        mode: ReversalMode = ReversalMode.PARTIAL,
+        min_delay: float = 1.0,
+        max_delay: float = 2.0,
+        loss_probability: float = 0.0,
+        seed: int = 0,
+    ):
+        self.instance = instance
+        self.network = AsyncLinkReversalNetwork(
+            instance,
+            mode=mode,
+            min_delay=min_delay,
+            max_delay=max_delay,
+            loss_probability=loss_probability,
+            seed=seed,
+        )
+        self._rng = random.Random(seed)
+        self.results: List[MaintenanceResult] = []
+        # let the initial protocol exchange settle before failures arrive
+        self.network.run_to_quiescence()
+
+    # ------------------------------------------------------------------
+    def _is_partitioned(self) -> bool:
+        """Whether some node is disconnected from the destination (undirected)."""
+        links = self.network.current_links()
+        adjacency: Dict[Node, List[Node]] = {u: [] for u in self.instance.nodes}
+        for link in links:
+            u, v = tuple(link)
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        destination = self.instance.destination
+        seen = {destination}
+        frontier = [destination]
+        while frontier:
+            u = frontier.pop()
+            for v in adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        return len(seen) != len(self.instance.nodes)
+
+    def _routable_fraction(self) -> float:
+        edges = self.network.global_directed_edges()
+        table = RoutingTable.from_directed_edges(self.instance, edges)
+        return table.routable_fraction()
+
+    # ------------------------------------------------------------------
+    def fail_links(self, links: Sequence[Tuple[Node, Node]]) -> MaintenanceResult:
+        """Fail the given links simultaneously, re-converge, and record statistics.
+
+        If the failures partition the network, the reversal cascade in the
+        disconnected component never settles (the classic Gafni–Bertsekas
+        non-termination under partition), so the run is bounded by an event
+        budget instead of waiting for quiescence.
+        """
+        before = self.network.report()
+        start_time = self.network.simulator.now
+        applied: List[Tuple[Node, Node]] = []
+        for u, v in links:
+            if frozenset((u, v)) in self.network.current_links():
+                self.network.fail_link(u, v)
+                applied.append((u, v))
+        if self._is_partitioned():
+            budget = 200 * self.instance.node_count
+            after = self.network.run_to_quiescence(max_events=budget)
+        else:
+            after = self.network.run_to_quiescence()
+        result = MaintenanceResult(
+            failed_links=tuple(applied),
+            reversals=after.total_reversals - before.total_reversals,
+            messages=after.messages_sent - before.messages_sent,
+            elapsed_time=self.network.simulator.now - start_time,
+            destination_oriented=after.destination_oriented,
+            routable_fraction=self._routable_fraction(),
+            partitioned=self._is_partitioned(),
+        )
+        self.results.append(result)
+        return result
+
+    def fail_random_links(self, count: int) -> List[MaintenanceResult]:
+        """Fail ``count`` random (non-partitioning if possible) links, one at a time."""
+        results = []
+        for _ in range(count):
+            candidates = sorted(
+                (tuple(sorted(link, key=repr)) for link in self.network.current_links()),
+                key=repr,
+            )
+            if not candidates:
+                break
+            link = candidates[self._rng.randrange(len(candidates))]
+            results.append(self.fail_links([link]))
+        return results
+
+    def apply_topology_changes(self, changes) -> List[MaintenanceResult]:
+        """Apply a sequence of mobility-derived :class:`TopologyChange` objects.
+
+        Added links are installed first (they can only help connectivity),
+        then the removed links of the step are failed as one batch.
+        """
+        results = []
+        for change in changes:
+            for link in sorted(change.added_links, key=repr):
+                u, v = tuple(link)
+                if self.instance.has_edge(u, v):
+                    # only links of the original instance are modelled
+                    self.network.add_link(u, v)
+            removed = [
+                tuple(sorted(link, key=repr))
+                for link in change.removed_links
+                if link in self.network.current_links()
+            ]
+            if removed:
+                results.append(self.fail_links(removed))
+            else:
+                self.network.run_to_quiescence()
+        return results
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Aggregate statistics over all recorded failures."""
+        if not self.results:
+            return {
+                "failures": 0,
+                "mean_reversals": 0.0,
+                "mean_messages": 0.0,
+                "mean_time": 0.0,
+                "recovered_fraction": 1.0,
+            }
+        non_partitioned = [r for r in self.results if not r.partitioned]
+        recovered = [r for r in non_partitioned if r.destination_oriented]
+        return {
+            "failures": len(self.results),
+            "mean_reversals": sum(r.reversals for r in self.results) / len(self.results),
+            "mean_messages": sum(r.messages for r in self.results) / len(self.results),
+            "mean_time": sum(r.elapsed_time for r in self.results) / len(self.results),
+            "recovered_fraction": (
+                len(recovered) / len(non_partitioned) if non_partitioned else 1.0
+            ),
+        }
+
+
+def repair_with_automaton(
+    instance: LinkReversalInstance,
+    orientation: Orientation,
+    failed_link: Tuple[Node, Node],
+    algorithm_factory,
+    max_steps: Optional[int] = None,
+):
+    """Synchronous route repair at the paper's abstraction level.
+
+    The failed link is removed from the instance, the surviving orientation is
+    used as the initial state of a fresh automaton (built by
+    ``algorithm_factory``), and the automaton is run to quiescence under the
+    greedy schedule.  Returns ``(new_instance, result)`` where ``result`` is
+    the :class:`~repro.automata.executions.ExecutionResult`.
+    """
+    u, v = failed_link
+    if not instance.has_edge(u, v):
+        raise ValueError(f"{u!r}-{v!r} is not an edge of the instance")
+    surviving_edges = [
+        (tail, head)
+        for tail, head in orientation.directed_edges()
+        if frozenset((tail, head)) != frozenset((u, v))
+    ]
+    new_instance = LinkReversalInstance(
+        nodes=instance.nodes,
+        destination=instance.destination,
+        initial_edges=tuple(surviving_edges),
+    )
+    automaton = algorithm_factory(new_instance)
+    result = run(automaton, GreedyScheduler(), max_steps=max_steps)
+    return new_instance, result

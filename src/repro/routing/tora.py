@@ -1,0 +1,362 @@
+"""TORA — the Temporally-Ordered Routing Algorithm, built on partial reversal.
+
+TORA (Park & Corson) is the best-known deployment of the partial-reversal idea
+the paper studies: every node keeps a five-component *height*
+
+``(tau, oid, r, delta, id)``
+
+made of a **reference level** ``(tau, oid, r)`` — creation time of the level,
+originating node, and a reflection bit — plus an **offset** ``delta`` and the
+node ``id`` as the final tie breaker.  Heights are ordered lexicographically
+and each link points from the higher to the lower endpoint, exactly like the
+Gafni–Bertsekas heights in :mod:`repro.core.heights`; the destination is
+pinned at the globally minimal height ``ZERO``.
+
+The three protocol functions are:
+
+* **route creation** — nodes start with a ``NULL`` height; a node that needs a
+  route issues a query (QRY), and update (UPD) packets propagate heights
+  outward from the destination, assigning each node a height one offset above
+  its lowest routed neighbour (a BFS wavefront in this synchronous model);
+* **route maintenance** — when a node loses its last downstream link it
+  applies the classic five-case rule (generate a new reference level,
+  propagate the highest neighbouring reference level, reflect it, detect a
+  partition, or generate after a failed reflection).  Cases 2 and 3 are the
+  "partial reversal" at the heart of the paper: only the links to the
+  neighbours that have not already reversed get flipped;
+* **partition detection / route erasure** — when a reflected reference level
+  comes back to its originator, every route through that component is erased
+  (CLR), instead of reversing links forever as plain Gafni–Bertsekas would.
+
+This implementation operates at the same abstraction level as the paper's
+automata: a global state and atomic per-node events (link failures are
+delivered instantaneously to both endpoints, maintenance steps are applied
+one node at a time).  The asynchronous message-passing refinement of plain
+partial reversal lives in :mod:`repro.distributed`; TORA's added value here is
+the reference-level machinery and partition detection, which the route
+maintenance experiments exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.graph import LinkReversalInstance
+
+Node = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class ReferenceLevel:
+    """The ``(tau, oid, r)`` prefix of a TORA height."""
+
+    tau: int
+    oid_rank: int
+    r: int
+
+    @classmethod
+    def zero(cls) -> "ReferenceLevel":
+        """The all-zero reference level used by routed nodes in steady state."""
+        return cls(0, 0, 0)
+
+    def reflected(self) -> "ReferenceLevel":
+        """The same level with the reflection bit set (maintenance case 3)."""
+        return ReferenceLevel(self.tau, self.oid_rank, 1)
+
+
+@dataclass(frozen=True, order=True)
+class ToraHeight:
+    """A full TORA height ``(tau, oid, r, delta, id)``; ordered lexicographically."""
+
+    level: ReferenceLevel
+    delta: int
+    rank: int
+
+    @classmethod
+    def zero(cls, rank: int) -> "ToraHeight":
+        """The destination's height."""
+        return cls(ReferenceLevel.zero(), 0, rank)
+
+
+class ToraRouter:
+    """A TORA routing process for a single destination.
+
+    Parameters
+    ----------
+    instance:
+        The topology; the instance's destination is TORA's destination.
+    auto_create:
+        When ``True`` (default) routes are created for every node immediately
+        (the common "proactive for one destination" deployment).  When
+        ``False`` nodes start with ``NULL`` heights and routes are built on
+        demand via :meth:`create_route`.
+    """
+
+    def __init__(self, instance: LinkReversalInstance, auto_create: bool = True):
+        instance.validate(require_dag=True)
+        self.instance = instance
+        self.destination = instance.destination
+        self._rank = {u: i for i, u in enumerate(instance.nodes)}
+        self._clock = 0
+        #: current undirected link set (mutable: links can fail / reappear)
+        self.links: Set[FrozenSet[Node]] = set(instance.undirected_edges)
+        #: per-node height; ``None`` represents the NULL (un-routed) height
+        self.heights: Dict[Node, Optional[ToraHeight]] = {
+            u: None for u in instance.nodes
+        }
+        self.heights[self.destination] = ToraHeight.zero(self._rank[self.destination])
+        #: nodes whose routes were erased by partition detection
+        self.erased: Set[Node] = set()
+        #: counters for the experiments
+        self.maintenance_steps = 0
+        self.reference_levels_created = 0
+        self.partitions_detected = 0
+
+        if auto_create:
+            self.create_route()
+
+    # ------------------------------------------------------------------
+    # structure helpers
+    # ------------------------------------------------------------------
+    def _neighbours(self, u: Node) -> List[Node]:
+        return [v for v in self.instance.nbrs(u) if frozenset((u, v)) in self.links]
+
+    def height_of(self, u: Node) -> Optional[ToraHeight]:
+        """The current height of ``u`` (``None`` means no route / NULL height)."""
+        return self.heights[u]
+
+    def downstream_links(self, u: Node) -> List[Node]:
+        """Neighbours of ``u`` with a strictly lower (non-NULL) height."""
+        mine = self.heights[u]
+        if mine is None:
+            return []
+        return [
+            v
+            for v in self._neighbours(u)
+            if self.heights[v] is not None and self.heights[v] < mine
+        ]
+
+    def upstream_links(self, u: Node) -> List[Node]:
+        """Neighbours of ``u`` with a strictly higher or NULL height."""
+        mine = self.heights[u]
+        if mine is None:
+            return list(self._neighbours(u))
+        return [
+            v
+            for v in self._neighbours(u)
+            if self.heights[v] is None or self.heights[v] > mine
+        ]
+
+    def has_route(self, u: Node) -> bool:
+        """Whether ``u`` currently has a directed path of downstream links to the destination."""
+        if u == self.destination:
+            return True
+        seen = {u}
+        frontier = [u]
+        while frontier:
+            current = frontier.pop()
+            for nxt in self.downstream_links(current):
+                if nxt == self.destination:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    def route(self, u: Node) -> Tuple[Node, ...]:
+        """A downstream route from ``u`` to the destination, or ``()``.
+
+        Follows the lowest-height downstream neighbour greedily; because
+        heights strictly decrease along the walk it terminates, and it reaches
+        the destination whenever :meth:`has_route` is true and the component
+        is in steady state.
+        """
+        if u == self.destination:
+            return (u,)
+        path = [u]
+        current = u
+        for _ in range(self.instance.node_count):
+            downstream = self.downstream_links(current)
+            if not downstream:
+                return ()
+            current = min(downstream, key=lambda v: self.heights[v])
+            path.append(current)
+            if current == self.destination:
+                return tuple(path)
+        return ()
+
+    def routed_fraction(self) -> float:
+        """Fraction of nodes that currently have a route to the destination."""
+        routed = sum(1 for u in self.instance.nodes if self.has_route(u))
+        return routed / self.instance.node_count
+
+    def is_acyclic(self) -> bool:
+        """The downstream relation is acyclic (heights are totally ordered)."""
+        non_null = [h for h in self.heights.values() if h is not None]
+        return len(set(non_null)) == len(non_null)
+
+    # ------------------------------------------------------------------
+    # route creation (QRY / UPD wavefront, synchronous abstraction)
+    # ------------------------------------------------------------------
+    def create_route(self, for_nodes: Optional[Sequence[Node]] = None) -> int:
+        """Assign heights via a BFS wavefront from the destination.
+
+        Models the QRY/UPD exchange of TORA's route-creation phase: every node
+        reachable (through the current link set) from the destination receives
+        a height whose ``delta`` is one more than its parent's.  Returns the
+        number of nodes that acquired a new height.
+
+        ``for_nodes`` names the nodes that issued the QRY (the on-demand case).
+        The UPD wave assigns heights to every un-routed node it passes through
+        — exactly as in the real protocol — so the parameter only matters for
+        the return value's interpretation: it is the total number of nodes
+        that acquired a height, which covers the requested nodes whenever they
+        are connected to the destination.
+        """
+        del for_nodes  # the wave assigns every un-routed node it reaches
+        assigned = 0
+        frontier = [self.destination]
+        seen = {self.destination}
+        while frontier:
+            next_frontier: List[Node] = []
+            for u in frontier:
+                parent_height = self.heights[u]
+                if parent_height is None:
+                    # the UPD wave only propagates through routed nodes
+                    continue
+                for v in self._neighbours(u):
+                    if v in seen:
+                        continue
+                    seen.add(v)
+                    if self.heights[v] is None:
+                        # UPD: adopt the sender's reference level, one offset higher
+                        self.heights[v] = ToraHeight(
+                            level=parent_height.level,
+                            delta=parent_height.delta + 1,
+                            rank=self._rank[v],
+                        )
+                        self.erased.discard(v)
+                        assigned += 1
+                    next_frontier.append(v)
+            frontier = next_frontier
+        return assigned
+
+    # ------------------------------------------------------------------
+    # route maintenance (the five cases)
+    # ------------------------------------------------------------------
+    def fail_link(self, u: Node, v: Node) -> None:
+        """Remove the link ``{u, v}`` and run maintenance until quiescence."""
+        edge = frozenset((u, v))
+        if edge not in self.links:
+            raise ValueError(f"{u!r}-{v!r} is not a current link")
+        self._clock += 1
+        self.links.discard(edge)
+        self._run_maintenance(initial_failure=True)
+
+    def restore_link(self, u: Node, v: Node) -> None:
+        """Re-add a link of the original topology and let NULL nodes rejoin."""
+        if not self.instance.has_edge(u, v):
+            raise ValueError(f"{u!r}-{v!r} is not an edge of the underlying topology")
+        self.links.add(frozenset((u, v)))
+        # nodes whose routes were erased can rebuild them through the new link
+        self.create_route()
+
+    def _nodes_needing_maintenance(self) -> List[Node]:
+        result = []
+        for u in self.instance.nodes:
+            if u == self.destination or self.heights[u] is None:
+                continue
+            if not self._neighbours(u):
+                continue
+            if not self.downstream_links(u):
+                result.append(u)
+        return result
+
+    def _run_maintenance(self, initial_failure: bool) -> None:
+        """Apply the five-case rule to every route-less node until none remain."""
+        first_round = initial_failure
+        guard = 0
+        limit = 20 * self.instance.node_count ** 2 + 100
+        while True:
+            pending = self._nodes_needing_maintenance()
+            if not pending:
+                return
+            for u in pending:
+                self._maintain(u, link_failure=first_round)
+                self.maintenance_steps += 1
+            first_round = False
+            guard += len(pending)
+            if guard > limit:  # pragma: no cover - defensive
+                raise RuntimeError("TORA maintenance did not converge; this indicates a bug")
+
+    def _maintain(self, u: Node, link_failure: bool) -> None:
+        """One maintenance step of node ``u`` (which has no downstream links)."""
+        neighbours = self._neighbours(u)
+        neighbour_heights = [
+            self.heights[v] for v in neighbours if self.heights[v] is not None
+        ]
+        if not neighbour_heights:
+            # isolated from every routed neighbour: erase the route
+            self._erase_component(u)
+            return
+
+        levels = {h.level for h in neighbour_heights}
+        if link_failure or len(levels) > 1:
+            if link_failure:
+                # Case 1 — generate a new reference level
+                self.reference_levels_created += 1
+                new_level = ReferenceLevel(self._clock, self._rank[u], 0)
+                self.heights[u] = ToraHeight(new_level, 0, self._rank[u])
+                return
+            # Case 2 — propagate the highest neighbouring reference level
+            highest = max(levels)
+            deltas = [h.delta for h in neighbour_heights if h.level == highest]
+            self.heights[u] = ToraHeight(highest, min(deltas) - 1, self._rank[u])
+            return
+
+        (common_level,) = levels
+        if common_level.r == 0:
+            # Case 3 — reflect the reference level
+            self.heights[u] = ToraHeight(common_level.reflected(), 0, self._rank[u])
+            return
+        if common_level.oid_rank == self._rank[u]:
+            # Case 4 — the reflected level came back to its originator: partition
+            self.partitions_detected += 1
+            self._erase_component(u)
+            return
+        # Case 5 — a reflected level from another originator: generate a new level
+        self._clock += 1
+        self.reference_levels_created += 1
+        new_level = ReferenceLevel(self._clock, self._rank[u], 0)
+        self.heights[u] = ToraHeight(new_level, 0, self._rank[u])
+
+    def _erase_component(self, origin: Node) -> None:
+        """CLR: set the heights of the origin's destination-less component to NULL."""
+        component = {origin}
+        frontier = [origin]
+        while frontier:
+            current = frontier.pop()
+            for v in self._neighbours(current):
+                if v in component or v == self.destination:
+                    continue
+                if self.has_route(v):
+                    continue
+                component.add(v)
+                frontier.append(v)
+        for node in component:
+            self.heights[node] = None
+            self.erased.add(node)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Counters the route-maintenance experiments report."""
+        return {
+            "maintenance_steps": self.maintenance_steps,
+            "reference_levels_created": self.reference_levels_created,
+            "partitions_detected": self.partitions_detected,
+            "routed_fraction": self.routed_fraction(),
+            "erased_nodes": len(self.erased),
+        }

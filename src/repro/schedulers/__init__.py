@@ -1,0 +1,46 @@
+"""Schedulers (adversaries) that choose which enabled action fires next.
+
+Link-reversal algorithms are *self-stabilising* in the sense that any order of
+sink steps converges; how much work is done, however, depends heavily on the
+order.  The paper's automata leave the choice of the stepping set to an
+implicit adversary; this subpackage makes that adversary explicit so the
+benchmarks can study best-case, average-case and worst-case behaviour.
+
+Available schedulers
+--------------------
+
+``GreedyScheduler``
+    Every round, all current sinks step (the maximally concurrent schedule;
+    for PR this is a single ``reverse(S)`` action with ``S`` = all sinks).
+``SequentialScheduler``
+    Deterministic: always the first enabled node in instance order.
+``RandomScheduler``
+    Uniformly random enabled node (seeded).
+``AdversarialScheduler``
+    Heuristic worst case: prefers sinks far from the destination, which
+    maximises reversal cascades on the worst-case families.
+``LazyScheduler``
+    Prefers sinks close to the destination.
+``RoundRobinScheduler``
+    Fair rotation over the nodes.
+``TraceScheduler``
+    Replays an explicit node sequence (used by the simulation-relation
+    checker and by regression tests).
+"""
+
+from repro.schedulers.base import Scheduler, TraceScheduler, RoundRobinScheduler
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.sequential import SequentialScheduler
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.schedulers.adversarial import AdversarialScheduler, LazyScheduler
+
+__all__ = [
+    "AdversarialScheduler",
+    "GreedyScheduler",
+    "LazyScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SequentialScheduler",
+    "TraceScheduler",
+]

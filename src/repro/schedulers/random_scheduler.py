@@ -1,0 +1,59 @@
+"""Seeded uniformly-random scheduler.
+
+At every step one of the currently enabled nodes is chosen uniformly at
+random.  For the PR automaton the scheduler can additionally fire a random
+*subset* of the sinks as a single concurrent ``reverse(S)`` action
+(``subset_probability > 0``), exercising the set-valued action space that the
+other schedulers do not reach.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.automata.ioa import Action, IOAutomaton
+from repro.schedulers.base import Scheduler
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random choice among enabled nodes (reproducible via ``seed``).
+
+    Parameters
+    ----------
+    seed:
+        Seed for the private :class:`random.Random` instance.
+    subset_probability:
+        With this probability (and only when the automaton supports set
+        actions, i.e. PR), a uniformly random non-empty subset of the sinks is
+        fired as one concurrent action instead of a single node.
+    """
+
+    def __init__(self, seed: Optional[int] = None, subset_probability: float = 0.0):
+        if not 0.0 <= subset_probability <= 1.0:
+            raise ValueError("subset_probability must be in [0, 1]")
+        self.seed = seed
+        self.subset_probability = subset_probability
+        self._rng = random.Random(seed)
+
+    def reset(self, automaton: IOAutomaton) -> None:
+        self._rng = random.Random(self.seed)
+
+    def select(self, automaton: IOAutomaton, state) -> Optional[Action]:
+        from repro.core.pr import PartialReversal, ReverseSet
+
+        nodes = self._enabled_nodes(automaton, state)
+        if not nodes:
+            return None
+
+        if (
+            self.subset_probability > 0.0
+            and isinstance(automaton, PartialReversal)
+            and self._rng.random() < self.subset_probability
+        ):
+            size = self._rng.randint(1, len(nodes))
+            subset = self._rng.sample(nodes, size)
+            return ReverseSet(frozenset(subset))
+
+        node = self._rng.choice(nodes)
+        return self._single_action(automaton, node)

@@ -1,0 +1,30 @@
+"""Deterministic sequential scheduler.
+
+Always fires the first enabled node in the instance's node declaration order.
+This is the cheapest scheduler and the one used by default in unit tests and
+documentation examples, because executions under it are fully reproducible
+without a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.automata.ioa import Action, IOAutomaton
+from repro.schedulers.base import Scheduler
+
+
+class SequentialScheduler(Scheduler):
+    """Pick the first enabled node in instance node order, one step at a time."""
+
+    def __init__(self, seed: Optional[int] = None):
+        # ``seed`` is accepted (and ignored) so scheduler sweeps can construct
+        # every scheduler class uniformly.
+        self.seed = seed
+
+    def select(self, automaton: IOAutomaton, state) -> Optional[Action]:
+        for node in automaton.instance.non_destination_nodes:
+            action = self._single_action(automaton, node)
+            if automaton.is_enabled(state, action):
+                return action
+        return None

@@ -1,0 +1,41 @@
+"""Topology generators and mobility models used by the experiments.
+
+The paper's motivating domain is routing in networks "with frequently changing
+topology" (mobile ad-hoc networks).  This subpackage provides the graph
+families the benchmarks sweep over:
+
+* :mod:`repro.topology.generators` — deterministic families (chains, grids,
+  trees, stars, layered DAGs) and seeded random DAGs, all returned as
+  :class:`~repro.core.graph.LinkReversalInstance` objects;
+* :mod:`repro.topology.manet` — random geometric (unit-disk) graphs with node
+  positions, the standard MANET abstraction;
+* :mod:`repro.topology.mobility` — a random-waypoint mobility model that
+  perturbs node positions over time and reports the link failures/additions
+  each step induces (driving the route-maintenance experiments).
+"""
+
+from repro.topology.generators import (
+    chain_instance,
+    grid_instance,
+    layered_instance,
+    random_dag_instance,
+    star_instance,
+    tree_instance,
+    worst_case_chain_instance,
+)
+from repro.topology.manet import GeometricNetwork, random_geometric_instance
+from repro.topology.mobility import RandomWaypointMobility, TopologyChange
+
+__all__ = [
+    "GeometricNetwork",
+    "RandomWaypointMobility",
+    "TopologyChange",
+    "chain_instance",
+    "grid_instance",
+    "layered_instance",
+    "random_dag_instance",
+    "random_geometric_instance",
+    "star_instance",
+    "tree_instance",
+    "worst_case_chain_instance",
+]

@@ -1,0 +1,80 @@
+"""Verification of the paper's invariants, theorems and simulation relations.
+
+The paper's results are statements about *every reachable state* of the PR,
+OneStepPR and NewPR automata.  This subpackage turns each statement into an
+executable check:
+
+* :mod:`repro.verification.invariants` — Invariants 3.1, 3.2 (with
+  Corollaries 3.3/3.4), 4.1 and 4.2, each as a function from a state to a
+  structured report of violations;
+* :mod:`repro.verification.acyclicity` — Theorem 4.3 / Theorem 5.5 (the
+  directed graph is acyclic in every reachable state) plus counterexample
+  extraction;
+* :mod:`repro.verification.simulation` — the binary relations R′
+  (PR → OneStepPR) and R (OneStepPR → NewPR) of Section 5, and checkers that
+  construct the corresponding executions step by step exactly as Lemmas 5.1
+  and 5.3 prescribe;
+* :mod:`repro.verification.properties` — derived correctness properties used
+  by the applications (destination orientation at quiescence, confluence of
+  the final orientation across schedulers, termination bounds).
+
+Checks can be applied to individual states, along recorded executions, or to
+the entire reachable state space via :mod:`repro.exploration`.
+"""
+
+from repro.verification.invariants import (
+    InvariantReport,
+    InvariantViolation,
+    check_corollary_3_3,
+    check_corollary_3_4,
+    check_invariant_3_1,
+    check_invariant_3_2,
+    check_invariant_4_1,
+    check_invariant_4_2,
+    newpr_invariant_checks,
+    pr_invariant_checks,
+)
+from repro.verification.acyclicity import (
+    AcyclicityReport,
+    check_acyclic_execution,
+    check_acyclic_state,
+    is_acyclic,
+)
+from repro.verification.simulation import (
+    RelationR,
+    RelationRPrime,
+    SimulationCheckResult,
+    check_onestep_to_newpr_simulation,
+    check_pr_to_onestep_simulation,
+    check_full_simulation_chain,
+)
+from repro.verification.properties import (
+    check_confluence,
+    check_destination_oriented_at_quiescence,
+    check_sinks_are_independent,
+)
+
+__all__ = [
+    "AcyclicityReport",
+    "InvariantReport",
+    "InvariantViolation",
+    "RelationR",
+    "RelationRPrime",
+    "SimulationCheckResult",
+    "check_acyclic_execution",
+    "check_acyclic_state",
+    "check_confluence",
+    "check_corollary_3_3",
+    "check_corollary_3_4",
+    "check_destination_oriented_at_quiescence",
+    "check_full_simulation_chain",
+    "check_invariant_3_1",
+    "check_invariant_3_2",
+    "check_invariant_4_1",
+    "check_invariant_4_2",
+    "check_onestep_to_newpr_simulation",
+    "check_pr_to_onestep_simulation",
+    "check_sinks_are_independent",
+    "newpr_invariant_checks",
+    "pr_invariant_checks",
+]

@@ -1,0 +1,122 @@
+"""Acyclicity checks — the paper's main theorems made executable.
+
+Theorem 4.3 states that every reachable state of NewPR has an acyclic
+directed graph; Theorem 5.5 transfers the statement to PR via the simulation
+relations.  The checks here apply to *any* state produced by any automaton in
+the library (they only look at the orientation component), and they can be
+attached to executions or handed to the exhaustive explorer.
+
+A failed check returns the offending cycle so tests and the model checker can
+print a concrete counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.automata.executions import Execution
+from repro.core.graph import Orientation
+
+Node = Hashable
+
+
+@dataclass
+class AcyclicityReport:
+    """Outcome of an acyclicity check over one or more states."""
+
+    states_checked: int = 0
+    violations: List[Tuple[int, Tuple[Node, ...]]] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        """Whether every checked state was acyclic."""
+        return not self.violations
+
+    def add_violation(self, state_index: int, cycle: Tuple[Node, ...]) -> None:
+        """Record a cycle found in the state with the given index."""
+        self.violations.append((state_index, cycle))
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        if self.holds:
+            return f"acyclicity holds on all {self.states_checked} checked state(s)"
+        lines = [f"acyclicity violated in {len(self.violations)} of {self.states_checked} state(s)"]
+        for index, cycle in self.violations:
+            lines.append(f"  state #{index}: cycle {' -> '.join(map(str, cycle))}")
+        return "\n".join(lines)
+
+
+def _orientation_of(state_or_orientation) -> Orientation:
+    """Accept either a state (with an ``orientation`` attribute) or an orientation."""
+    if isinstance(state_or_orientation, Orientation):
+        return state_or_orientation
+    orientation = getattr(state_or_orientation, "orientation", None)
+    if orientation is not None:
+        return orientation
+    # height states derive their orientation
+    to_orientation = getattr(state_or_orientation, "to_orientation", None)
+    if to_orientation is not None:
+        return to_orientation()
+    raise TypeError(f"cannot extract an orientation from {state_or_orientation!r}")
+
+
+def is_acyclic(state_or_orientation) -> bool:
+    """Whether the directed graph of the given state (or orientation) is a DAG."""
+    return _orientation_of(state_or_orientation).is_acyclic()
+
+
+def find_cycle(state_or_orientation) -> Tuple[Node, ...]:
+    """Return a directed cycle of the state's graph, or ``()`` if it is acyclic."""
+    return _orientation_of(state_or_orientation).find_cycle()
+
+
+def check_acyclic_state(state_or_orientation, state_index: int = 0) -> AcyclicityReport:
+    """Check a single state; the report carries at most one violation."""
+    report = AcyclicityReport(states_checked=1)
+    cycle = find_cycle(state_or_orientation)
+    if cycle:
+        report.add_violation(state_index, cycle)
+    return report
+
+
+def check_acyclic_execution(execution: Execution) -> AcyclicityReport:
+    """Check every state of a recorded execution (Theorem 4.3 / 5.5 along a run)."""
+    report = AcyclicityReport()
+    for index, state in enumerate(execution.states):
+        report.states_checked += 1
+        cycle = find_cycle(state)
+        if cycle:
+            report.add_violation(index, cycle)
+    return report
+
+
+class AcyclicityObserver:
+    """Per-step observer for :func:`repro.automata.executions.run`.
+
+    Checks the post-state of every transition and accumulates a report, so
+    long benchmark runs can verify acyclicity without retaining states.
+
+    Parameters
+    ----------
+    fail_fast:
+        When ``True`` an :class:`AssertionError` is raised at the first cycle,
+        which aborts the run immediately (useful inside tests).
+    """
+
+    def __init__(self, fail_fast: bool = False):
+        self.report = AcyclicityReport()
+        self.fail_fast = fail_fast
+
+    def __call__(self, step_index: int, pre_state, action, post_state) -> None:
+        self.report.states_checked += 1
+        cycle = find_cycle(post_state)
+        if cycle:
+            self.report.add_violation(step_index + 1, cycle)
+            if self.fail_fast:
+                raise AssertionError(
+                    f"cycle created by step {step_index} ({action!r}): "
+                    f"{' -> '.join(map(str, cycle))}"
+                )

@@ -1,0 +1,279 @@
+"""Executable versions of the paper's invariants.
+
+Each ``check_*`` function takes a state (of the appropriate automaton) and
+returns an :class:`InvariantReport` listing every violation it found, so that
+failures produced by the model checker or by property-based tests carry a
+usable counterexample.  ``holds`` is the boolean the tests assert on.
+
+Implemented statements
+----------------------
+
+* **Invariant 3.1** (PR / OneStepPR): ``dir[u, v] = in`` iff ``dir[v, u] = out``
+  for every edge.
+* **Invariant 3.2** (PR / OneStepPR): for every node ``u`` *exactly one* of
+  the two structural alternatives about ``list[u]`` holds (see the paper for
+  the full statement).
+* **Corollary 3.3**: ``list[u] ⊆ in_nbrs(u)`` or ``list[u] ⊆ out_nbrs(u)``.
+* **Corollary 3.4**: if ``u`` is a sink then ``list[u] = in_nbrs(u)`` or
+  ``list[u] = out_nbrs(u)``.
+* **Invariant 4.1** (NewPR): equal parities of neighbours determine the edge
+  direction with respect to the left-to-right embedding.
+* **Invariant 4.2** (NewPR): the step-count relations (a)–(d) between
+  neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.embedding import PlanarEmbedding
+from repro.core.graph import EdgeDirection
+from repro.core.new_pr import NewPRState, Parity
+from repro.core.pr import PRState
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """A single violation of an invariant, with enough context to debug it."""
+
+    invariant: str
+    subject: Tuple[Node, ...]
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        subject = ", ".join(map(str, self.subject))
+        return f"[{self.invariant}] ({subject}): {self.detail}"
+
+
+@dataclass
+class InvariantReport:
+    """Result of checking one invariant on one state."""
+
+    invariant: str
+    violations: List[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        """Whether the invariant holds (no violations found)."""
+        return not self.violations
+
+    def add(self, subject: Tuple[Node, ...], detail: str) -> None:
+        """Record one violation."""
+        self.violations.append(InvariantViolation(self.invariant, subject, detail))
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        if self.holds:
+            return f"{self.invariant}: holds"
+        lines = [f"{self.invariant}: {len(self.violations)} violation(s)"]
+        lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Invariant 3.1
+# ----------------------------------------------------------------------
+def check_invariant_3_1(state) -> InvariantReport:
+    """Invariant 3.1: ``dir[u, v] = in`` iff ``dir[v, u] = out`` for every edge.
+
+    The :class:`~repro.core.graph.Orientation` representation satisfies this
+    by construction; the check exists so the claim is verified through the
+    same public ``dir`` interface the paper uses, guarding against regressions
+    in the representation itself.
+    """
+    report = InvariantReport("Invariant 3.1")
+    instance = state.instance
+    for u, v in instance.initial_edges:
+        d_uv = state.dir(u, v)
+        d_vu = state.dir(v, u)
+        if (d_uv is EdgeDirection.IN) != (d_vu is EdgeDirection.OUT):
+            report.add((u, v), f"dir[{u},{v}]={d_uv.value} but dir[{v},{u}]={d_vu.value}")
+    return report
+
+
+# ----------------------------------------------------------------------
+# Invariant 3.2 and its corollaries
+# ----------------------------------------------------------------------
+def _part_1_holds(state: PRState, u: Node) -> bool:
+    """Part 1 of Invariant 3.2 for node ``u``."""
+    instance = state.instance
+    out_edges_incoming = all(
+        state.dir(u, w) is EdgeDirection.IN for w in instance.out_nbrs(u)
+    )
+    expected_list = frozenset(
+        v for v in instance.in_nbrs(u) if state.dir(u, v) is EdgeDirection.IN
+    )
+    return out_edges_incoming and state.list_of(u) == expected_list
+
+
+def _part_2_holds(state: PRState, u: Node) -> bool:
+    """Part 2 of Invariant 3.2 for node ``u``."""
+    instance = state.instance
+    in_edges_incoming = all(
+        state.dir(u, w) is EdgeDirection.IN for w in instance.in_nbrs(u)
+    )
+    expected_list = frozenset(
+        v for v in instance.out_nbrs(u) if state.dir(u, v) is EdgeDirection.IN
+    )
+    return in_edges_incoming and state.list_of(u) == expected_list
+
+
+def check_invariant_3_2(state: PRState) -> InvariantReport:
+    """Invariant 3.2: for every node exactly one of the two list alternatives holds.
+
+    Nodes with no neighbours are skipped: for them both alternatives are
+    vacuously true and the paper's graphs (connected, with a destination)
+    never contain such nodes.
+    """
+    report = InvariantReport("Invariant 3.2")
+    for u in state.instance.nodes:
+        if not state.instance.nbrs(u):
+            continue
+        part1 = _part_1_holds(state, u)
+        part2 = _part_2_holds(state, u)
+        if part1 == part2:
+            which = "both" if part1 else "neither"
+            report.add((u,), f"{which} alternatives of Invariant 3.2 hold (expected exactly one)")
+    return report
+
+
+def check_corollary_3_3(state: PRState) -> InvariantReport:
+    """Corollary 3.3: ``list[u]`` is a subset of ``in_nbrs(u)`` or of ``out_nbrs(u)``."""
+    report = InvariantReport("Corollary 3.3")
+    instance = state.instance
+    for u in instance.nodes:
+        lst = state.list_of(u)
+        if not (lst <= instance.in_nbrs(u) or lst <= instance.out_nbrs(u)):
+            report.add(
+                (u,),
+                f"list[{u}]={sorted(map(str, lst))} is neither a subset of in_nbrs nor of out_nbrs",
+            )
+    return report
+
+
+def check_corollary_3_4(state: PRState) -> InvariantReport:
+    """Corollary 3.4: if ``u`` is a sink then ``list[u]`` equals ``in_nbrs(u)`` or ``out_nbrs(u)``."""
+    report = InvariantReport("Corollary 3.4")
+    instance = state.instance
+    for u in instance.nodes:
+        if u == instance.destination or not state.is_sink(u):
+            continue
+        lst = state.list_of(u)
+        if lst != instance.in_nbrs(u) and lst != instance.out_nbrs(u):
+            report.add(
+                (u,),
+                f"sink {u} has list {sorted(map(str, lst))}, expected in_nbrs or out_nbrs",
+            )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Invariant 4.1
+# ----------------------------------------------------------------------
+def check_invariant_4_1(
+    state: NewPRState, embedding: Optional[PlanarEmbedding] = None
+) -> InvariantReport:
+    """Invariant 4.1: equal parities of neighbours fix the edge direction.
+
+    (a) If ``parity[u] = parity[v] = even`` the edge is directed from left to
+    right (with respect to the initial left-to-right embedding);
+    (b) if both parities are odd it is directed from right to left.
+    """
+    report = InvariantReport("Invariant 4.1")
+    if embedding is None:
+        embedding = PlanarEmbedding.from_topological_order(state.instance)
+    for u, v in state.instance.initial_edges:
+        pu, pv = state.parity(u), state.parity(v)
+        if pu is not pv:
+            continue
+        left_to_right = embedding.edge_goes_left_to_right(state.orientation, u, v)
+        if pu is Parity.EVEN and not left_to_right:
+            report.add(
+                (u, v),
+                "both parities even but the edge is directed from right to left",
+            )
+        if pu is Parity.ODD and left_to_right:
+            report.add(
+                (u, v),
+                "both parities odd but the edge is directed from left to right",
+            )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Invariant 4.2
+# ----------------------------------------------------------------------
+def check_invariant_4_2(
+    state: NewPRState, embedding: Optional[PlanarEmbedding] = None
+) -> InvariantReport:
+    """Invariant 4.2: the four step-count relations between neighbours.
+
+    (a) counts of neighbours differ by at most one;
+    (b) if ``count[u]`` is odd and ``v`` is to the right of ``u`` then
+        ``count[v] = count[u]``;
+    (c) if ``count[u]`` is even and ``v`` is to the left of ``u`` then
+        ``count[v] = count[u]``;
+    (d) if ``count[u] > count[v]`` then the edge is directed from ``u`` to ``v``.
+    """
+    report = InvariantReport("Invariant 4.2")
+    if embedding is None:
+        embedding = PlanarEmbedding.from_topological_order(state.instance)
+    instance = state.instance
+    for u, v in instance.initial_edges:
+        cu, cv = state.count(u), state.count(v)
+
+        # (a) — symmetric, check once per edge
+        if abs(cu - cv) > 1:
+            report.add((u, v), f"counts differ by more than one: count[{u}]={cu}, count[{v}]={cv}")
+
+        # parts (b)-(d) are stated per ordered pair; check both orders
+        for x, y, cx, cy in ((u, v, cu, cv), (v, u, cv, cu)):
+            if cx % 2 == 1 and embedding.is_right_of(y, x) and cy != cx:
+                report.add(
+                    (x, y),
+                    f"count[{x}]={cx} is odd and {y} is to its right, but count[{y}]={cy}",
+                )
+            if cx % 2 == 0 and embedding.is_left_of(y, x) and cy != cx:
+                report.add(
+                    (x, y),
+                    f"count[{x}]={cx} is even and {y} is to its left, but count[{y}]={cy}",
+                )
+            if cx > cy and not state.orientation.points_towards(x, y):
+                report.add(
+                    (x, y),
+                    f"count[{x}]={cx} > count[{y}]={cy} but the edge is not directed {x} -> {y}",
+                )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Bundles used by the model checker and the benchmarks
+# ----------------------------------------------------------------------
+def pr_invariant_checks() -> Dict[str, Callable]:
+    """All state predicates the paper asserts for PR / OneStepPR states."""
+    return {
+        "Invariant 3.1": check_invariant_3_1,
+        "Invariant 3.2": check_invariant_3_2,
+        "Corollary 3.3": check_corollary_3_3,
+        "Corollary 3.4": check_corollary_3_4,
+    }
+
+
+def newpr_invariant_checks(
+    embedding: Optional[PlanarEmbedding] = None,
+) -> Dict[str, Callable]:
+    """All state predicates the paper asserts for NewPR states.
+
+    A shared embedding may be supplied so repeated checks along an execution
+    do not recompute the topological order every time.
+    """
+    return {
+        "Invariant 3.1": check_invariant_3_1,
+        "Invariant 4.1": lambda state: check_invariant_4_1(state, embedding),
+        "Invariant 4.2": lambda state: check_invariant_4_2(state, embedding),
+    }

@@ -1,0 +1,287 @@
+"""The simulation relations of Section 5, as executable checkers.
+
+The paper transfers the acyclicity proof from NewPR back to the original PR
+through two binary relations:
+
+* **R′** relates reachable states of PR and OneStepPR: the directed graphs are
+  identical and every node's ``list`` is identical (Section 5.2).
+* **R** relates reachable states of OneStepPR and NewPR: the directed graphs
+  are identical, and ``parity[u] = even`` implies ``list[u] ⊆ out_nbrs(u)``
+  while ``parity[u] = odd`` implies ``list[u] ⊆ in_nbrs(u)`` (Section 5.3).
+
+Lemma 5.1 / Lemma 5.3 show how to construct, for every step of the "source"
+automaton, a finite sequence of steps of the "target" automaton that restores
+the relation:
+
+* a PR action ``reverse(S)`` corresponds to one ``reverse(u)`` of OneStepPR
+  per ``u ∈ S`` (in any order);
+* a OneStepPR action ``reverse(w)`` corresponds to one NewPR ``reverse(w)``
+  when ``list[w] ≠ nbrs(w)``, and to *two* consecutive ``reverse(w)`` steps
+  (a dummy step followed by a real one) when ``list[w] = nbrs(w)``.
+
+The checkers below replay a recorded execution of the source automaton,
+construct exactly that corresponding execution of the target automaton, and
+verify the relation at every correspondence point.  This is the empirical
+content of Theorems 5.2, 5.4 and 5.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.automata.executions import Execution
+from repro.core.base import Reverse
+from repro.core.graph import LinkReversalInstance
+from repro.core.new_pr import NewPartialReversal, NewPRState, Parity
+from repro.core.one_step_pr import OneStepPartialReversal, OneStepPRState
+from repro.core.pr import PartialReversal, PRState, ReverseSet
+
+Node = Hashable
+
+
+# ----------------------------------------------------------------------
+# the relations themselves
+# ----------------------------------------------------------------------
+class RelationRPrime:
+    """The relation R′ between PR states and OneStepPR states (Section 5.2)."""
+
+    def __init__(self, instance: LinkReversalInstance):
+        self.instance = instance
+
+    def holds(self, pr_state: PRState, onestep_state: OneStepPRState) -> bool:
+        """Whether ``(pr_state, onestep_state) ∈ R′``."""
+        return not self.violations(pr_state, onestep_state)
+
+    def violations(self, pr_state: PRState, onestep_state: OneStepPRState) -> List[str]:
+        """Human-readable descriptions of every violated condition of R′."""
+        problems: List[str] = []
+        if pr_state.graph_signature() != onestep_state.graph_signature():
+            problems.append("directed graphs differ (condition 1 of R')")
+        for u in self.instance.nodes:
+            if pr_state.list_of(u) != onestep_state.list_of(u):
+                problems.append(
+                    f"list[{u}] differs: PR has {sorted(map(str, pr_state.list_of(u)))}, "
+                    f"OneStepPR has {sorted(map(str, onestep_state.list_of(u)))} (condition 2 of R')"
+                )
+        return problems
+
+
+class RelationR:
+    """The relation R between OneStepPR states and NewPR states (Section 5.3)."""
+
+    def __init__(self, instance: LinkReversalInstance):
+        self.instance = instance
+
+    def holds(self, onestep_state: OneStepPRState, newpr_state: NewPRState) -> bool:
+        """Whether ``(onestep_state, newpr_state) ∈ R``."""
+        return not self.violations(onestep_state, newpr_state)
+
+    def violations(self, onestep_state: OneStepPRState, newpr_state: NewPRState) -> List[str]:
+        """Human-readable descriptions of every violated condition of R."""
+        problems: List[str] = []
+        if onestep_state.graph_signature() != newpr_state.graph_signature():
+            problems.append("directed graphs differ (condition 1 of R)")
+        for u in self.instance.nodes:
+            lst = onestep_state.list_of(u)
+            parity = newpr_state.parity(u)
+            if parity is Parity.EVEN and not lst <= self.instance.out_nbrs(u):
+                problems.append(
+                    f"parity[{u}] is even but list[{u}]={sorted(map(str, lst))} "
+                    "is not a subset of out_nbrs (condition 2 of R)"
+                )
+            if parity is Parity.ODD and not lst <= self.instance.in_nbrs(u):
+                problems.append(
+                    f"parity[{u}] is odd but list[{u}]={sorted(map(str, lst))} "
+                    "is not a subset of in_nbrs (condition 3 of R)"
+                )
+        return problems
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+@dataclass
+class SimulationCheckResult:
+    """Outcome of checking a simulation relation along one execution."""
+
+    relation_name: str
+    holds: bool
+    correspondence_points: int
+    failures: List[Tuple[int, str]] = field(default_factory=list)
+    corresponding_execution: Optional[Execution] = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        if self.holds:
+            return (
+                f"{self.relation_name}: holds at all {self.correspondence_points} "
+                "correspondence points"
+            )
+        lines = [f"{self.relation_name}: FAILED at {len(self.failures)} point(s)"]
+        for index, reason in self.failures[:10]:
+            lines.append(f"  source step {index}: {reason}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Lemma 5.1 / Theorem 5.2 — PR simulates OneStepPR via R'
+# ----------------------------------------------------------------------
+def check_pr_to_onestep_simulation(
+    pr_execution: Execution,
+    instance: Optional[LinkReversalInstance] = None,
+) -> SimulationCheckResult:
+    """Replay a PR execution, build the corresponding OneStepPR execution, check R′.
+
+    For each PR action ``reverse(S)`` the corresponding OneStepPR fragment is
+    one ``reverse(u)`` per ``u ∈ S`` (Lemma 5.1).  The relation is required to
+    hold initially and after every completed fragment.
+    """
+    if instance is None:
+        instance = pr_execution.automaton.instance
+    relation = RelationRPrime(instance)
+    onestep = OneStepPartialReversal(instance)
+    onestep_execution = Execution(onestep, onestep.initial_state())
+
+    failures: List[Tuple[int, str]] = []
+    points = 0
+
+    t_state = onestep_execution.final_state
+    points += 1
+    for problem in relation.violations(pr_execution.initial_state, t_state):
+        failures.append((0, f"initial states: {problem}"))
+
+    for step in pr_execution.steps():
+        action = step.action
+        if isinstance(action, Reverse):
+            nodes: Tuple[Node, ...] = (action.node,)
+        elif isinstance(action, ReverseSet):
+            nodes = action.actors()
+        else:  # pragma: no cover - defensive
+            failures.append((step.index, f"unexpected action type {type(action).__name__}"))
+            continue
+        for u in nodes:
+            sub_action = Reverse(u)
+            if not onestep.is_enabled(t_state, sub_action):
+                failures.append(
+                    (step.index, f"corresponding OneStepPR action reverse({u}) is not enabled")
+                )
+                break
+            t_state = onestep.apply(t_state, sub_action)
+            onestep_execution.append(sub_action, t_state)
+        points += 1
+        for problem in relation.violations(step.post_state, t_state):
+            failures.append((step.index, problem))
+
+    return SimulationCheckResult(
+        relation_name="R' (PR -> OneStepPR)",
+        holds=not failures,
+        correspondence_points=points,
+        failures=failures,
+        corresponding_execution=onestep_execution,
+    )
+
+
+# ----------------------------------------------------------------------
+# Lemma 5.3 / Theorem 5.4 — OneStepPR simulates NewPR via R
+# ----------------------------------------------------------------------
+def check_onestep_to_newpr_simulation(
+    onestep_execution: Execution,
+    instance: Optional[LinkReversalInstance] = None,
+) -> SimulationCheckResult:
+    """Replay a OneStepPR execution, build the corresponding NewPR execution, check R.
+
+    For each OneStepPR action ``reverse(w)`` the corresponding NewPR fragment
+    is a single ``reverse(w)`` when ``list[w] ≠ nbrs(w)`` and two consecutive
+    ``reverse(w)`` steps otherwise (Lemma 5.3).
+    """
+    if instance is None:
+        instance = onestep_execution.automaton.instance
+    relation = RelationR(instance)
+    newpr = NewPartialReversal(instance)
+    newpr_execution = Execution(newpr, newpr.initial_state())
+
+    failures: List[Tuple[int, str]] = []
+    points = 0
+
+    t_state = newpr_execution.final_state
+    points += 1
+    for problem in relation.violations(onestep_execution.initial_state, t_state):
+        failures.append((0, f"initial states: {problem}"))
+
+    for step in onestep_execution.steps():
+        action = step.action
+        if isinstance(action, ReverseSet):
+            if len(action.nodes) != 1:
+                failures.append(
+                    (step.index, "OneStepPR execution contains a multi-node action")
+                )
+                continue
+            (w,) = tuple(action.nodes)
+        elif isinstance(action, Reverse):
+            w = action.node
+        else:  # pragma: no cover - defensive
+            failures.append((step.index, f"unexpected action type {type(action).__name__}"))
+            continue
+
+        pre_list = step.pre_state.list_of(w)
+        repetitions = 2 if pre_list == instance.nbrs(w) else 1
+        ok = True
+        for _ in range(repetitions):
+            sub_action = Reverse(w)
+            if not newpr.is_enabled(t_state, sub_action):
+                failures.append(
+                    (step.index, f"corresponding NewPR action reverse({w}) is not enabled")
+                )
+                ok = False
+                break
+            t_state = newpr.apply(t_state, sub_action)
+            newpr_execution.append(sub_action, t_state)
+        points += 1
+        if ok:
+            for problem in relation.violations(step.post_state, t_state):
+                failures.append((step.index, problem))
+
+    return SimulationCheckResult(
+        relation_name="R (OneStepPR -> NewPR)",
+        holds=not failures,
+        correspondence_points=points,
+        failures=failures,
+        corresponding_execution=newpr_execution,
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 5.5 — the full chain PR -> OneStepPR -> NewPR
+# ----------------------------------------------------------------------
+@dataclass
+class SimulationChainResult:
+    """Result of checking R' then R along one PR execution (Theorem 5.5)."""
+
+    r_prime: SimulationCheckResult
+    r: SimulationCheckResult
+
+    @property
+    def holds(self) -> bool:
+        """Whether both relations held at every correspondence point."""
+        return self.r_prime.holds and self.r.holds
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def check_full_simulation_chain(pr_execution: Execution) -> SimulationChainResult:
+    """Check R′ along a PR execution, then R along the constructed OneStepPR execution.
+
+    This mirrors the proof of Theorem 5.5: every reachable PR state is related
+    (via R′ then R) to a reachable NewPR state with the same directed graph,
+    so PR inherits NewPR's acyclicity.
+    """
+    r_prime_result = check_pr_to_onestep_simulation(pr_execution)
+    onestep_execution = r_prime_result.corresponding_execution
+    if onestep_execution is None:  # pragma: no cover - defensive
+        raise RuntimeError("R' check did not produce a corresponding execution")
+    r_result = check_onestep_to_newpr_simulation(onestep_execution)
+    return SimulationChainResult(r_prime=r_prime_result, r=r_result)

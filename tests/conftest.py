@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide a handful of canonical instances that the paper's figures
+and the literature's examples revolve around:
+
+* ``bad_chain`` — a path with every edge pointing away from the destination
+  (every non-destination node starts with no route);
+* ``good_chain`` — the same path already destination oriented;
+* ``diamond`` — the destination plus a 2-path diamond, the smallest instance
+  where PR and FR genuinely differ;
+* ``small_grid`` — a 3×3 mesh (2-connected, used by the application tests);
+* ``random_dag`` — a medium random DAG for randomized checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import LinkReversalInstance
+from repro.topology.generators import (
+    chain_instance,
+    grid_instance,
+    random_dag_instance,
+    worst_case_chain_instance,
+)
+
+
+@pytest.fixture
+def bad_chain() -> LinkReversalInstance:
+    """Path 0-1-2-3-4 with the destination 0 and all edges pointing away from it."""
+    return chain_instance(5, towards_destination=False)
+
+
+@pytest.fixture
+def good_chain() -> LinkReversalInstance:
+    """Path 0-1-2-3-4 already oriented towards the destination 0."""
+    return chain_instance(5, towards_destination=True)
+
+
+@pytest.fixture
+def diamond() -> LinkReversalInstance:
+    """Destination ``d`` with two parallel 2-hop branches joining at node ``c``.
+
+    Initial orientation: d->a, d->b, a->c, b->c, so ``c`` is the unique sink
+    and no node has a path to ``d``.
+    """
+    return LinkReversalInstance.from_directed_edges(
+        nodes=["d", "a", "b", "c"],
+        destination="d",
+        edges=[("d", "a"), ("d", "b"), ("a", "c"), ("b", "c")],
+    )
+
+
+@pytest.fixture
+def small_grid() -> LinkReversalInstance:
+    """3x3 mesh, destination at the top-left corner, initially destination oriented."""
+    return grid_instance(3, 3, oriented_towards_destination=True)
+
+
+@pytest.fixture
+def bad_grid() -> LinkReversalInstance:
+    """3x3 mesh with every edge pointing away from the destination corner."""
+    return grid_instance(3, 3, oriented_towards_destination=False)
+
+
+@pytest.fixture
+def random_dag() -> LinkReversalInstance:
+    """A seeded 20-node random DAG (connected)."""
+    return random_dag_instance(20, edge_probability=0.25, seed=7)
+
+
+@pytest.fixture
+def worst_chain() -> LinkReversalInstance:
+    """The 6-bad-node worst-case chain used by the work experiments."""
+    return worst_case_chain_instance(6)

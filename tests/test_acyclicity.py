@@ -1,0 +1,110 @@
+"""Unit tests for the acyclicity checks (Theorem 4.3 / Theorem 5.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.executions import run
+from repro.core.full_reversal import FullReversal
+from repro.core.graph import LinkReversalInstance, Orientation
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.schedulers.sequential import SequentialScheduler
+from repro.verification.acyclicity import (
+    AcyclicityObserver,
+    check_acyclic_execution,
+    check_acyclic_state,
+    find_cycle,
+    is_acyclic,
+)
+
+
+def cyclic_orientation() -> Orientation:
+    instance = LinkReversalInstance(
+        nodes=(0, 1, 2), destination=0, initial_edges=((0, 1), (1, 2), (0, 2))
+    )
+    return Orientation.from_directed_edges(instance, [(0, 1), (1, 2), (2, 0)])
+
+
+class TestStateChecks:
+    def test_is_acyclic_accepts_orientation(self, diamond):
+        assert is_acyclic(diamond.initial_orientation())
+
+    def test_is_acyclic_accepts_state(self, diamond):
+        assert is_acyclic(PartialReversal(diamond).initial_state())
+
+    def test_is_acyclic_accepts_height_state(self, diamond):
+        from repro.core.heights import GBPartialReversalHeights
+
+        assert is_acyclic(GBPartialReversalHeights(diamond).initial_state())
+
+    def test_rejects_unknown_object(self):
+        with pytest.raises(TypeError):
+            is_acyclic(42)
+
+    def test_cycle_detected(self):
+        assert not is_acyclic(cyclic_orientation())
+        cycle = find_cycle(cyclic_orientation())
+        assert set(cycle) == {0, 1, 2}
+
+    def test_check_acyclic_state_report(self):
+        report = check_acyclic_state(cyclic_orientation(), state_index=7)
+        assert not report.holds
+        assert report.violations[0][0] == 7
+
+    def test_report_string_lists_cycle(self):
+        report = check_acyclic_state(cyclic_orientation())
+        assert "cycle" in str(report)
+
+
+class TestExecutionChecks:
+    """Theorem 4.3 / 5.5: acyclicity holds in every state of every execution."""
+
+    @pytest.mark.parametrize(
+        "automaton_class",
+        [PartialReversal, OneStepPartialReversal, NewPartialReversal, FullReversal],
+    )
+    def test_acyclic_along_executions_on_chain(self, bad_chain, automaton_class):
+        result = run(automaton_class(bad_chain), SequentialScheduler())
+        report = check_acyclic_execution(result.execution)
+        assert report.holds
+        assert report.states_checked == result.steps_taken + 1
+
+    @pytest.mark.parametrize(
+        "automaton_class",
+        [PartialReversal, OneStepPartialReversal, NewPartialReversal, FullReversal],
+    )
+    def test_acyclic_along_executions_on_grid(self, bad_grid, automaton_class):
+        result = run(automaton_class(bad_grid), GreedyScheduler())
+        assert check_acyclic_execution(result.execution).holds
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_acyclic_under_random_schedules(self, random_dag, seed):
+        result = run(NewPartialReversal(random_dag), RandomScheduler(seed=seed))
+        assert check_acyclic_execution(result.execution).holds
+
+    def test_acyclic_with_subset_actions(self, bad_grid):
+        result = run(PartialReversal(bad_grid), RandomScheduler(seed=3, subset_probability=0.8))
+        assert check_acyclic_execution(result.execution).holds
+
+
+class TestObserver:
+    def test_observer_counts_states(self, bad_chain):
+        observer = AcyclicityObserver()
+        result = run(NewPartialReversal(bad_chain), SequentialScheduler(), observers=(observer,))
+        assert observer.report.states_checked == result.steps_taken
+        assert observer.report.holds
+
+    def test_observer_records_violation_for_cyclic_post_state(self):
+        observer = AcyclicityObserver()
+        observer(3, None, None, cyclic_orientation())
+        assert not observer.report.holds
+        assert observer.report.violations[0][0] == 4  # step index + 1
+
+    def test_observer_fail_fast_raises(self):
+        observer = AcyclicityObserver(fail_fast=True)
+        with pytest.raises(AssertionError):
+            observer(0, None, None, cyclic_orientation())

@@ -1,0 +1,153 @@
+"""Unit tests for the leader-election and mutual-exclusion applications (E16)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications.leader_election import LeaderElectionService
+from repro.applications.mutual_exclusion import TokenMutex
+from repro.core.full_reversal import FullReversal
+from repro.topology.generators import chain_instance, grid_instance, random_dag_instance
+
+
+class TestLeaderElection:
+    def test_initial_leader_is_destination(self, small_grid):
+        service = LeaderElectionService(small_grid)
+        assert service.current_leader() == small_grid.destination
+        assert service.is_leader_oriented()
+
+    def test_failover_elects_highest_id(self, small_grid):
+        service = LeaderElectionService(small_grid)
+        report = service.fail_leader()
+        assert report.failed_leader == 0
+        assert report.new_leader == max(u for u in small_grid.nodes if u != 0)
+        assert service.is_leader_oriented()
+
+    def test_reorientation_reported(self, small_grid):
+        service = LeaderElectionService(small_grid)
+        report = service.fail_leader()
+        assert report.destination_oriented
+        assert report.surviving_nodes == small_grid.node_count - 1
+        assert report.rounds >= 0
+
+    def test_successive_failovers(self):
+        instance = grid_instance(4, 4, oriented_towards_destination=True)
+        service = LeaderElectionService(instance)
+        leaders = [service.current_leader()]
+        for _ in range(3):
+            report = service.fail_leader()
+            leaders.append(report.new_leader)
+            assert service.is_leader_oriented()
+        assert len(set(leaders)) == len(leaders)  # a fresh leader every time
+
+    def test_history_is_recorded(self, small_grid):
+        service = LeaderElectionService(small_grid)
+        service.fail_leader()
+        service.fail_leader()
+        assert len(service.history) == 2
+
+    def test_orientation_is_acyclic_after_election(self, small_grid):
+        service = LeaderElectionService(small_grid)
+        service.fail_leader()
+        assert service.orientation.is_acyclic()
+
+    def test_disconnecting_failure_rejected(self):
+        # a path graph: removing the leader at the end is fine, but build a
+        # case where removing it disconnects the rest -> destination in middle
+        instance = chain_instance(5, towards_destination=True, destination_at_end=False)
+        service = LeaderElectionService(instance)
+        with pytest.raises(RuntimeError):
+            service.fail_leader()
+
+    def test_custom_algorithm_factory(self, small_grid):
+        service = LeaderElectionService(small_grid, algorithm_factory=FullReversal)
+        report = service.fail_leader()
+        assert report.destination_oriented
+
+    def test_elect_rule_is_deterministic(self, small_grid):
+        service = LeaderElectionService(small_grid)
+        assert service.elect([3, 7, 5]) == 7
+        with pytest.raises(ValueError):
+            service.elect([])
+
+
+class TestTokenMutex:
+    def test_initial_holder_is_destination(self, small_grid):
+        mutex = TokenMutex(small_grid)
+        assert mutex.token_holder() == small_grid.destination
+        assert mutex.is_token_oriented()
+        assert mutex.is_acyclic()
+
+    def test_grant_moves_token(self, small_grid):
+        mutex = TokenMutex(small_grid)
+        mutex.request(8)
+        report = mutex.grant_next()
+        assert report.requester == 8
+        assert mutex.token_holder() == 8
+        assert mutex.is_token_oriented()
+
+    def test_safety_single_holder_at_all_times(self, small_grid):
+        mutex = TokenMutex(small_grid)
+        for node in (4, 8, 2, 6):
+            mutex.request(node)
+        while mutex.pending_requests():
+            mutex.grant_next()
+            # exactly one holder, and the DAG still points at it
+            assert mutex.token_holder() in small_grid.nodes
+            assert mutex.is_token_oriented()
+            assert mutex.is_acyclic()
+
+    def test_liveness_all_requests_granted_in_order(self, small_grid):
+        mutex = TokenMutex(small_grid)
+        requests = [5, 2, 7, 1, 8]
+        for node in requests:
+            mutex.request(node)
+        reports = mutex.grant_all()
+        assert [r.requester for r in reports] == requests
+        assert mutex.pending_requests() == ()
+
+    def test_grant_with_no_requests_returns_none(self, small_grid):
+        mutex = TokenMutex(small_grid)
+        assert mutex.grant_next() is None
+
+    def test_request_for_current_holder_is_free(self, small_grid):
+        mutex = TokenMutex(small_grid)
+        mutex.request(small_grid.destination)
+        report = mutex.grant_next()
+        assert report.request_path_hops == 0
+        assert report.reversal_steps == 0
+
+    def test_unknown_node_rejected(self, small_grid):
+        mutex = TokenMutex(small_grid)
+        with pytest.raises(ValueError):
+            mutex.request(99)
+
+    def test_hops_reflect_distance(self, small_grid):
+        mutex = TokenMutex(small_grid)
+        mutex.request(8)  # opposite corner of the 3x3 grid
+        report = mutex.grant_next()
+        assert report.request_path_hops >= 4  # at least the Manhattan distance
+
+    def test_works_on_random_dag(self):
+        instance = random_dag_instance(15, edge_probability=0.3, seed=5)
+        mutex = TokenMutex(instance)
+        for node in (3, 9, 14, 1):
+            mutex.request(node)
+        mutex.grant_all()
+        assert mutex.is_token_oriented()
+        assert mutex.is_acyclic()
+
+    def test_total_reversal_steps_accumulate(self, small_grid):
+        mutex = TokenMutex(small_grid)
+        for node in (8, 4):
+            mutex.request(node)
+        mutex.grant_all()
+        assert mutex.total_reversal_steps == sum(r.reversal_steps for r in mutex.grants)
+
+    def test_repeated_requests_from_same_node(self, small_grid):
+        mutex = TokenMutex(small_grid)
+        mutex.request(8)
+        mutex.request(8)
+        reports = mutex.grant_all()
+        assert len(reports) == 2
+        assert reports[1].reversal_steps == 0  # already the holder

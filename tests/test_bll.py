@@ -1,0 +1,89 @@
+"""Unit tests for the Binary Link Labels generalisation (experiment E13)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.executions import run
+from repro.core.base import Reverse
+from repro.core.bll import (
+    BinaryLinkLabels,
+    bll_matches_partial_reversal,
+    full_reversal_as_bll,
+    partial_reversal_as_bll,
+)
+from repro.core.full_reversal import FullReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.schedulers.sequential import SequentialScheduler
+
+
+class TestConstruction:
+    def test_default_marks_empty(self, diamond):
+        state = partial_reversal_as_bll(diamond).initial_state()
+        assert all(state.marked_neighbours(u) == frozenset() for u in diamond.nodes)
+
+    def test_explicit_initial_marks(self, diamond):
+        automaton = BinaryLinkLabels(diamond, initial_marks={"c": ["a"]})
+        state = automaton.initial_state()
+        assert state.is_marked("c", "a")
+        assert not state.is_marked("c", "b")
+
+    def test_marks_must_be_neighbours(self, diamond):
+        with pytest.raises(ValueError):
+            BinaryLinkLabels(diamond, initial_marks={"c": ["d"]})
+
+
+class TestPRSpecialisation:
+    def test_single_step_matches_onestep_pr(self, diamond):
+        bll = partial_reversal_as_bll(diamond)
+        pr = OneStepPartialReversal(diamond)
+        s = bll.apply(bll.initial_state(), Reverse("c"))
+        t = pr.apply(pr.initial_state(), Reverse("c"))
+        assert s.graph_signature() == t.graph_signature()
+        assert all(s.marks[u] == t.lists[u] for u in diamond.nodes)
+
+    def test_matches_pr_on_sequential_schedule(self, bad_chain):
+        schedule = list(bad_chain.non_destination_nodes) * bad_chain.node_count
+        assert bll_matches_partial_reversal(bad_chain, schedule)
+
+    def test_matches_pr_on_grid(self, bad_grid):
+        schedule = list(bad_grid.non_destination_nodes) * 6
+        assert bll_matches_partial_reversal(bad_grid, schedule)
+
+    def test_matches_pr_on_random_dag(self, random_dag):
+        schedule = list(random_dag.non_destination_nodes) * 8
+        assert bll_matches_partial_reversal(random_dag, schedule)
+
+    def test_converges_like_pr(self, bad_chain):
+        bll_result = run(partial_reversal_as_bll(bad_chain), SequentialScheduler())
+        pr_result = run(OneStepPartialReversal(bad_chain), SequentialScheduler())
+        assert bll_result.final_state.graph_signature() == pr_result.final_state.graph_signature()
+
+
+class TestFRSpecialisation:
+    def test_no_marking_means_full_reversal(self, bad_chain):
+        bll_result = run(full_reversal_as_bll(bad_chain), SequentialScheduler())
+        fr_result = run(FullReversal(bad_chain), SequentialScheduler())
+        assert bll_result.steps_taken == fr_result.steps_taken
+        assert bll_result.final_state.graph_signature() == fr_result.final_state.graph_signature()
+
+    def test_fr_mode_never_sets_marks(self, bad_chain):
+        result = run(full_reversal_as_bll(bad_chain), SequentialScheduler())
+        for state in result.execution.states:
+            assert all(state.marks[u] == frozenset() for u in bad_chain.nodes)
+
+
+class TestAcyclicity:
+    def test_pr_instantiation_stays_acyclic(self, random_dag):
+        result = run(partial_reversal_as_bll(random_dag), RandomScheduler(seed=3))
+        assert all(state.is_acyclic() for state in result.execution.states)
+
+    def test_fr_instantiation_stays_acyclic(self, random_dag):
+        result = run(full_reversal_as_bll(random_dag), RandomScheduler(seed=3))
+        assert all(state.is_acyclic() for state in result.execution.states)
+
+    def test_converges_to_destination_orientation(self, bad_grid):
+        result = run(partial_reversal_as_bll(bad_grid), SequentialScheduler())
+        assert result.converged
+        assert result.final_state.is_destination_oriented()

@@ -1,0 +1,118 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import ALGORITHMS, SCHEDULERS, TOPOLOGIES, build_parser, build_topology, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "pr"
+        assert args.topology == "chain"
+        assert args.scheduler == "greedy"
+
+    def test_all_algorithms_accepted(self):
+        for name in ALGORITHMS:
+            args = build_parser().parse_args(["run", "--algorithm", name])
+            assert args.algorithm == name
+
+    def test_all_schedulers_accepted(self):
+        for name in SCHEDULERS:
+            args = build_parser().parse_args(["run", "--scheduler", name])
+            assert args.scheduler == name
+
+
+class TestBuildTopology:
+    @pytest.mark.parametrize("name", TOPOLOGIES)
+    def test_every_family_builds_a_valid_instance(self, name):
+        instance = build_topology(name, 12, seed=1)
+        assert instance.node_count >= 2
+        assert instance.is_initially_acyclic()
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            build_topology("moebius", 10, seed=0)
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        exit_code = main(["run", "--topology", "chain", "--nodes", "10"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "node steps" in output
+        assert "dest oriented : True" in output
+
+    def test_run_command_every_algorithm(self, capsys):
+        for name in ALGORITHMS:
+            assert main(["run", "--algorithm", name, "--nodes", "8"]) == 0
+        assert "converged     : True" in capsys.readouterr().out
+
+    def test_run_writes_dot_file(self, tmp_path, capsys):
+        dot_path = tmp_path / "final.dot"
+        exit_code = main(["run", "--nodes", "6", "--dot", str(dot_path)])
+        assert exit_code == 0
+        assert dot_path.exists()
+        assert "digraph" in dot_path.read_text()
+
+    def test_compare_command(self, capsys):
+        exit_code = main(["compare", "--topology", "grid", "--nodes", "9"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        for name in ("PR", "NewPR", "FR"):
+            assert name in output
+
+    def test_verify_command(self, capsys):
+        exit_code = main(["verify", "--max-nodes", "3"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "violations: 0" in output
+
+    def test_worst_case_command(self, capsys):
+        exit_code = main(["worst-case", "--max-bad", "6"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "FR quadratic fit" in output
+
+    def test_game_command(self, capsys):
+        exit_code = main(["game", "--topology", "chain", "--nodes", "5"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "global optimum" in output
+
+    def test_game_refuses_too_many_players(self, capsys):
+        exit_code = main(["game", "--topology", "chain", "--nodes", "20", "--max-players", "8"])
+        assert exit_code == 2
+
+    def test_simulate_command(self, capsys):
+        exit_code = main(["simulate", "--topology", "grid", "--nodes", "9"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "oriented=True" in output
+
+    def test_simulate_with_failures(self, capsys):
+        exit_code = main(
+            ["simulate", "--topology", "grid", "--nodes", "16", "--failures", "2"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "summary:" in output
+
+    def test_seed_is_threaded_through(self, capsys):
+        main(["--seed", "7", "run", "--topology", "random-dag", "--nodes", "15"])
+        first = capsys.readouterr().out
+        main(["--seed", "7", "run", "--topology", "random-dag", "--nodes", "15"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,72 @@
+"""Unit tests for the convergence measurement helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import ConvergenceSummary, convergence_series, measure_convergence
+from repro.core.full_reversal import FullReversal
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal
+from repro.topology.generators import (
+    chain_instance,
+    grid_instance,
+    worst_case_chain_instance,
+)
+
+
+class TestMeasureConvergence:
+    def test_fields_on_bad_chain(self, bad_chain):
+        summary = measure_convergence(OneStepPartialReversal(bad_chain))
+        assert summary.converged
+        assert summary.destination_oriented
+        assert summary.node_count == bad_chain.node_count
+        assert summary.bad_node_count == 4
+        assert summary.node_steps > 0
+        assert summary.rounds >= 1
+
+    def test_oriented_instance_needs_zero_rounds(self, good_chain):
+        summary = measure_convergence(PartialReversal(good_chain))
+        assert summary.node_steps == 0
+        assert summary.destination_oriented
+
+    def test_rounds_never_exceed_steps(self, bad_grid):
+        summary = measure_convergence(OneStepPartialReversal(bad_grid))
+        assert summary.rounds <= summary.node_steps
+
+    def test_pr_set_actions_counted_per_node(self, bad_grid):
+        pr_summary = measure_convergence(PartialReversal(bad_grid))
+        onestep_summary = measure_convergence(OneStepPartialReversal(bad_grid))
+        assert pr_summary.node_steps == onestep_summary.node_steps
+
+    def test_algorithm_name_recorded(self, bad_chain):
+        assert measure_convergence(FullReversal(bad_chain)).algorithm == "FR"
+        assert measure_convergence(NewPartialReversal(bad_chain)).algorithm == "NewPR"
+
+    def test_string_rendering(self, bad_chain):
+        text = str(measure_convergence(FullReversal(bad_chain)))
+        assert "FR" in text and "rounds" in text
+
+    def test_max_steps_bound_reported(self, worst_chain):
+        summary = measure_convergence(FullReversal(worst_chain), max_steps=1)
+        assert not summary.converged
+
+
+class TestConvergenceSeries:
+    def test_series_over_chain_sizes(self):
+        instances = [worst_case_chain_instance(k) for k in (2, 4, 6)]
+        series = convergence_series(instances, FullReversal)
+        assert len(series) == 3
+        assert [s.bad_node_count for s in series] == [2, 4, 6]
+        # FR work grows with the bad-node count
+        assert series[0].node_steps < series[1].node_steps < series[2].node_steps
+
+    def test_series_records_every_instance(self):
+        instances = [
+            grid_instance(2, 3, oriented_towards_destination=False),
+            chain_instance(5, towards_destination=False),
+        ]
+        series = convergence_series(instances, OneStepPartialReversal)
+        assert all(isinstance(s, ConvergenceSummary) for s in series)
+        assert all(s.destination_oriented for s in series)

@@ -1,0 +1,112 @@
+"""Unit tests for the left-to-right planar embedding (Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.embedding import PlanarEmbedding, topological_order
+from repro.core.graph import GraphValidationError, LinkReversalInstance
+from repro.topology.generators import chain_instance, random_dag_instance
+
+
+class TestTopologicalOrder:
+    def test_chain_order(self, bad_chain):
+        assert topological_order(bad_chain) == (0, 1, 2, 3, 4)
+
+    def test_order_respects_edges(self, random_dag):
+        order = topological_order(random_dag)
+        position = {u: i for i, u in enumerate(order)}
+        for u, v in random_dag.initial_edges:
+            assert position[u] < position[v]
+
+    def test_order_is_deterministic(self, random_dag):
+        assert topological_order(random_dag) == topological_order(random_dag)
+
+    def test_cycle_rejected(self):
+        instance = LinkReversalInstance(
+            nodes=(0, 1, 2), destination=0, initial_edges=((0, 1), (1, 2), (2, 0))
+        )
+        with pytest.raises(GraphValidationError):
+            topological_order(instance)
+
+    def test_all_nodes_present(self, diamond):
+        assert set(topological_order(diamond)) == set(diamond.nodes)
+
+
+class TestPlanarEmbedding:
+    def test_from_topological_order_is_consistent(self, random_dag):
+        embedding = PlanarEmbedding.from_topological_order(random_dag)
+        assert embedding.is_consistent_with_initial_orientation()
+        embedding.validate()
+
+    def test_positions_are_permutation(self, diamond):
+        embedding = PlanarEmbedding.from_topological_order(diamond)
+        positions = sorted(embedding.position(u) for u in diamond.nodes)
+        assert positions == list(range(diamond.node_count))
+
+    def test_left_right_predicates(self, bad_chain):
+        embedding = PlanarEmbedding.from_topological_order(bad_chain)
+        assert embedding.is_left_of(0, 4)
+        assert embedding.is_right_of(4, 0)
+        assert not embedding.is_left_of(3, 3)
+
+    def test_left_to_right_order(self, bad_chain):
+        embedding = PlanarEmbedding.from_topological_order(bad_chain)
+        assert embedding.left_to_right_order() == (0, 1, 2, 3, 4)
+
+    def test_rightmost_and_leftmost(self, bad_chain):
+        embedding = PlanarEmbedding.from_topological_order(bad_chain)
+        assert embedding.rightmost([1, 3, 2]) == 3
+        assert embedding.leftmost([1, 3, 2]) == 1
+
+    def test_rightmost_empty_raises(self, bad_chain):
+        embedding = PlanarEmbedding.from_topological_order(bad_chain)
+        with pytest.raises(ValueError):
+            embedding.rightmost([])
+        with pytest.raises(ValueError):
+            embedding.leftmost([])
+
+    def test_initial_edges_go_left_to_right(self, random_dag):
+        embedding = PlanarEmbedding.from_topological_order(random_dag)
+        orientation = random_dag.initial_orientation()
+        for u, v in random_dag.initial_edges:
+            assert embedding.edge_goes_left_to_right(orientation, u, v)
+
+    def test_reversed_edge_goes_right_to_left(self, bad_chain):
+        embedding = PlanarEmbedding.from_topological_order(bad_chain)
+        orientation = bad_chain.initial_orientation()
+        orientation.reverse_edge(4, 3)  # 3->4 becomes 4->3
+        assert not embedding.edge_goes_left_to_right(orientation, 3, 4)
+
+    def test_from_explicit_order(self, diamond):
+        order = ["d", "a", "b", "c"]
+        embedding = PlanarEmbedding.from_order(diamond, order)
+        assert embedding.position("d") == 0
+        assert embedding.position("c") == 3
+        embedding.validate()
+
+    def test_inconsistent_order_rejected_by_validate(self, diamond):
+        embedding = PlanarEmbedding.from_order(diamond, ["c", "a", "b", "d"])
+        with pytest.raises(GraphValidationError):
+            embedding.validate()
+
+    def test_missing_position_rejected(self, diamond):
+        with pytest.raises(GraphValidationError):
+            PlanarEmbedding(diamond, {"d": 0, "a": 1})
+
+    def test_non_permutation_rejected(self, diamond):
+        with pytest.raises(GraphValidationError):
+            PlanarEmbedding(diamond, {"d": 0, "a": 1, "b": 1, "c": 2})
+
+    def test_embedding_exists_for_every_generated_dag(self):
+        for seed in range(5):
+            instance = random_dag_instance(12, edge_probability=0.3, seed=seed)
+            embedding = PlanarEmbedding.from_topological_order(instance)
+            assert embedding.is_consistent_with_initial_orientation()
+
+    def test_chain_embedding_matches_distance(self):
+        instance = chain_instance(7, towards_destination=False)
+        embedding = PlanarEmbedding.from_topological_order(instance)
+        # the chain is already in topological order
+        for node in instance.nodes:
+            assert embedding.position(node) == node

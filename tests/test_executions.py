@@ -1,0 +1,148 @@
+"""Unit tests for the execution machinery (run, replay, validation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.executions import Execution, replay, run
+from repro.automata.ioa import TransitionError
+from repro.core.base import Reverse
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal, ReverseSet
+from repro.schedulers.base import TraceScheduler
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.sequential import SequentialScheduler
+
+
+class TestRun:
+    def test_run_records_all_states(self, bad_chain):
+        result = run(OneStepPartialReversal(bad_chain), SequentialScheduler())
+        assert len(result.execution.states) == result.steps_taken + 1
+
+    def test_run_without_recording_keeps_endpoints_only(self, bad_chain):
+        result = run(
+            OneStepPartialReversal(bad_chain), SequentialScheduler(), record_states=False
+        )
+        assert len(result.execution.states) == 2
+        assert result.execution.final_state.is_destination_oriented()
+
+    def test_run_respects_max_steps(self, worst_chain):
+        result = run(OneStepPartialReversal(worst_chain), SequentialScheduler(), max_steps=2)
+        assert result.steps_taken == 2
+        assert not result.converged
+
+    def test_run_converged_flag_when_bound_hits_exactly_at_quiescence(self, bad_chain):
+        # first find the exact number of steps needed, then rerun with that bound
+        full = run(OneStepPartialReversal(bad_chain), SequentialScheduler())
+        again = run(
+            OneStepPartialReversal(bad_chain),
+            SequentialScheduler(),
+            max_steps=full.steps_taken,
+        )
+        assert again.converged
+
+    def test_observers_see_every_step(self, bad_chain):
+        seen = []
+
+        def observer(index, pre, action, post):
+            seen.append(index)
+
+        result = run(
+            OneStepPartialReversal(bad_chain), SequentialScheduler(), observers=(observer,)
+        )
+        assert seen == list(range(result.steps_taken))
+
+    def test_initial_state_override(self, bad_chain):
+        automaton = OneStepPartialReversal(bad_chain)
+        mid = automaton.apply(automaton.initial_state(), Reverse(4))
+        result = run(automaton, SequentialScheduler(), initial_state=mid)
+        assert result.converged
+        assert result.execution.initial_state.graph_signature() == mid.graph_signature()
+
+    def test_result_properties(self, bad_chain):
+        result = run(OneStepPartialReversal(bad_chain), SequentialScheduler())
+        assert result.final_state is result.execution.final_state
+        assert result.initial_state is result.execution.initial_state
+
+
+class TestExecutionObject:
+    def test_steps_iteration(self, bad_chain):
+        result = run(OneStepPartialReversal(bad_chain), SequentialScheduler())
+        steps = list(result.execution.steps())
+        assert len(steps) == result.steps_taken
+        assert steps[0].index == 0
+        assert steps[0].pre_state is result.execution.initial_state
+
+    def test_state_at(self, bad_chain):
+        execution = run(OneStepPartialReversal(bad_chain), SequentialScheduler()).execution
+        assert execution.state_at(0) is execution.initial_state
+        assert execution.state_at(len(execution)) is execution.final_state
+
+    def test_actions_property(self, bad_chain):
+        execution = run(OneStepPartialReversal(bad_chain), SequentialScheduler()).execution
+        assert len(execution.actions) == execution.length
+
+    def test_validate_accepts_legal_execution(self, bad_grid):
+        execution = run(PartialReversal(bad_grid), GreedyScheduler()).execution
+        execution.validate()
+
+    def test_validate_rejects_tampered_execution(self, bad_chain):
+        automaton = OneStepPartialReversal(bad_chain)
+        execution = run(automaton, SequentialScheduler()).execution
+        # tamper with a recorded post-state
+        tampered = execution.states[1].copy()
+        tampered.orientation.reverse_edge(0, 1)
+        execution._states[1] = tampered
+        with pytest.raises(TransitionError):
+            execution.validate()
+
+    def test_extend_by_applying_checks_enabledness(self, bad_chain):
+        automaton = OneStepPartialReversal(bad_chain)
+        execution = Execution(automaton, automaton.initial_state())
+        with pytest.raises(TransitionError):
+            execution.extend_by_applying([Reverse(1)])  # node 1 is not a sink initially
+
+    def test_check_state_property(self, bad_chain):
+        execution = run(OneStepPartialReversal(bad_chain), SequentialScheduler()).execution
+        assert execution.check_state_property(lambda s: s.is_acyclic()) is None
+        index = execution.check_state_property(lambda s: s.is_destination_oriented())
+        assert index == 0  # the initial state is not destination oriented
+
+
+class TestReplay:
+    def test_replay_reproduces_run(self, bad_chain):
+        automaton = OneStepPartialReversal(bad_chain)
+        original = run(automaton, SequentialScheduler()).execution
+        replayed = replay(automaton, original.actions)
+        assert replayed.final_state.graph_signature() == original.final_state.graph_signature()
+
+    def test_replay_rejects_illegal_sequence(self, bad_chain):
+        automaton = OneStepPartialReversal(bad_chain)
+        with pytest.raises(TransitionError):
+            replay(automaton, [Reverse(1), Reverse(2)])
+
+
+class TestTraceScheduler:
+    def test_trace_is_followed(self, bad_chain):
+        automaton = OneStepPartialReversal(bad_chain)
+        # 4 then 3 are successively the unique sinks of the bad chain
+        result = run(automaton, TraceScheduler([4, 3]))
+        assert result.steps_taken == 2
+        assert [a.node for a in result.execution.actions] == [4, 3]
+
+    def test_disabled_entries_skipped_by_default(self, bad_chain):
+        automaton = OneStepPartialReversal(bad_chain)
+        result = run(automaton, TraceScheduler([1, 4]))  # 1 is not a sink yet
+        assert [a.node for a in result.execution.actions] == [4]
+
+    def test_strict_mode_raises(self, bad_chain):
+        automaton = OneStepPartialReversal(bad_chain)
+        with pytest.raises(ValueError):
+            run(automaton, TraceScheduler([1], strict=True))
+
+    def test_trace_works_for_pr_set_actions(self, bad_chain):
+        automaton = PartialReversal(bad_chain)
+        result = run(automaton, TraceScheduler([4, 3, 2]))
+        assert result.steps_taken == 3
+        assert all(isinstance(a, ReverseSet) for a in result.execution.actions)

@@ -1,0 +1,110 @@
+"""Unit tests for the Full Reversal baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.executions import run
+from repro.automata.ioa import TransitionError
+from repro.core.base import Reverse
+from repro.core.full_reversal import FRState, FullReversal
+from repro.core.pr import PartialReversal
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.schedulers.sequential import SequentialScheduler
+from repro.analysis.work import count_reversals
+
+
+class TestSemantics:
+    def test_sink_reverses_all_edges(self, diamond):
+        automaton = FullReversal(diamond)
+        state = automaton.initial_state()
+        new_state = automaton.apply(state, Reverse("c"))
+        assert new_state.orientation.points_towards("c", "a")
+        assert new_state.orientation.points_towards("c", "b")
+
+    def test_counter_increments(self, diamond):
+        automaton = FullReversal(diamond)
+        s1 = automaton.apply(automaton.initial_state(), Reverse("c"))
+        assert s1.count("c") == 1
+        assert s1.total_steps() == 1
+
+    def test_reversal_targets_are_all_neighbours(self, diamond):
+        automaton = FullReversal(diamond)
+        state = automaton.initial_state()
+        assert automaton.reversal_targets(state, "c") == diamond.nbrs("c")
+
+    def test_disabled_apply_raises(self, diamond):
+        automaton = FullReversal(diamond)
+        with pytest.raises(TransitionError):
+            automaton.apply(automaton.initial_state(), Reverse("d"))
+
+    def test_stepping_node_becomes_source(self, random_dag):
+        automaton = FullReversal(random_dag)
+        state = automaton.initial_state()
+        sinks = state.sinks()
+        assert sinks
+        new_state = automaton.apply(state, Reverse(sinks[0]))
+        assert new_state.orientation.is_source(sinks[0])
+
+    def test_greedy_action_nodes(self, bad_grid):
+        automaton = FullReversal(bad_grid)
+        state = automaton.initial_state()
+        assert set(automaton.greedy_action_nodes(state)) == set(state.sinks())
+
+
+class TestAcyclicity:
+    """Experiment E9: the folklore FR acyclicity argument, checked empirically."""
+
+    def test_fr_never_creates_a_cycle_on_chain(self, bad_chain):
+        result = run(FullReversal(bad_chain), SequentialScheduler())
+        assert all(state.is_acyclic() for state in result.execution.states)
+
+    def test_fr_never_creates_a_cycle_on_random_dag(self, random_dag):
+        result = run(FullReversal(random_dag), RandomScheduler(seed=13))
+        assert all(state.is_acyclic() for state in result.execution.states)
+
+    def test_fr_never_creates_a_cycle_on_grid(self, bad_grid):
+        result = run(FullReversal(bad_grid), GreedyScheduler())
+        assert all(state.is_acyclic() for state in result.execution.states)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [GreedyScheduler, SequentialScheduler, lambda: RandomScheduler(seed=21)],
+    )
+    def test_converges(self, bad_chain, scheduler_factory):
+        result = run(FullReversal(bad_chain), scheduler_factory())
+        assert result.converged
+        assert result.final_state.is_destination_oriented()
+
+    def test_signature_ignores_counters(self, diamond):
+        # two FR states with the same orientation are behaviourally identical
+        automaton = FullReversal(diamond)
+        state = automaton.initial_state()
+        assert state.signature() == state.graph_signature()
+
+
+class TestWorkComparison:
+    """Experiment E9: PR performs at most as many reversals as FR on these families."""
+
+    def test_pr_not_worse_than_fr_on_bad_chain(self, bad_chain):
+        pr_work = count_reversals(PartialReversal(bad_chain), GreedyScheduler())
+        fr_work = count_reversals(FullReversal(bad_chain), GreedyScheduler())
+        assert pr_work.node_steps <= fr_work.node_steps
+        assert pr_work.edge_reversals <= fr_work.edge_reversals
+
+    def test_pr_strictly_better_on_worst_chain(self, worst_chain):
+        pr_work = count_reversals(PartialReversal(worst_chain), GreedyScheduler())
+        fr_work = count_reversals(FullReversal(worst_chain), GreedyScheduler())
+        assert pr_work.node_steps < fr_work.node_steps
+
+    def test_fr_work_on_bad_chain_is_quadratic_shape(self):
+        # on the k-bad-node chain FR performs k + (k-1) + ... + 1 node steps
+        from repro.topology.generators import worst_case_chain_instance
+
+        for k in (2, 3, 4, 5):
+            instance = worst_case_chain_instance(k)
+            work = count_reversals(FullReversal(instance), GreedyScheduler())
+            assert work.node_steps == k * (k + 1) // 2

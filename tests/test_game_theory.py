@@ -1,0 +1,116 @@
+"""Unit tests for the game-theoretic PR vs FR comparison (experiment E11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.game_theory import (
+    MixedStrategyReversal,
+    Strategy,
+    StrategyProfile,
+    analyse_game,
+    enumerate_profiles,
+    full_reversal_profile,
+    is_nash_equilibrium,
+    partial_reversal_profile,
+    play,
+    social_cost,
+)
+from repro.core.full_reversal import FullReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.analysis.work import count_reversals
+from repro.schedulers.greedy import GreedyScheduler
+from repro.topology.generators import chain_instance, worst_case_chain_instance
+
+
+@pytest.fixture
+def small_chain():
+    """A 5-node worst-case chain: small enough to enumerate all 2^4 profiles."""
+    return chain_instance(5, towards_destination=False)
+
+
+class TestProfiles:
+    def test_full_profile_assigns_full_everywhere(self, small_chain):
+        profile = full_reversal_profile(small_chain)
+        assert all(profile.strategy_of(u) is Strategy.FULL for u in small_chain.non_destination_nodes)
+
+    def test_partial_profile_assigns_partial_everywhere(self, small_chain):
+        profile = partial_reversal_profile(small_chain)
+        assert all(
+            profile.strategy_of(u) is Strategy.PARTIAL for u in small_chain.non_destination_nodes
+        )
+
+    def test_with_strategy_creates_deviation(self, small_chain):
+        profile = full_reversal_profile(small_chain)
+        deviated = profile.with_strategy(2, Strategy.PARTIAL)
+        assert deviated.strategy_of(2) is Strategy.PARTIAL
+        assert profile.strategy_of(2) is Strategy.FULL  # original unchanged
+
+    def test_enumerate_profiles_count(self, small_chain):
+        profiles = list(enumerate_profiles(small_chain))
+        assert len(profiles) == 2 ** len(small_chain.non_destination_nodes)
+
+    def test_profiles_hashable_and_unique(self, small_chain):
+        profiles = set(enumerate_profiles(small_chain))
+        assert len(profiles) == 2 ** len(small_chain.non_destination_nodes)
+
+
+class TestMixedAutomaton:
+    def test_all_partial_matches_pr_work(self, small_chain):
+        outcome = play(small_chain, partial_reversal_profile(small_chain))
+        pr_work = count_reversals(OneStepPartialReversal(small_chain), GreedyScheduler())
+        assert outcome.social_cost == pr_work.node_steps
+
+    def test_all_full_matches_fr_work(self, small_chain):
+        outcome = play(small_chain, full_reversal_profile(small_chain))
+        fr_work = count_reversals(FullReversal(small_chain), GreedyScheduler())
+        assert outcome.social_cost == fr_work.node_steps
+
+    def test_missing_strategy_rejected(self, small_chain):
+        with pytest.raises(ValueError):
+            MixedStrategyReversal(small_chain, StrategyProfile({1: Strategy.FULL}))
+
+    def test_outcome_converges(self, small_chain):
+        for profile in enumerate_profiles(small_chain):
+            assert play(small_chain, profile).converged
+
+    def test_node_costs_cover_all_nodes(self, small_chain):
+        outcome = play(small_chain, full_reversal_profile(small_chain))
+        assert set(outcome.node_costs) == set(small_chain.non_destination_nodes)
+
+
+class TestHeadlineClaims:
+    """The shape of the Charron-Bost / Welch / Widder result on small instances."""
+
+    def test_fr_profile_is_nash_equilibrium(self, small_chain):
+        assert is_nash_equilibrium(small_chain, full_reversal_profile(small_chain))
+
+    def test_pr_profile_cost_is_global_optimum_here(self, small_chain):
+        analysis = analyse_game(small_chain)
+        pr_cost = analysis.cost_of(partial_reversal_profile(small_chain))
+        assert pr_cost == analysis.optimum_cost
+
+    def test_fr_cost_at_least_pr_cost(self, small_chain):
+        fr_cost = social_cost(small_chain, full_reversal_profile(small_chain))
+        pr_cost = social_cost(small_chain, partial_reversal_profile(small_chain))
+        assert fr_cost >= pr_cost
+
+    def test_fr_has_max_social_cost_among_equilibria(self, small_chain):
+        analysis = analyse_game(small_chain)
+        fr_cost = analysis.cost_of(full_reversal_profile(small_chain))
+        assert analysis.equilibria  # FR at least is one
+        assert fr_cost == max(analysis.equilibrium_costs())
+
+    def test_pr_optimal_when_equilibrium(self):
+        """Whenever the all-PR profile is a Nash equilibrium it attains the optimum."""
+        for n_bad in (2, 3, 4):
+            instance = worst_case_chain_instance(n_bad)
+            analysis = analyse_game(instance)
+            pr_profile = partial_reversal_profile(instance)
+            if pr_profile in analysis.equilibria:
+                assert analysis.cost_of(pr_profile) == analysis.optimum_cost
+
+    def test_equilibrium_costs_sorted(self, small_chain):
+        analysis = analyse_game(small_chain)
+        costs = analysis.equilibrium_costs()
+        assert list(costs) == sorted(costs)

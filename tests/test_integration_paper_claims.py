@@ -1,0 +1,137 @@
+"""Integration tests: the paper's claims, end to end.
+
+Each test class corresponds to one headline statement of the paper and checks
+it across *all* small instances (exhaustively over graphs and over reachable
+states) plus a spot check on a larger instance.  These are the machine-checked
+counterparts of the proofs; the per-experiment benchmark harness in
+``benchmarks/`` reports the same checks as numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.executions import run
+from repro.core.full_reversal import FullReversal
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal
+from repro.exploration.enumerate_graphs import all_connected_dag_instances
+from repro.exploration.state_space import explore_and_check
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.topology.generators import random_dag_instance
+from repro.verification.acyclicity import is_acyclic
+from repro.verification.invariants import (
+    newpr_invariant_checks,
+    pr_invariant_checks,
+)
+from repro.verification.simulation import check_full_simulation_chain
+
+
+#: All connected DAGs on 4 labelled nodes with destination 0 — the exhaustive
+#: graph family used throughout this module (38 instances).
+SMALL_INSTANCES = list(all_connected_dag_instances(4))
+
+
+class TestSection3Invariants:
+    """Invariants 3.1 and 3.2 hold in every reachable PR state (all small graphs)."""
+
+    def test_exhaustive_over_graphs_and_states(self):
+        for instance in SMALL_INSTANCES:
+            report = explore_and_check(PartialReversal(instance), pr_invariant_checks())
+            assert report.all_predicates_hold, f"{instance}: {report}"
+
+    def test_onestep_variant_as_well(self):
+        for instance in SMALL_INSTANCES:
+            report = explore_and_check(
+                OneStepPartialReversal(instance), pr_invariant_checks()
+            )
+            assert report.all_predicates_hold, f"{instance}: {report}"
+
+
+class TestSection4Invariants:
+    """Invariants 4.1 and 4.2 hold in every reachable NewPR state (all small graphs)."""
+
+    def test_exhaustive_over_graphs_and_states(self):
+        for instance in SMALL_INSTANCES:
+            report = explore_and_check(NewPartialReversal(instance), newpr_invariant_checks())
+            assert report.all_predicates_hold, f"{instance}: {report}"
+
+
+class TestTheorem43:
+    """NewPR never creates a cycle, over every reachable state of every small graph."""
+
+    def test_exhaustive(self):
+        for instance in SMALL_INSTANCES:
+            report = explore_and_check(NewPartialReversal(instance), {"acyclic": is_acyclic})
+            assert report.all_predicates_hold, f"{instance}: {report}"
+
+    def test_larger_randomized(self):
+        instance = random_dag_instance(40, edge_probability=0.12, seed=11)
+        result = run(NewPartialReversal(instance), RandomScheduler(seed=11))
+        assert result.converged
+        assert all(state.is_acyclic() for state in result.execution.states)
+
+
+class TestTheorem55:
+    """PR never creates a cycle; acyclicity transfers through R' and R."""
+
+    def test_direct_acyclicity_exhaustive(self):
+        for instance in SMALL_INSTANCES:
+            report = explore_and_check(PartialReversal(instance), {"acyclic": is_acyclic})
+            assert report.all_predicates_hold, f"{instance}: {report}"
+
+    def test_simulation_chain_on_every_small_graph(self):
+        for instance in SMALL_INSTANCES:
+            result = run(PartialReversal(instance), GreedyScheduler())
+            chain = check_full_simulation_chain(result.execution)
+            assert chain.holds, f"{instance}"
+
+    def test_simulation_chain_on_larger_random_graphs(self):
+        for seed in range(3):
+            instance = random_dag_instance(25, edge_probability=0.15, seed=seed)
+            result = run(
+                PartialReversal(instance), RandomScheduler(seed=seed, subset_probability=0.3)
+            )
+            assert check_full_simulation_chain(result.execution).holds
+
+
+class TestFullReversalFolkloreArgument:
+    """Section 1: FR trivially maintains acyclicity (last stepping node is a source)."""
+
+    def test_exhaustive(self):
+        for instance in SMALL_INSTANCES:
+            report = explore_and_check(FullReversal(instance), {"acyclic": is_acyclic})
+            assert report.all_predicates_hold, f"{instance}: {report}"
+
+    def test_stepping_node_has_only_outgoing_edges(self):
+        for instance in SMALL_INSTANCES[:10]:
+            automaton = FullReversal(instance)
+            result = run(automaton, GreedyScheduler())
+            for step in result.execution.steps():
+                for node in step.action.actors():
+                    assert step.post_state.orientation.is_source(node)
+
+
+class TestConvergenceClaims:
+    """All four algorithms make every small graph destination oriented."""
+
+    @pytest.mark.parametrize(
+        "automaton_class",
+        [PartialReversal, OneStepPartialReversal, NewPartialReversal, FullReversal],
+    )
+    def test_every_small_instance_converges(self, automaton_class):
+        for instance in SMALL_INSTANCES:
+            result = run(automaton_class(instance), GreedyScheduler())
+            assert result.converged
+            assert result.final_state.is_destination_oriented(), f"{instance}"
+
+    def test_all_algorithms_reach_identical_final_orientation_per_instance(self):
+        """PR, OneStepPR and NewPR end in the same orientation (FR may differ)."""
+        for instance in SMALL_INSTANCES:
+            finals = set()
+            for automaton_class in (PartialReversal, OneStepPartialReversal, NewPartialReversal):
+                result = run(automaton_class(instance), GreedyScheduler())
+                finals.add(result.final_state.graph_signature())
+            assert len(finals) == 1, f"{instance}"

@@ -1,0 +1,204 @@
+"""Unit tests for the executable invariants (Invariants 3.1, 3.2, 4.1, 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.executions import run
+from repro.core.base import Reverse
+from repro.core.embedding import PlanarEmbedding
+from repro.core.new_pr import NewPartialReversal, NewPRState
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal, PRState, ReverseSet
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.schedulers.sequential import SequentialScheduler
+from repro.verification.invariants import (
+    check_corollary_3_3,
+    check_corollary_3_4,
+    check_invariant_3_1,
+    check_invariant_3_2,
+    check_invariant_4_1,
+    check_invariant_4_2,
+    newpr_invariant_checks,
+    pr_invariant_checks,
+)
+
+
+class TestInvariant31:
+    def test_holds_initially(self, diamond):
+        state = PartialReversal(diamond).initial_state()
+        assert check_invariant_3_1(state).holds
+
+    def test_holds_along_pr_execution(self, bad_chain):
+        result = run(PartialReversal(bad_chain), SequentialScheduler())
+        for state in result.execution.states:
+            assert check_invariant_3_1(state).holds
+
+    def test_holds_for_newpr_states_too(self, bad_chain):
+        result = run(NewPartialReversal(bad_chain), SequentialScheduler())
+        for state in result.execution.states:
+            assert check_invariant_3_1(state).holds
+
+    def test_report_is_truthy_when_holding(self, diamond):
+        report = check_invariant_3_1(PartialReversal(diamond).initial_state())
+        assert bool(report)
+        assert report.violations == []
+
+
+class TestInvariant32:
+    def test_holds_initially(self, diamond):
+        state = PartialReversal(diamond).initial_state()
+        assert check_invariant_3_2(state).holds
+
+    def test_holds_along_pr_execution(self, bad_grid):
+        result = run(PartialReversal(bad_grid), SequentialScheduler())
+        for state in result.execution.states:
+            assert check_invariant_3_2(state).holds
+
+    def test_holds_along_onestep_execution(self, random_dag):
+        result = run(OneStepPartialReversal(random_dag), RandomScheduler(seed=17))
+        for state in result.execution.states:
+            assert check_invariant_3_2(state).holds
+
+    def test_detects_corrupted_list(self, diamond):
+        state = PartialReversal(diamond).initial_state()
+        # manually corrupt the state: a sink whose list wrongly contains an
+        # out-neighbour with an outgoing edge
+        state.lists["a"] = frozenset({"c"})
+        report = check_invariant_3_2(state)
+        assert not report.holds
+        assert any("a" in violation.subject for violation in report.violations)
+
+    def test_exactly_one_alternative(self, bad_chain):
+        # for the initial bad chain, every node's part-2 alternative holds and
+        # part 1 fails, which the check accepts (exactly one alternative)
+        state = PartialReversal(bad_chain).initial_state()
+        assert check_invariant_3_2(state).holds
+
+
+class TestCorollaries:
+    def test_corollary_3_3_holds_along_execution(self, bad_grid):
+        result = run(PartialReversal(bad_grid), SequentialScheduler())
+        for state in result.execution.states:
+            assert check_corollary_3_3(state).holds
+
+    def test_corollary_3_4_holds_along_execution(self, bad_grid):
+        result = run(PartialReversal(bad_grid), SequentialScheduler())
+        for state in result.execution.states:
+            assert check_corollary_3_4(state).holds
+
+    def test_corollary_3_3_detects_mixed_list(self, diamond):
+        state = PartialReversal(diamond).initial_state()
+        # node a has in-nbr d and out-nbr c; a list containing both is illegal
+        state.lists["a"] = frozenset({"d", "c"})
+        assert not check_corollary_3_3(state).holds
+
+    def test_corollary_3_4_detects_bad_sink_list(self, diamond):
+        automaton = PartialReversal(diamond)
+        state = automaton.initial_state()
+        # c is a sink; its list must equal in-nbrs or out-nbrs, not a strict subset
+        state.lists["c"] = frozenset({"a"})
+        assert not check_corollary_3_4(state).holds
+
+
+class TestInvariant41:
+    def test_holds_initially(self, bad_chain):
+        state = NewPartialReversal(bad_chain).initial_state()
+        assert check_invariant_4_1(state).holds
+
+    def test_holds_along_execution(self, bad_grid):
+        automaton = NewPartialReversal(bad_grid)
+        result = run(automaton, SequentialScheduler())
+        embedding = PlanarEmbedding.from_topological_order(bad_grid)
+        for state in result.execution.states:
+            assert check_invariant_4_1(state, embedding).holds
+
+    def test_holds_on_random_dag_random_schedule(self, random_dag):
+        result = run(NewPartialReversal(random_dag), RandomScheduler(seed=23))
+        for state in result.execution.states:
+            assert check_invariant_4_1(state).holds
+
+    def test_detects_violation_in_corrupted_state(self, bad_chain):
+        automaton = NewPartialReversal(bad_chain)
+        state = automaton.initial_state()
+        # both endpoints have even parity but we flip an edge right-to-left by hand
+        state.orientation.reverse_edge(4, 3)
+        report = check_invariant_4_1(state)
+        assert not report.holds
+
+    def test_vacuous_when_parities_differ(self, bad_chain):
+        automaton = NewPartialReversal(bad_chain)
+        s1 = automaton.apply(automaton.initial_state(), Reverse(4))
+        # node 4 has parity odd, node 3 parity even: 4.1 says nothing about that edge
+        assert check_invariant_4_1(s1).holds
+
+
+class TestInvariant42:
+    def test_holds_initially(self, random_dag):
+        state = NewPartialReversal(random_dag).initial_state()
+        assert check_invariant_4_2(state).holds
+
+    def test_holds_along_execution(self, bad_grid):
+        result = run(NewPartialReversal(bad_grid), SequentialScheduler())
+        embedding = PlanarEmbedding.from_topological_order(bad_grid)
+        for state in result.execution.states:
+            assert check_invariant_4_2(state, embedding).holds
+
+    def test_holds_under_random_schedules(self, worst_chain):
+        for seed in range(5):
+            result = run(NewPartialReversal(worst_chain), RandomScheduler(seed=seed))
+            for state in result.execution.states:
+                assert check_invariant_4_2(state).holds
+
+    def test_part_a_detects_large_count_gap(self, bad_chain):
+        state = NewPartialReversal(bad_chain).initial_state()
+        state.counts[4] = 5  # neighbours 3 and 4 now differ by 5
+        report = check_invariant_4_2(state)
+        assert not report.holds
+        assert any("more than one" in v.detail for v in report.violations)
+
+    def test_part_d_detects_wrong_direction(self, bad_chain):
+        state = NewPartialReversal(bad_chain).initial_state()
+        # count[3] > count[4] but the edge still points 3 -> 4 ... wait the
+        # initial edge already points 3 -> 4, so make count[4] bigger instead:
+        # count[4] > count[3] while the edge points 3 -> 4 violates (d).
+        state.counts[4] = 1
+        report = check_invariant_4_2(state)
+        assert not report.holds
+
+    def test_violation_messages_are_informative(self, bad_chain):
+        state = NewPartialReversal(bad_chain).initial_state()
+        state.counts[4] = 3
+        report = check_invariant_4_2(state)
+        assert report.violations
+        assert all(isinstance(str(v), str) and str(v) for v in report.violations)
+
+
+class TestBundles:
+    def test_pr_bundle_contains_expected_checks(self):
+        bundle = pr_invariant_checks()
+        assert set(bundle) == {
+            "Invariant 3.1",
+            "Invariant 3.2",
+            "Corollary 3.3",
+            "Corollary 3.4",
+        }
+
+    def test_newpr_bundle_contains_expected_checks(self):
+        bundle = newpr_invariant_checks()
+        assert set(bundle) == {"Invariant 3.1", "Invariant 4.1", "Invariant 4.2"}
+
+    def test_pr_bundle_passes_on_execution(self, bad_chain):
+        bundle = pr_invariant_checks()
+        result = run(PartialReversal(bad_chain), SequentialScheduler())
+        for state in result.execution.states:
+            for check in bundle.values():
+                assert check(state).holds
+
+    def test_newpr_bundle_passes_on_execution(self, bad_chain):
+        embedding = PlanarEmbedding.from_topological_order(bad_chain)
+        bundle = newpr_invariant_checks(embedding)
+        result = run(NewPartialReversal(bad_chain), SequentialScheduler())
+        for state in result.execution.states:
+            for check in bundle.values():
+                assert check(state).holds

@@ -1,0 +1,83 @@
+"""Unit tests for DOT export and JSON serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.automata.executions import run, replay
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.base import Reverse
+from repro.io.dot import orientation_to_dot, render_ascii, to_dot
+from repro.io.serialization import (
+    execution_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+)
+from repro.schedulers.sequential import SequentialScheduler
+
+
+class TestDot:
+    def test_instance_export_contains_all_edges(self, diamond):
+        dot = to_dot(diamond)
+        assert dot.startswith("digraph")
+        for u, v in diamond.initial_edges:
+            assert f'"{u}" -> "{v}";' in dot
+
+    def test_destination_is_doublecircle(self, diamond):
+        dot = to_dot(diamond)
+        assert '"d" [shape=doublecircle];' in dot
+
+    def test_sinks_highlighted(self, diamond):
+        dot = orientation_to_dot(diamond.initial_orientation())
+        assert "fillcolor" in dot  # node c is a sink and gets the fill style
+
+    def test_no_highlight_when_disabled(self, good_chain):
+        dot = orientation_to_dot(good_chain.initial_orientation(), highlight_sinks=False)
+        assert "fillcolor" not in dot
+
+    def test_quoting_of_odd_node_names(self):
+        from repro.core.graph import LinkReversalInstance
+
+        instance = LinkReversalInstance.from_directed_edges(
+            nodes=['node "1"', "n2"], destination="n2", edges=[('node "1"', "n2")]
+        )
+        dot = to_dot(instance)
+        assert "digraph" in dot  # does not crash; quotes are escaped
+        assert r"\"1\"" in dot
+
+    def test_render_ascii(self, bad_chain):
+        text = render_ascii(bad_chain.initial_orientation())
+        assert "destination=0" in text
+        assert "sinks={4}" in text
+
+
+class TestSerialization:
+    def test_instance_roundtrip(self, diamond):
+        data = instance_to_dict(diamond)
+        rebuilt = instance_from_dict(json.loads(json.dumps(data)))
+        assert rebuilt.nodes == diamond.nodes
+        assert rebuilt.destination == diamond.destination
+        assert rebuilt.initial_edges == diamond.initial_edges
+
+    def test_execution_serialisation_fields(self, bad_chain):
+        result = run(OneStepPartialReversal(bad_chain), SequentialScheduler())
+        data = execution_to_dict(result.execution)
+        assert data["automaton"] == "OneStepPR"
+        assert data["length"] == result.steps_taken
+        assert len(data["actions"]) == result.steps_taken
+
+    def test_execution_serialisation_is_json_compatible(self, bad_chain):
+        result = run(OneStepPartialReversal(bad_chain), SequentialScheduler())
+        data = execution_to_dict(result.execution)
+        json.dumps(data)  # must not raise
+
+    def test_serialized_actions_can_be_replayed(self, bad_chain):
+        automaton = OneStepPartialReversal(bad_chain)
+        result = run(automaton, SequentialScheduler())
+        data = execution_to_dict(result.execution)
+        rebuilt_instance = instance_from_dict(data["instance"])
+        actions = [Reverse(entry["actors"][0]) for entry in data["actions"]]
+        replayed = replay(OneStepPartialReversal(rebuilt_instance), actions)
+        assert [list(e) for e in replayed.final_state.directed_edges()] == data["final_edges"]

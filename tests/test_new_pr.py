@@ -1,0 +1,185 @@
+"""Unit tests for the paper's NewPR automaton (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.executions import run
+from repro.automata.ioa import TransitionError
+from repro.core.base import Reverse
+from repro.core.graph import LinkReversalInstance
+from repro.core.new_pr import NewPartialReversal, NewPRState, Parity
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.schedulers.sequential import SequentialScheduler
+
+
+class TestParity:
+    def test_of_even(self):
+        assert Parity.of(0) is Parity.EVEN
+        assert Parity.of(4) is Parity.EVEN
+
+    def test_of_odd(self):
+        assert Parity.of(1) is Parity.ODD
+        assert Parity.of(7) is Parity.ODD
+
+    def test_flipped(self):
+        assert Parity.EVEN.flipped() is Parity.ODD
+        assert Parity.ODD.flipped() is Parity.EVEN
+
+
+class TestInitialState:
+    def test_counts_start_at_zero(self, diamond):
+        state = NewPartialReversal(diamond).initial_state()
+        assert all(state.count(u) == 0 for u in diamond.nodes)
+
+    def test_parity_starts_even(self, diamond):
+        state = NewPartialReversal(diamond).initial_state()
+        assert all(state.parity(u) is Parity.EVEN for u in diamond.nodes)
+
+    def test_total_steps_zero(self, diamond):
+        assert NewPartialReversal(diamond).initial_state().total_steps() == 0
+
+
+class TestTransitionSemantics:
+    def test_even_parity_reverses_initial_in_neighbours(self, diamond):
+        automaton = NewPartialReversal(diamond)
+        state = automaton.initial_state()
+        # c is a sink; its initial in-neighbours are a and b
+        new_state = automaton.apply(state, Reverse("c"))
+        assert new_state.orientation.points_towards("c", "a")
+        assert new_state.orientation.points_towards("c", "b")
+        assert new_state.count("c") == 1
+        assert new_state.parity("c") is Parity.ODD
+
+    def test_odd_parity_reverses_initial_out_neighbours(self, bad_chain):
+        automaton = NewPartialReversal(bad_chain)
+        state = automaton.initial_state()
+        # node 4 (initial sink, in_nbrs={3}, out_nbrs={})
+        s1 = automaton.apply(state, Reverse(4))  # reverses {3}: edge 3-4 now 4->3
+        # node 3 now is a sink? it has edges 2->3 and 4->3, yes.
+        s2 = automaton.apply(s1, Reverse(3))  # parity even: reverses in_nbrs {2}
+        assert s2.orientation.points_towards(3, 2)
+        # node 4's edge is untouched by node 3's even step
+        assert s2.orientation.points_towards(4, 3)
+
+    def test_dummy_step_for_initial_source_like_sink(self):
+        # single edge d -> x: x is a sink with in_nbrs={d}, out_nbrs={}
+        instance = LinkReversalInstance.from_directed_edges(
+            nodes=["d", "x"], destination="d", edges=[("d", "x")]
+        )
+        automaton = NewPartialReversal(instance)
+        state = automaton.initial_state()
+        assert not automaton.is_dummy_step(state, "x")
+        s1 = automaton.apply(state, Reverse("x"))
+        assert s1.orientation.points_towards("x", "d")
+
+    def test_dummy_step_happens_for_initial_sink_with_odd_parity_need(self):
+        # y <- x -> ...: make x initially a sink whose out_nbrs is empty is the
+        # same as the previous test; instead test a node that is initially a
+        # sink and whose first (even) step is the real one, then the graph
+        # pushes it to become a sink again, where the odd step reverses
+        # out_nbrs which may be empty -> dummy.
+        instance = LinkReversalInstance.from_directed_edges(
+            nodes=["d", "x", "y"], destination="d", edges=[("d", "x"), ("y", "x")]
+        )
+        automaton = NewPartialReversal(instance)
+        state = automaton.initial_state()
+        # x is a sink; even step reverses in_nbrs {d, y}
+        s1 = automaton.apply(state, Reverse("x"))
+        assert s1.orientation.points_towards("x", "y")
+        # y is now a sink with in_nbrs = {} (it was a source initially):
+        # its even step is a dummy step
+        assert automaton.is_dummy_step(s1, "y")
+        s2 = automaton.apply(s1, Reverse("y"))
+        assert s2.graph_signature() == s1.graph_signature()
+        assert s2.count("y") == 1
+        # y is still a sink; now the odd step reverses out_nbrs {x}
+        s3 = automaton.apply(s2, Reverse("y"))
+        assert s3.orientation.points_towards("y", "x")
+
+    def test_reversal_targets_alternate(self, diamond):
+        automaton = NewPartialReversal(diamond)
+        state = automaton.initial_state()
+        assert automaton.reversal_targets(state, "c") == diamond.in_nbrs("c")
+        s1 = automaton.apply(state, Reverse("c"))
+        assert automaton.reversal_targets(s1, "c") == diamond.out_nbrs("c")
+
+    def test_count_is_per_node(self, diamond):
+        automaton = NewPartialReversal(diamond)
+        state = automaton.initial_state()
+        s1 = automaton.apply(state, Reverse("c"))
+        assert s1.count("c") == 1
+        assert s1.count("a") == 0
+
+    def test_apply_disabled_raises(self, diamond):
+        automaton = NewPartialReversal(diamond)
+        with pytest.raises(TransitionError):
+            automaton.apply(automaton.initial_state(), Reverse("a"))
+
+    def test_destination_never_steps(self, good_chain):
+        automaton = NewPartialReversal(good_chain)
+        state = automaton.initial_state()
+        assert not automaton.is_enabled(state, Reverse(0))
+
+    def test_apply_does_not_mutate_input(self, diamond):
+        automaton = NewPartialReversal(diamond)
+        state = automaton.initial_state()
+        signature = state.signature()
+        automaton.apply(state, Reverse("c"))
+        assert state.signature() == signature
+
+
+class TestConvergence:
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [GreedyScheduler, SequentialScheduler, lambda: RandomScheduler(seed=5)],
+    )
+    def test_converges(self, bad_chain, scheduler_factory):
+        automaton = NewPartialReversal(bad_chain)
+        result = run(automaton, scheduler_factory())
+        assert result.converged
+        assert result.final_state.is_destination_oriented()
+
+    def test_grid_converges(self, bad_grid):
+        result = run(NewPartialReversal(bad_grid), GreedyScheduler())
+        assert result.converged
+        assert result.final_state.is_destination_oriented()
+
+    def test_random_dag_converges_and_stays_acyclic(self, random_dag):
+        automaton = NewPartialReversal(random_dag)
+        result = run(automaton, RandomScheduler(seed=2))
+        assert result.converged
+        assert all(state.is_acyclic() for state in result.execution.states)
+
+    def test_dummy_steps_do_not_prevent_termination(self):
+        # star with destination at the centre: all leaves are initial sinks
+        from repro.topology.generators import star_instance
+
+        instance = star_instance(6, destination_is_center=True)
+        result = run(NewPartialReversal(instance), SequentialScheduler())
+        assert result.converged
+        assert result.final_state.is_destination_oriented()
+
+    def test_total_steps_counts_all_nodes(self, bad_chain):
+        automaton = NewPartialReversal(bad_chain)
+        result = run(automaton, SequentialScheduler())
+        assert result.final_state.total_steps() == result.steps_taken
+
+
+class TestStateProtocol:
+    def test_signature_includes_counts(self, diamond):
+        automaton = NewPartialReversal(diamond)
+        s0 = automaton.initial_state()
+        s1 = automaton.apply(s0, Reverse("c"))
+        assert s0.signature() != s1.signature()
+
+    def test_copy_independent(self, diamond):
+        state = NewPartialReversal(diamond).initial_state()
+        clone = state.copy()
+        clone.counts["c"] = 5
+        assert state.count("c") == 0
+
+    def test_equality(self, diamond):
+        automaton = NewPartialReversal(diamond)
+        assert automaton.initial_state() == automaton.initial_state()

@@ -1,0 +1,107 @@
+"""Unit tests for OneStepPR (Algorithm 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.executions import run
+from repro.automata.ioa import TransitionError
+from repro.core.base import Reverse
+from repro.core.one_step_pr import OneStepPartialReversal, OneStepPRState
+from repro.core.pr import PartialReversal, ReverseSet
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.schedulers.sequential import SequentialScheduler
+
+
+class TestBasics:
+    def test_initial_state_type(self, diamond):
+        state = OneStepPartialReversal(diamond).initial_state()
+        assert isinstance(state, OneStepPRState)
+
+    def test_initial_lists_empty(self, diamond):
+        state = OneStepPartialReversal(diamond).initial_state()
+        assert all(state.list_of(u) == frozenset() for u in diamond.nodes)
+
+    def test_only_single_node_actions(self, bad_grid):
+        automaton = OneStepPartialReversal(bad_grid)
+        state = automaton.initial_state()
+        for action in automaton.enabled_actions(state):
+            assert isinstance(action, Reverse)
+            assert len(action.actors()) == 1
+
+    def test_destination_not_enabled(self, good_chain):
+        automaton = OneStepPartialReversal(good_chain)
+        assert not automaton.is_enabled(automaton.initial_state(), Reverse(0))
+
+    def test_disabled_apply_raises(self, diamond):
+        automaton = OneStepPartialReversal(diamond)
+        with pytest.raises(TransitionError):
+            automaton.apply(automaton.initial_state(), Reverse("a"))
+
+
+class TestSemanticsMatchPR:
+    def test_single_step_matches_pr_singleton_step(self, diamond):
+        onestep = OneStepPartialReversal(diamond)
+        pr = PartialReversal(diamond)
+        s = onestep.apply(onestep.initial_state(), Reverse("c"))
+        t = pr.apply(pr.initial_state(), ReverseSet(frozenset({"c"})))
+        assert s.graph_signature() == t.graph_signature()
+        assert all(s.list_of(u) == t.list_of(u) for u in diamond.nodes)
+
+    def test_whole_sequential_executions_agree(self, bad_chain):
+        onestep = OneStepPartialReversal(bad_chain)
+        pr = PartialReversal(bad_chain)
+        r1 = run(onestep, SequentialScheduler())
+        r2 = run(pr, SequentialScheduler())
+        assert r1.final_state.graph_signature() == r2.final_state.graph_signature()
+
+    def test_reversal_targets(self, diamond):
+        automaton = OneStepPartialReversal(diamond)
+        state = automaton.initial_state()
+        assert automaton.reversal_targets(state, "c") == frozenset({"a", "b"})
+
+    def test_list_equal_nbrs_triggers_full_reversal(self):
+        # d -> x <- y: after x steps, y's list equals its whole neighbour set,
+        # which exercises the "reverse everything" branch of Algorithm 1/3.
+        from repro.core.graph import LinkReversalInstance
+
+        instance = LinkReversalInstance.from_directed_edges(
+            nodes=["d", "x", "y"], destination="d", edges=[("d", "x"), ("y", "x")]
+        )
+        automaton = OneStepPartialReversal(instance)
+        s = automaton.apply(automaton.initial_state(), Reverse("x"))
+        assert s.list_of("y") == frozenset({"x"}) == instance.nbrs("y")
+        assert s.is_sink("y")
+        s2 = automaton.apply(s, Reverse("y"))
+        # the full-reversal branch reverses the (only) edge and clears the list
+        assert s2.orientation.points_towards("y", "x")
+        assert s2.list_of("y") == frozenset()
+        assert "y" in s2.list_of("x")
+
+
+class TestConvergence:
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [GreedyScheduler, SequentialScheduler, lambda: RandomScheduler(seed=9)],
+    )
+    def test_converges(self, bad_chain, scheduler_factory):
+        result = run(OneStepPartialReversal(bad_chain), scheduler_factory())
+        assert result.converged
+        assert result.final_state.is_destination_oriented()
+
+    def test_acyclic_throughout(self, random_dag):
+        result = run(OneStepPartialReversal(random_dag), RandomScheduler(seed=4))
+        assert all(state.is_acyclic() for state in result.execution.states)
+
+    def test_grid_converges(self, bad_grid):
+        result = run(OneStepPartialReversal(bad_grid), GreedyScheduler())
+        assert result.converged
+        assert result.final_state.is_destination_oriented()
+
+    def test_final_state_independent_of_scheduler(self, bad_grid):
+        final_signatures = set()
+        for scheduler in (GreedyScheduler(), SequentialScheduler(), RandomScheduler(seed=1)):
+            result = run(OneStepPartialReversal(bad_grid), scheduler)
+            final_signatures.add(result.final_state.graph_signature())
+        assert len(final_signatures) == 1

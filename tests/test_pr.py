@@ -1,0 +1,232 @@
+"""Unit tests for the original Partial Reversal automaton (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.executions import run
+from repro.automata.ioa import TransitionError
+from repro.core.base import Reverse
+from repro.core.pr import PartialReversal, PRState, ReverseSet
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.sequential import SequentialScheduler
+from repro.schedulers.random_scheduler import RandomScheduler
+
+
+class TestReverseSetAction:
+    def test_requires_non_empty(self):
+        with pytest.raises(ValueError):
+            ReverseSet(frozenset())
+
+    def test_actors_sorted(self):
+        action = ReverseSet(frozenset({3, 1, 2}))
+        assert action.actors() == (1, 2, 3)
+
+    def test_coerces_iterable_to_frozenset(self):
+        action = ReverseSet({1, 2})
+        assert isinstance(action.nodes, frozenset)
+
+    def test_hashable(self):
+        assert hash(ReverseSet(frozenset({1}))) == hash(ReverseSet(frozenset({1})))
+
+
+class TestInitialState:
+    def test_initial_lists_empty(self, diamond):
+        state = PartialReversal(diamond).initial_state()
+        for node in diamond.nodes:
+            assert state.list_of(node) == frozenset()
+
+    def test_initial_orientation_matches_instance(self, diamond):
+        state = PartialReversal(diamond).initial_state()
+        assert set(state.directed_edges()) == set(diamond.initial_edges)
+
+    def test_rejects_cyclic_initial_graph(self):
+        from repro.core.graph import LinkReversalInstance
+
+        cyclic = LinkReversalInstance(
+            nodes=(0, 1, 2), destination=0, initial_edges=((0, 1), (1, 2), (2, 0))
+        )
+        with pytest.raises(Exception):
+            PartialReversal(cyclic)
+
+
+class TestEnabledActions:
+    def test_only_sinks_enabled(self, diamond):
+        automaton = PartialReversal(diamond)
+        state = automaton.initial_state()
+        singles = list(automaton.enabled_single_actions(state))
+        assert singles == [ReverseSet(frozenset({"c"}))]
+
+    def test_subsets_enumerated(self, bad_grid):
+        automaton = PartialReversal(bad_grid)
+        state = automaton.initial_state()
+        sinks = state.sinks()
+        actions = list(automaton.enabled_actions(state))
+        assert len(actions) == 2 ** len(sinks) - 1
+
+    def test_destination_never_enabled(self, good_chain):
+        automaton = PartialReversal(good_chain)
+        state = automaton.initial_state()
+        assert not automaton.is_enabled(state, ReverseSet(frozenset({0})))
+
+    def test_non_sink_not_enabled(self, diamond):
+        automaton = PartialReversal(diamond)
+        state = automaton.initial_state()
+        assert not automaton.is_enabled(state, ReverseSet(frozenset({"a"})))
+
+    def test_greedy_action_is_all_sinks(self, bad_grid):
+        automaton = PartialReversal(bad_grid)
+        state = automaton.initial_state()
+        action = automaton.greedy_action(state)
+        assert action.nodes == frozenset(state.sinks())
+
+    def test_greedy_action_none_when_quiescent(self, good_chain):
+        automaton = PartialReversal(good_chain)
+        assert automaton.greedy_action(automaton.initial_state()) is None
+
+    def test_reverse_action_accepted_as_singleton(self, diamond):
+        automaton = PartialReversal(diamond)
+        state = automaton.initial_state()
+        assert automaton.is_enabled(state, Reverse("c"))
+        new_state = automaton.apply(state, Reverse("c"))
+        assert not new_state.is_sink("c")
+
+
+class TestTransitionSemantics:
+    def test_first_step_reverses_all_edges_of_sink_with_empty_list(self, diamond):
+        # list[c] is empty != nbrs(c), so c reverses nbrs \ list = both edges
+        automaton = PartialReversal(diamond)
+        state = automaton.initial_state()
+        new_state = automaton.apply(state, ReverseSet(frozenset({"c"})))
+        assert new_state.orientation.points_towards("c", "a")
+        assert new_state.orientation.points_towards("c", "b")
+
+    def test_neighbours_record_reversal_in_their_lists(self, diamond):
+        automaton = PartialReversal(diamond)
+        state = automaton.initial_state()
+        new_state = automaton.apply(state, ReverseSet(frozenset({"c"})))
+        assert "c" in new_state.list_of("a")
+        assert "c" in new_state.list_of("b")
+
+    def test_stepping_node_clears_its_list(self, diamond):
+        automaton = PartialReversal(diamond)
+        state = automaton.initial_state()
+        s1 = automaton.apply(state, ReverseSet(frozenset({"c"})))
+        # a and b are now sinks (their only other edge comes from d);
+        # stepping a leaves list[a] empty again
+        s2 = automaton.apply(s1, ReverseSet(frozenset({"a"})))
+        assert s2.list_of("a") == frozenset()
+
+    def test_partial_reversal_skips_listed_neighbours(self, diamond):
+        automaton = PartialReversal(diamond)
+        state = automaton.initial_state()
+        s1 = automaton.apply(state, ReverseSet(frozenset({"c"})))
+        # a's list contains c, so when a steps it reverses only the edge to d
+        s2 = automaton.apply(s1, ReverseSet(frozenset({"a"})))
+        assert s2.orientation.points_towards("a", "d")
+        assert s2.orientation.points_towards("c", "a")  # untouched
+
+    def test_full_reversal_case_when_list_equals_nbrs(self):
+        # Two-node graph d <- x is impossible as a DAG start with x sink twice,
+        # so build a path d - x - y: after x and y alternate, x's list becomes
+        # equal to its neighbour set and it must reverse everything.
+        from repro.core.graph import LinkReversalInstance
+
+        instance = LinkReversalInstance.from_directed_edges(
+            nodes=["d", "x"], destination="d", edges=[("d", "x")]
+        )
+        automaton = PartialReversal(instance)
+        state = automaton.initial_state()
+        # x is a sink with empty list: reverses its single edge
+        s1 = automaton.apply(state, ReverseSet(frozenset({"x"})))
+        assert s1.orientation.points_towards("x", "d")
+        assert s1.is_destination_oriented()
+
+    def test_apply_disabled_action_raises(self, diamond):
+        automaton = PartialReversal(diamond)
+        state = automaton.initial_state()
+        with pytest.raises(TransitionError):
+            automaton.apply(state, ReverseSet(frozenset({"a"})))
+
+    def test_apply_does_not_mutate_input_state(self, diamond):
+        automaton = PartialReversal(diamond)
+        state = automaton.initial_state()
+        before = state.signature()
+        automaton.apply(state, ReverseSet(frozenset({"c"})))
+        assert state.signature() == before
+
+    def test_concurrent_set_step_equals_sequential_steps(self):
+        from repro.topology.generators import star_instance
+
+        instance = star_instance(5, destination_is_center=True)
+        automaton = PartialReversal(instance)
+        state = automaton.initial_state()
+        sinks = state.sinks()
+        assert len(sinks) >= 2
+        concurrent = automaton.apply(state, ReverseSet(frozenset(sinks)))
+        sequential = state
+        for node in sinks:
+            sequential = automaton.apply(sequential, ReverseSet(frozenset({node})))
+        assert concurrent.signature() == sequential.signature()
+
+    def test_reversal_targets_helper(self, diamond):
+        automaton = PartialReversal(diamond)
+        state = automaton.initial_state()
+        assert automaton.reversal_targets(state, "c") == frozenset({"a", "b"})
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("scheduler_factory", [GreedyScheduler, SequentialScheduler,
+                                                   lambda: RandomScheduler(seed=3)])
+    def test_converges_to_destination_orientation(self, bad_chain, scheduler_factory):
+        automaton = PartialReversal(bad_chain)
+        result = run(automaton, scheduler_factory())
+        assert result.converged
+        assert result.final_state.is_destination_oriented()
+
+    def test_already_oriented_graph_needs_no_steps(self, good_chain):
+        automaton = PartialReversal(good_chain)
+        result = run(automaton, GreedyScheduler())
+        assert result.steps_taken == 0
+        assert result.converged
+
+    def test_quiescence_iff_no_sinks(self, bad_chain):
+        automaton = PartialReversal(bad_chain)
+        result = run(automaton, SequentialScheduler())
+        assert automaton.is_quiescent(result.final_state)
+        assert result.final_state.sinks() == ()
+
+    def test_final_orientation_is_acyclic(self, random_dag):
+        automaton = PartialReversal(random_dag)
+        result = run(automaton, GreedyScheduler())
+        assert result.final_state.is_acyclic()
+
+    def test_random_subset_scheduler_converges(self, bad_grid):
+        automaton = PartialReversal(bad_grid)
+        result = run(automaton, RandomScheduler(seed=11, subset_probability=0.7))
+        assert result.converged
+        assert result.final_state.is_destination_oriented()
+
+
+class TestStateProtocol:
+    def test_signature_includes_lists(self, diamond):
+        automaton = PartialReversal(diamond)
+        s0 = automaton.initial_state()
+        s1 = automaton.apply(s0, ReverseSet(frozenset({"c"})))
+        s2 = automaton.apply(s1, ReverseSet(frozenset({"a"})))
+        s3 = automaton.apply(s2, ReverseSet(frozenset({"b"})))
+        # compare two states with the same orientation but different lists
+        assert s3.graph_signature() != s0.graph_signature() or s3.signature() != s0.signature()
+
+    def test_copy_independent(self, diamond):
+        state = PartialReversal(diamond).initial_state()
+        clone = state.copy()
+        clone.lists["c"] = frozenset({"a"})
+        assert state.list_of("c") == frozenset()
+
+    def test_equality_and_hash(self, diamond):
+        automaton = PartialReversal(diamond)
+        a = automaton.initial_state()
+        b = automaton.initial_state()
+        assert a == b
+        assert hash(a) == hash(b)

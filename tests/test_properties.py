@@ -1,0 +1,110 @@
+"""Unit tests for the derived properties (destination orientation, confluence)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.executions import run
+from repro.core.full_reversal import FullReversal
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal
+from repro.schedulers.adversarial import AdversarialScheduler, LazyScheduler
+from repro.schedulers.base import RoundRobinScheduler
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.schedulers.sequential import SequentialScheduler
+from repro.verification.properties import (
+    check_confluence,
+    check_destination_oriented_at_quiescence,
+    check_sinks_are_independent,
+)
+
+
+class TestDestinationOrientedAtQuiescence:
+    @pytest.mark.parametrize(
+        "automaton_class",
+        [PartialReversal, OneStepPartialReversal, NewPartialReversal, FullReversal],
+    )
+    def test_holds_after_convergence(self, bad_chain, automaton_class):
+        automaton = automaton_class(bad_chain)
+        result = run(automaton, SequentialScheduler())
+        report = check_destination_oriented_at_quiescence(automaton, result.final_state)
+        assert report.holds
+
+    def test_vacuous_for_non_quiescent_state(self, bad_chain):
+        automaton = PartialReversal(bad_chain)
+        report = check_destination_oriented_at_quiescence(automaton, automaton.initial_state())
+        assert report.holds
+        assert "vacuous" in report.detail
+
+    def test_holds_on_grid(self, bad_grid):
+        automaton = NewPartialReversal(bad_grid)
+        result = run(automaton, GreedyScheduler())
+        assert check_destination_oriented_at_quiescence(automaton, result.final_state).holds
+
+
+class TestSinkIndependence:
+    def test_initial_states(self, bad_chain, bad_grid, diamond):
+        for instance in (bad_chain, bad_grid, diamond):
+            state = PartialReversal(instance).initial_state()
+            assert check_sinks_are_independent(state).holds
+
+    def test_along_execution(self, bad_grid):
+        result = run(PartialReversal(bad_grid), GreedyScheduler())
+        for state in result.execution.states:
+            assert check_sinks_are_independent(state).holds
+
+    def test_along_newpr_execution(self, random_dag):
+        result = run(NewPartialReversal(random_dag), RandomScheduler(seed=19))
+        for state in result.execution.states:
+            assert check_sinks_are_independent(state).holds
+
+
+class TestConfluence:
+    """The final orientation does not depend on the scheduler (diamond property)."""
+
+    def test_pr_confluent_on_grid(self, bad_grid):
+        report = check_confluence(
+            lambda: PartialReversal(bad_grid),
+            [
+                GreedyScheduler(),
+                SequentialScheduler(),
+                RandomScheduler(seed=1),
+                RandomScheduler(seed=2),
+                AdversarialScheduler(),
+                LazyScheduler(),
+                RoundRobinScheduler(),
+            ],
+        )
+        assert report.holds
+
+    def test_onestep_confluent_on_chain(self, bad_chain):
+        report = check_confluence(
+            lambda: OneStepPartialReversal(bad_chain),
+            [SequentialScheduler(), RandomScheduler(seed=5), AdversarialScheduler()],
+        )
+        assert report.holds
+
+    def test_fr_confluent(self, worst_chain):
+        report = check_confluence(
+            lambda: FullReversal(worst_chain),
+            [GreedyScheduler(), SequentialScheduler(), RandomScheduler(seed=9)],
+        )
+        assert report.holds
+
+    def test_newpr_confluent(self, bad_grid):
+        report = check_confluence(
+            lambda: NewPartialReversal(bad_grid),
+            [SequentialScheduler(), RandomScheduler(seed=3), RoundRobinScheduler()],
+        )
+        assert report.holds
+
+    def test_non_convergence_reported(self, bad_grid):
+        report = check_confluence(
+            lambda: FullReversal(bad_grid),
+            [SequentialScheduler()],
+            max_steps=1,
+        )
+        assert not report.holds
+        assert "did not converge" in report.detail

@@ -1,0 +1,194 @@
+"""Property-based tests (Hypothesis) for the core invariants of the paper.
+
+These tests generate random connected DAG instances and random schedules, then
+assert the paper's claims on every state the executions visit:
+
+* the directed graph stays acyclic for PR, OneStepPR, NewPR and FR
+  (Theorems 4.3 and 5.5, plus the folklore FR argument);
+* Invariants 3.1/3.2 (PR) and 4.1/4.2 (NewPR) hold in every visited state;
+* the simulation relations R' and R hold along every generated PR execution;
+* executions always converge, and the final orientation is destination
+  oriented and independent of the schedule (confluence).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.automata.executions import run
+from repro.core.full_reversal import FullReversal
+from repro.core.graph import LinkReversalInstance
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.verification.acyclicity import check_acyclic_execution
+from repro.verification.invariants import (
+    check_invariant_3_1,
+    check_invariant_3_2,
+    check_invariant_4_1,
+    check_invariant_4_2,
+)
+from repro.verification.simulation import check_full_simulation_chain
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def connected_dag_instances(draw, min_nodes: int = 2, max_nodes: int = 8):
+    """A random connected DAG instance with node 0 as the destination.
+
+    Edges are directed from the lower to the higher node index, which makes
+    the orientation acyclic by construction; a spanning path guarantees
+    connectivity.
+    """
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    nodes = tuple(range(n))
+    edges = set()
+    # spanning path for connectivity
+    for u in range(n - 1):
+        edges.add((u, u + 1))
+    # optional extra forward edges
+    candidates = [(u, v) for u in range(n) for v in range(u + 1, n) if (u, v) not in edges]
+    if candidates:
+        extra = draw(st.lists(st.sampled_from(candidates), unique=True, max_size=len(candidates)))
+        edges.update(extra)
+    # optionally flip a subset of edges while keeping acyclicity: flipping any
+    # subset of edges of a total order can create cycles, so instead we draw a
+    # random permutation rank and direct each edge along it.
+    permutation = draw(st.permutations(list(nodes)))
+    rank = {node: index for index, node in enumerate(permutation)}
+    directed = tuple(
+        (u, v) if rank[u] < rank[v] else (v, u) for (u, v) in sorted(edges)
+    )
+    return LinkReversalInstance(nodes, 0, directed)
+
+
+schedule_seeds = st.integers(min_value=0, max_value=2 ** 16)
+
+COMMON_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# acyclicity (Theorems 4.3 / 5.5 and the FR argument)
+# ----------------------------------------------------------------------
+@given(instance=connected_dag_instances(), seed=schedule_seeds)
+@settings(**COMMON_SETTINGS)
+def test_newpr_acyclic_in_every_visited_state(instance, seed):
+    result = run(NewPartialReversal(instance), RandomScheduler(seed=seed))
+    assert result.converged
+    assert check_acyclic_execution(result.execution).holds
+
+
+@given(instance=connected_dag_instances(), seed=schedule_seeds)
+@settings(**COMMON_SETTINGS)
+def test_pr_acyclic_in_every_visited_state(instance, seed):
+    result = run(
+        PartialReversal(instance), RandomScheduler(seed=seed, subset_probability=0.5)
+    )
+    assert result.converged
+    assert check_acyclic_execution(result.execution).holds
+
+
+@given(instance=connected_dag_instances(), seed=schedule_seeds)
+@settings(**COMMON_SETTINGS)
+def test_fr_acyclic_in_every_visited_state(instance, seed):
+    result = run(FullReversal(instance), RandomScheduler(seed=seed))
+    assert result.converged
+    assert check_acyclic_execution(result.execution).holds
+
+
+# ----------------------------------------------------------------------
+# invariants
+# ----------------------------------------------------------------------
+@given(instance=connected_dag_instances(), seed=schedule_seeds)
+@settings(**COMMON_SETTINGS)
+def test_pr_invariants_hold_in_every_visited_state(instance, seed):
+    result = run(OneStepPartialReversal(instance), RandomScheduler(seed=seed))
+    for state in result.execution.states:
+        assert check_invariant_3_1(state).holds
+        assert check_invariant_3_2(state).holds
+
+
+@given(instance=connected_dag_instances(), seed=schedule_seeds)
+@settings(**COMMON_SETTINGS)
+def test_newpr_invariants_hold_in_every_visited_state(instance, seed):
+    result = run(NewPartialReversal(instance), RandomScheduler(seed=seed))
+    for state in result.execution.states:
+        assert check_invariant_4_1(state).holds
+        assert check_invariant_4_2(state).holds
+
+
+# ----------------------------------------------------------------------
+# simulation relations (Section 5)
+# ----------------------------------------------------------------------
+@given(instance=connected_dag_instances(max_nodes=7), seed=schedule_seeds)
+@settings(**COMMON_SETTINGS)
+def test_simulation_chain_holds_for_random_pr_executions(instance, seed):
+    result = run(
+        PartialReversal(instance), RandomScheduler(seed=seed, subset_probability=0.4)
+    )
+    chain = check_full_simulation_chain(result.execution)
+    assert chain.holds
+
+
+# ----------------------------------------------------------------------
+# convergence and confluence
+# ----------------------------------------------------------------------
+@given(instance=connected_dag_instances(), seed=schedule_seeds)
+@settings(**COMMON_SETTINGS)
+def test_all_algorithms_converge_to_destination_orientation(instance, seed):
+    for automaton_class in (PartialReversal, NewPartialReversal, FullReversal):
+        result = run(automaton_class(instance), RandomScheduler(seed=seed))
+        assert result.converged
+        assert result.final_state.is_destination_oriented()
+
+
+@given(instance=connected_dag_instances(max_nodes=7), seed_a=schedule_seeds, seed_b=schedule_seeds)
+@settings(**COMMON_SETTINGS)
+def test_final_orientation_is_schedule_independent(instance, seed_a, seed_b):
+    result_a = run(OneStepPartialReversal(instance), RandomScheduler(seed=seed_a))
+    result_b = run(OneStepPartialReversal(instance), RandomScheduler(seed=seed_b))
+    assert result_a.final_state.graph_signature() == result_b.final_state.graph_signature()
+
+
+@given(instance=connected_dag_instances(max_nodes=7), seed_a=schedule_seeds, seed_b=schedule_seeds)
+@settings(**COMMON_SETTINGS)
+def test_work_is_schedule_independent_for_pr(instance, seed_a, seed_b):
+    result_a = run(OneStepPartialReversal(instance), RandomScheduler(seed=seed_a))
+    result_b = run(OneStepPartialReversal(instance), RandomScheduler(seed=seed_b))
+    assert result_a.steps_taken == result_b.steps_taken
+
+
+# ----------------------------------------------------------------------
+# graph substrate properties
+# ----------------------------------------------------------------------
+@given(instance=connected_dag_instances())
+@settings(**COMMON_SETTINGS)
+def test_generated_instances_satisfy_system_model(instance):
+    assert instance.is_initially_acyclic()
+    assert instance.is_connected()
+    for u in instance.nodes:
+        assert instance.nbrs(u) == instance.in_nbrs(u) | instance.out_nbrs(u)
+        assert not (instance.in_nbrs(u) & instance.out_nbrs(u))
+
+
+@given(instance=connected_dag_instances(), seed=schedule_seeds)
+@settings(**COMMON_SETTINGS)
+def test_orientation_reverse_is_involution(instance, seed):
+    import random as _random
+
+    orientation = instance.initial_orientation()
+    rng = _random.Random(seed)
+    edges = list(instance.initial_edges)
+    chosen = rng.sample(edges, k=min(3, len(edges)))
+    before = orientation.signature()
+    for u, v in chosen:
+        orientation.reverse_edge(u, v)
+        orientation.reverse_edge(u, v)
+    assert orientation.signature() == before

@@ -1,0 +1,148 @@
+"""Unit tests for the routing layer (experiment E15)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.executions import run
+from repro.core.pr import PartialReversal
+from repro.core.full_reversal import FullReversal
+from repro.routing.dag_routing import RoutingTable, extract_route, route_stretch
+from repro.routing.maintenance import RouteMaintenanceSimulation, repair_with_automaton
+from repro.schedulers.greedy import GreedyScheduler
+from repro.topology.generators import chain_instance, grid_instance
+from repro.topology.manet import random_geometric_instance
+from repro.topology.mobility import RandomWaypointMobility
+from repro.distributed.protocol import ReversalMode
+
+
+class TestRoutingTable:
+    def test_oriented_graph_routes_every_node(self, good_chain):
+        table = RoutingTable.from_orientation(good_chain.initial_orientation())
+        assert table.routable_fraction() == 1.0
+        assert all(table.has_route(u) for u in good_chain.nodes)
+
+    def test_unoriented_graph_has_missing_routes(self, bad_chain):
+        table = RoutingTable.from_orientation(bad_chain.initial_orientation())
+        assert table.routable_fraction() < 1.0
+        assert not table.has_route(4)
+
+    def test_route_reaches_destination(self, good_chain):
+        table = RoutingTable.from_orientation(good_chain.initial_orientation())
+        route = table.route(4)
+        assert route[0] == 4
+        assert route[-1] == good_chain.destination
+
+    def test_route_of_destination_is_itself(self, good_chain):
+        table = RoutingTable.from_orientation(good_chain.initial_orientation())
+        assert table.route(0) == (0,)
+
+    def test_route_empty_when_unroutable(self, bad_chain):
+        table = RoutingTable.from_orientation(bad_chain.initial_orientation())
+        assert table.route(3) == ()
+
+    def test_stretch_is_one_on_shortest_path_dag(self):
+        instance = grid_instance(3, 3, oriented_towards_destination=True)
+        table = RoutingTable.from_orientation(instance.initial_orientation())
+        for node in instance.nodes:
+            if node == instance.destination:
+                continue
+            assert table.stretch(node) == 1.0
+        assert table.average_stretch() == 1.0
+
+    def test_stretch_after_link_reversal_can_exceed_one(self):
+        instance = grid_instance(3, 3, oriented_towards_destination=False)
+        result = run(PartialReversal(instance), GreedyScheduler())
+        table = RoutingTable.from_orientation(result.final_state.orientation)
+        assert table.routable_fraction() == 1.0
+        assert table.average_stretch() >= 1.0
+
+    def test_next_hop_points_downhill(self, good_chain):
+        table = RoutingTable.from_orientation(good_chain.initial_orientation())
+        for node in good_chain.nodes:
+            hop = table.next_hop[node]
+            if hop is not None:
+                assert table.directed_distance[hop] < table.directed_distance[node]
+
+    def test_helper_functions(self, good_chain):
+        orientation = good_chain.initial_orientation()
+        assert extract_route(orientation, 3) == (3, 2, 1, 0)
+        assert route_stretch(orientation, 3) == 1.0
+
+
+class TestSynchronousRepair:
+    def test_repair_restores_routes(self):
+        instance = grid_instance(3, 3, oriented_towards_destination=True)
+        orientation = instance.initial_orientation()
+        new_instance, result = repair_with_automaton(
+            instance, orientation, failed_link=(1, 0), algorithm_factory=PartialReversal
+        )
+        assert result.converged
+        assert result.final_state.is_destination_oriented()
+        assert new_instance.edge_count == instance.edge_count - 1
+
+    def test_repair_with_fr(self):
+        instance = grid_instance(3, 3, oriented_towards_destination=True)
+        orientation = instance.initial_orientation()
+        _, result = repair_with_automaton(
+            instance, orientation, failed_link=(3, 0), algorithm_factory=FullReversal
+        )
+        assert result.final_state.is_destination_oriented()
+
+    def test_unknown_link_rejected(self):
+        instance = grid_instance(3, 3)
+        with pytest.raises(ValueError):
+            repair_with_automaton(
+                instance, instance.initial_orientation(), (0, 8), PartialReversal
+            )
+
+
+class TestRouteMaintenanceSimulation:
+    def test_single_failure_recovery(self):
+        instance = grid_instance(3, 3, oriented_towards_destination=True)
+        simulation = RouteMaintenanceSimulation(instance, seed=1)
+        result = simulation.fail_links([(4, 1)])
+        assert not result.partitioned
+        assert result.destination_oriented
+        assert result.routable_fraction == 1.0
+
+    def test_failure_statistics_recorded(self):
+        instance = grid_instance(4, 4, oriented_towards_destination=True)
+        simulation = RouteMaintenanceSimulation(instance, seed=2)
+        simulation.fail_links([(5, 1)])
+        simulation.fail_links([(10, 6)])
+        summary = simulation.summary()
+        assert summary["failures"] == 2
+        assert summary["recovered_fraction"] == 1.0
+
+    def test_random_failures(self):
+        instance = grid_instance(4, 4, oriented_towards_destination=True)
+        simulation = RouteMaintenanceSimulation(instance, seed=3)
+        results = simulation.fail_random_links(3)
+        assert len(results) == 3
+        for result in results:
+            if not result.partitioned:
+                assert result.destination_oriented
+
+    def test_full_mode_also_recovers(self):
+        instance = grid_instance(3, 3, oriented_towards_destination=True)
+        simulation = RouteMaintenanceSimulation(instance, mode=ReversalMode.FULL, seed=4)
+        result = simulation.fail_links([(4, 1)])
+        assert result.destination_oriented
+
+    def test_empty_summary(self):
+        instance = grid_instance(3, 3, oriented_towards_destination=True)
+        simulation = RouteMaintenanceSimulation(instance, seed=5)
+        summary = simulation.summary()
+        assert summary["failures"] == 0
+
+    def test_geometric_network_with_mobility_changes(self):
+        instance, network = random_geometric_instance(16, radius=0.45, seed=7)
+        simulation = RouteMaintenanceSimulation(instance, seed=7)
+        mobility = RandomWaypointMobility(network, speed=0.03, seed=7)
+        changes = mobility.run(5)
+        results = simulation.apply_topology_changes(changes)
+        # every non-partitioning change is recovered from
+        for result in results:
+            if not result.partitioned:
+                assert result.destination_oriented

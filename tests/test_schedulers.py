@@ -1,0 +1,169 @@
+"""Unit tests for the schedulers (adversaries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.executions import run
+from repro.core.full_reversal import FullReversal
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal, ReverseSet
+from repro.schedulers.adversarial import AdversarialScheduler, LazyScheduler
+from repro.schedulers.base import RoundRobinScheduler, TraceScheduler
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.schedulers.sequential import SequentialScheduler
+
+
+class TestGreedyScheduler:
+    def test_issues_set_actions_for_pr(self, bad_grid):
+        automaton = PartialReversal(bad_grid)
+        scheduler = GreedyScheduler()
+        scheduler.reset(automaton)
+        action = scheduler.select(automaton, automaton.initial_state())
+        assert isinstance(action, ReverseSet)
+
+    def test_round_counter(self, bad_chain):
+        automaton = PartialReversal(bad_chain)
+        scheduler = GreedyScheduler()
+        result = run(automaton, scheduler)
+        assert scheduler.rounds >= 1
+        assert result.converged
+
+    def test_serialised_rounds_for_single_node_automata(self, bad_grid):
+        automaton = OneStepPartialReversal(bad_grid)
+        scheduler = GreedyScheduler()
+        result = run(automaton, scheduler)
+        assert result.converged
+        assert result.final_state.is_destination_oriented()
+
+    def test_serialised_pr_with_concurrency_disabled(self, bad_chain):
+        automaton = PartialReversal(bad_chain)
+        scheduler = GreedyScheduler(concurrent_for_pr=False)
+        result = run(automaton, scheduler)
+        assert result.converged
+        # every action is then a singleton set
+        assert all(len(a.actors()) == 1 for a in result.execution.actions)
+
+    def test_returns_none_when_quiescent(self, good_chain):
+        automaton = PartialReversal(good_chain)
+        scheduler = GreedyScheduler()
+        scheduler.reset(automaton)
+        assert scheduler.select(automaton, automaton.initial_state()) is None
+
+
+class TestSequentialScheduler:
+    def test_deterministic(self, bad_grid):
+        r1 = run(OneStepPartialReversal(bad_grid), SequentialScheduler())
+        r2 = run(OneStepPartialReversal(bad_grid), SequentialScheduler())
+        assert [a.node for a in r1.execution.actions] == [a.node for a in r2.execution.actions]
+
+    def test_picks_first_enabled_in_node_order(self, bad_grid):
+        automaton = OneStepPartialReversal(bad_grid)
+        scheduler = SequentialScheduler()
+        state = automaton.initial_state()
+        action = scheduler.select(automaton, state)
+        expected = min(state.sinks(), key=list(bad_grid.nodes).index)
+        assert action.node == expected
+
+
+class TestRandomScheduler:
+    def test_reproducible_with_same_seed(self, bad_grid):
+        r1 = run(OneStepPartialReversal(bad_grid), RandomScheduler(seed=99))
+        r2 = run(OneStepPartialReversal(bad_grid), RandomScheduler(seed=99))
+        assert [a.node for a in r1.execution.actions] == [a.node for a in r2.execution.actions]
+
+    def test_different_seeds_can_differ(self, bad_grid):
+        r1 = run(OneStepPartialReversal(bad_grid), RandomScheduler(seed=1))
+        r2 = run(OneStepPartialReversal(bad_grid), RandomScheduler(seed=2))
+        # both converge to the same orientation even if the orders differ
+        assert r1.final_state.graph_signature() == r2.final_state.graph_signature()
+
+    def test_invalid_subset_probability(self):
+        with pytest.raises(ValueError):
+            RandomScheduler(seed=0, subset_probability=1.5)
+
+    def test_subset_probability_only_affects_pr(self, bad_chain):
+        result = run(
+            NewPartialReversal(bad_chain), RandomScheduler(seed=0, subset_probability=1.0)
+        )
+        assert result.converged
+        assert all(len(a.actors()) == 1 for a in result.execution.actions)
+
+    def test_subset_actions_for_pr(self):
+        from repro.topology.generators import star_instance
+
+        instance = star_instance(6, destination_is_center=True)
+        result = run(PartialReversal(instance), RandomScheduler(seed=5, subset_probability=1.0))
+        assert result.converged
+        assert any(len(a.actors()) > 1 for a in result.execution.actions)
+
+
+class TestAdversarialAndLazy:
+    def test_adversarial_prefers_far_sinks(self, bad_grid):
+        automaton = OneStepPartialReversal(bad_grid)
+        scheduler = AdversarialScheduler()
+        scheduler.reset(automaton)
+        state = automaton.initial_state()
+        action = scheduler.select(automaton, state)
+        # node 8 (the far corner) is the unique sink and also the farthest node
+        assert action.node == 8
+
+    def test_lazy_prefers_near_sinks(self, bad_grid):
+        automaton = OneStepPartialReversal(bad_grid)
+        # step once so that several sinks exist at different distances
+        state = automaton.apply(automaton.initial_state(), next(automaton.enabled_actions(automaton.initial_state())))
+        lazy = LazyScheduler()
+        lazy.reset(automaton)
+        adversarial = AdversarialScheduler()
+        adversarial.reset(automaton)
+        lazy_pick = lazy.select(automaton, state)
+        adversarial_pick = adversarial.select(automaton, state)
+        assert lazy_pick is not None and adversarial_pick is not None
+
+    def test_both_converge(self, worst_chain):
+        for scheduler in (AdversarialScheduler(), LazyScheduler()):
+            result = run(OneStepPartialReversal(worst_chain), scheduler)
+            assert result.converged
+            assert result.final_state.is_destination_oriented()
+
+    def test_work_is_schedule_independent_for_fr(self, worst_chain):
+        """FR total work does not depend on the adversary (Busch & Tirthapura)."""
+        counts = set()
+        for scheduler in (
+            GreedyScheduler(),
+            SequentialScheduler(),
+            AdversarialScheduler(),
+            LazyScheduler(),
+            RandomScheduler(seed=77),
+        ):
+            result = run(FullReversal(worst_chain), scheduler)
+            counts.add(result.steps_taken)
+        assert len(counts) == 1
+
+
+class TestRoundRobinScheduler:
+    def test_converges(self, bad_grid):
+        result = run(OneStepPartialReversal(bad_grid), RoundRobinScheduler())
+        assert result.converged
+        assert result.final_state.is_destination_oriented()
+
+    def test_fairness_every_node_eventually_steps(self, worst_chain):
+        result = run(OneStepPartialReversal(worst_chain), RoundRobinScheduler())
+        stepped = {a.node for a in result.execution.actions}
+        # on the worst-case chain every non-destination node must step at least once
+        assert stepped == set(worst_chain.non_destination_nodes)
+
+
+class TestTraceSchedulerEdgeCases:
+    def test_empty_trace_means_no_steps(self, bad_chain):
+        result = run(OneStepPartialReversal(bad_chain), TraceScheduler([]))
+        assert result.steps_taken == 0
+
+    def test_reset_rewinds_position(self, bad_chain):
+        scheduler = TraceScheduler([4])
+        automaton = OneStepPartialReversal(bad_chain)
+        run(automaton, scheduler)
+        result = run(automaton, scheduler)  # run() calls reset, so the trace replays
+        assert result.steps_taken == 1

@@ -1,0 +1,195 @@
+"""Unit tests for the simulation relations R' and R (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.executions import run
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal
+from repro.schedulers.greedy import GreedyScheduler
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.schedulers.sequential import SequentialScheduler
+from repro.verification.simulation import (
+    RelationR,
+    RelationRPrime,
+    check_full_simulation_chain,
+    check_onestep_to_newpr_simulation,
+    check_pr_to_onestep_simulation,
+)
+
+
+class TestRelationRPrime:
+    def test_holds_for_initial_states(self, diamond):
+        relation = RelationRPrime(diamond)
+        pr_state = PartialReversal(diamond).initial_state()
+        onestep_state = OneStepPartialReversal(diamond).initial_state()
+        assert relation.holds(pr_state, onestep_state)
+
+    def test_detects_graph_mismatch(self, diamond):
+        relation = RelationRPrime(diamond)
+        pr_state = PartialReversal(diamond).initial_state()
+        onestep_state = OneStepPartialReversal(diamond).initial_state()
+        onestep_state.orientation.reverse_edge("a", "c")
+        violations = relation.violations(pr_state, onestep_state)
+        assert any("directed graphs differ" in v for v in violations)
+
+    def test_detects_list_mismatch(self, diamond):
+        relation = RelationRPrime(diamond)
+        pr_state = PartialReversal(diamond).initial_state()
+        onestep_state = OneStepPartialReversal(diamond).initial_state()
+        onestep_state.lists["a"] = frozenset({"c"})
+        violations = relation.violations(pr_state, onestep_state)
+        assert any("list[a]" in v for v in violations)
+
+
+class TestRelationR:
+    def test_holds_for_initial_states(self, diamond):
+        relation = RelationR(diamond)
+        onestep_state = OneStepPartialReversal(diamond).initial_state()
+        newpr_state = NewPartialReversal(diamond).initial_state()
+        assert relation.holds(onestep_state, newpr_state)
+
+    def test_detects_graph_mismatch(self, diamond):
+        relation = RelationR(diamond)
+        onestep_state = OneStepPartialReversal(diamond).initial_state()
+        newpr_state = NewPartialReversal(diamond).initial_state()
+        newpr_state.orientation.reverse_edge("a", "c")
+        assert not relation.holds(onestep_state, newpr_state)
+
+    def test_detects_even_parity_list_violation(self, diamond):
+        relation = RelationR(diamond)
+        onestep_state = OneStepPartialReversal(diamond).initial_state()
+        newpr_state = NewPartialReversal(diamond).initial_state()
+        # parity of a is even; an in-neighbour (d) in a's list violates condition 2
+        onestep_state.lists["a"] = frozenset({"d"})
+        violations = relation.violations(onestep_state, newpr_state)
+        assert any("even" in v for v in violations)
+
+    def test_detects_odd_parity_list_violation(self, diamond):
+        relation = RelationR(diamond)
+        onestep_state = OneStepPartialReversal(diamond).initial_state()
+        newpr_state = NewPartialReversal(diamond).initial_state()
+        newpr_state.counts["a"] = 1  # parity odd
+        # an out-neighbour (c) in a's list violates condition 3
+        onestep_state.lists["a"] = frozenset({"c"})
+        violations = relation.violations(onestep_state, newpr_state)
+        assert any("odd" in v for v in violations)
+
+
+class TestTheorem52:
+    """R' maps every reachable PR state to a reachable OneStepPR state."""
+
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [GreedyScheduler, SequentialScheduler, lambda: RandomScheduler(seed=31)],
+    )
+    def test_r_prime_holds_on_chain(self, bad_chain, scheduler_factory):
+        result = run(PartialReversal(bad_chain), scheduler_factory())
+        check = check_pr_to_onestep_simulation(result.execution)
+        assert check.holds
+        assert check.correspondence_points == result.steps_taken + 1
+
+    def test_r_prime_holds_with_concurrent_steps(self, bad_grid):
+        result = run(PartialReversal(bad_grid), GreedyScheduler())
+        assert check_pr_to_onestep_simulation(result.execution).holds
+
+    def test_r_prime_holds_with_random_subsets(self, bad_grid):
+        result = run(
+            PartialReversal(bad_grid), RandomScheduler(seed=7, subset_probability=0.9)
+        )
+        assert check_pr_to_onestep_simulation(result.execution).holds
+
+    def test_corresponding_execution_is_valid(self, bad_chain):
+        result = run(PartialReversal(bad_chain), GreedyScheduler())
+        check = check_pr_to_onestep_simulation(result.execution)
+        # the constructed OneStepPR execution must itself be a legal execution
+        check.corresponding_execution.validate()
+
+    def test_final_graphs_agree(self, random_dag):
+        result = run(PartialReversal(random_dag), GreedyScheduler())
+        check = check_pr_to_onestep_simulation(result.execution)
+        assert (
+            check.corresponding_execution.final_state.graph_signature()
+            == result.final_state.graph_signature()
+        )
+
+
+class TestTheorem54:
+    """R maps every reachable OneStepPR state to a reachable NewPR state."""
+
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [SequentialScheduler, lambda: RandomScheduler(seed=41)],
+    )
+    def test_r_holds_on_chain(self, bad_chain, scheduler_factory):
+        result = run(OneStepPartialReversal(bad_chain), scheduler_factory())
+        check = check_onestep_to_newpr_simulation(result.execution)
+        assert check.holds
+
+    def test_r_holds_on_grid(self, bad_grid):
+        result = run(OneStepPartialReversal(bad_grid), SequentialScheduler())
+        assert check_onestep_to_newpr_simulation(result.execution).holds
+
+    def test_r_holds_on_random_dag(self, random_dag):
+        result = run(OneStepPartialReversal(random_dag), RandomScheduler(seed=2))
+        assert check_onestep_to_newpr_simulation(result.execution).holds
+
+    def test_corresponding_newpr_execution_is_valid(self, bad_chain):
+        result = run(OneStepPartialReversal(bad_chain), SequentialScheduler())
+        check = check_onestep_to_newpr_simulation(result.execution)
+        check.corresponding_execution.validate()
+
+    def test_dummy_steps_inserted_when_list_equals_nbrs(self):
+        """The two-step correspondence of Lemma 5.3 (Case 1.2/2.2) is exercised."""
+        from repro.core.graph import LinkReversalInstance
+
+        instance = LinkReversalInstance.from_directed_edges(
+            nodes=["d", "x", "y"], destination="d", edges=[("d", "x"), ("y", "x")]
+        )
+        onestep = OneStepPartialReversal(instance)
+        result = run(onestep, SequentialScheduler())
+        check = check_onestep_to_newpr_simulation(result.execution)
+        assert check.holds
+        # NewPR needs at least one extra (dummy) step compared to OneStepPR
+        assert check.corresponding_execution.length > result.steps_taken
+
+    def test_final_graphs_agree(self, bad_grid):
+        result = run(OneStepPartialReversal(bad_grid), SequentialScheduler())
+        check = check_onestep_to_newpr_simulation(result.execution)
+        assert (
+            check.corresponding_execution.final_state.graph_signature()
+            == result.final_state.graph_signature()
+        )
+
+
+class TestTheorem55:
+    """The full chain: PR inherits acyclicity from NewPR."""
+
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [GreedyScheduler, SequentialScheduler, lambda: RandomScheduler(seed=53)],
+    )
+    def test_full_chain_holds(self, bad_grid, scheduler_factory):
+        result = run(PartialReversal(bad_grid), scheduler_factory())
+        chain = check_full_simulation_chain(result.execution)
+        assert chain.holds
+        assert chain.r_prime.holds
+        assert chain.r.holds
+
+    def test_full_chain_on_random_dag(self, random_dag):
+        result = run(PartialReversal(random_dag), GreedyScheduler())
+        assert check_full_simulation_chain(result.execution).holds
+
+    def test_chain_preserves_graph_equality_end_to_end(self, bad_chain):
+        result = run(PartialReversal(bad_chain), GreedyScheduler())
+        chain = check_full_simulation_chain(result.execution)
+        newpr_exec = chain.r.corresponding_execution
+        assert newpr_exec.final_state.graph_signature() == result.final_state.graph_signature()
+
+    def test_result_reports_are_printable(self, bad_chain):
+        result = run(PartialReversal(bad_chain), GreedyScheduler())
+        chain = check_full_simulation_chain(result.execution)
+        assert "R'" in str(chain.r_prime)
+        assert "R " in str(chain.r) or "R (" in str(chain.r)

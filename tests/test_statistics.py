@@ -1,0 +1,105 @@
+"""Unit tests for the small statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.statistics import (
+    evaluate_polynomial,
+    fit_polynomial,
+    mean,
+    percentile,
+    quadratic_fit_r2,
+    r_squared,
+)
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1, 2, 3, 4]) == 2.5
+
+    def test_single(self):
+        assert mean([7.0]) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_min_max(self):
+        values = [5, 1, 9, 3]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1, 2], 150)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_single_value(self):
+        assert percentile([4], 75) == 4
+
+
+class TestPolynomialFit:
+    def test_exact_line(self):
+        xs = [0, 1, 2, 3]
+        ys = [1, 3, 5, 7]  # y = 2x + 1
+        coefficients = fit_polynomial(xs, ys, degree=1)
+        assert math.isclose(coefficients[0], 2.0, abs_tol=1e-9)
+        assert math.isclose(coefficients[1], 1.0, abs_tol=1e-9)
+
+    def test_exact_quadratic(self):
+        xs = list(range(6))
+        ys = [3 * x * x - 2 * x + 5 for x in xs]
+        coefficients = fit_polynomial(xs, ys, degree=2)
+        assert math.isclose(coefficients[0], 3.0, abs_tol=1e-8)
+        assert math.isclose(coefficients[1], -2.0, abs_tol=1e-8)
+        assert math.isclose(coefficients[2], 5.0, abs_tol=1e-8)
+
+    def test_evaluate(self):
+        assert evaluate_polynomial([2, -1, 3], 2) == 2 * 4 - 2 + 3
+
+    def test_r_squared_perfect(self):
+        xs = list(range(5))
+        ys = [2 * x + 1 for x in xs]
+        coefficients = fit_polynomial(xs, ys, degree=1)
+        assert math.isclose(r_squared(xs, ys, coefficients), 1.0, abs_tol=1e-12)
+
+    def test_r_squared_poor_for_wrong_model(self):
+        xs = list(range(8))
+        ys = [x ** 3 for x in xs]
+        coefficients = fit_polynomial(xs, ys, degree=1)
+        assert r_squared(xs, ys, coefficients) < 0.95
+
+    def test_quadratic_fit_r2(self):
+        xs = [float(x) for x in range(1, 10)]
+        ys = [x * (x + 1) / 2 for x in xs]
+        coefficients, r2 = quadratic_fit_r2(xs, ys)
+        assert math.isclose(coefficients[0], 0.5, abs_tol=1e-8)
+        assert r2 > 0.9999
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_polynomial([1, 2], [1], degree=1)
+
+    def test_underdetermined(self):
+        with pytest.raises(ValueError):
+            fit_polynomial([1, 2], [1, 2], degree=2)
+
+    def test_constant_data_r_squared(self):
+        xs = [1, 2, 3]
+        ys = [5, 5, 5]
+        coefficients = fit_polynomial(xs, ys, degree=1)
+        assert r_squared(xs, ys, coefficients) == 1.0

@@ -1,0 +1,232 @@
+"""Unit tests for the topology generators, geometric networks and mobility."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.graph import LinkReversalInstance
+from repro.topology.generators import (
+    chain_instance,
+    grid_instance,
+    layered_instance,
+    random_dag_instance,
+    star_instance,
+    tree_instance,
+    worst_case_chain_instance,
+)
+from repro.topology.manet import GeometricNetwork, random_geometric_instance
+from repro.topology.mobility import RandomWaypointMobility
+
+
+class TestChain:
+    def test_towards_destination_is_oriented(self):
+        instance = chain_instance(6, towards_destination=True)
+        assert instance.initial_orientation().is_destination_oriented()
+
+    def test_away_from_destination_all_bad(self):
+        instance = chain_instance(6, towards_destination=False)
+        assert instance.bad_nodes() == frozenset(range(1, 6))
+
+    def test_destination_in_middle(self):
+        instance = chain_instance(7, towards_destination=True, destination_at_end=False)
+        assert instance.destination == 3
+        assert instance.initial_orientation().is_destination_oriented()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            chain_instance(1)
+
+    def test_worst_case_chain(self):
+        instance = worst_case_chain_instance(5)
+        assert instance.node_count == 6
+        assert len(instance.bad_nodes()) == 5
+
+    def test_worst_case_needs_positive_bad_count(self):
+        with pytest.raises(ValueError):
+            worst_case_chain_instance(0)
+
+
+class TestStarTreeGridLayered:
+    def test_star_center_destination(self):
+        instance = star_instance(5, destination_is_center=True)
+        assert instance.destination == 0
+        assert len(instance.initial_sinks()) == 5  # every leaf is a sink
+
+    def test_star_leaf_destination(self):
+        instance = star_instance(5, destination_is_center=False)
+        assert instance.destination == 1
+        assert instance.is_initially_acyclic()
+
+    def test_star_needs_a_leaf(self):
+        with pytest.raises(ValueError):
+            star_instance(0)
+
+    def test_tree_is_tree(self):
+        instance = tree_instance(15, seed=3)
+        assert instance.edge_count == 14
+        assert instance.is_connected()
+        assert instance.is_initially_acyclic()
+
+    def test_tree_oriented_flag(self):
+        oriented = tree_instance(10, seed=1, oriented_towards_destination=True)
+        assert oriented.initial_orientation().is_destination_oriented()
+        unoriented = tree_instance(10, seed=1, oriented_towards_destination=False)
+        assert unoriented.bad_nodes()
+
+    def test_tree_too_small(self):
+        with pytest.raises(ValueError):
+            tree_instance(1)
+
+    def test_grid_shape(self):
+        instance = grid_instance(3, 4)
+        assert instance.node_count == 12
+        assert instance.edge_count == 3 * 3 + 2 * 4  # horizontal + vertical edges
+
+    def test_grid_oriented(self):
+        instance = grid_instance(3, 3, oriented_towards_destination=True)
+        assert instance.initial_orientation().is_destination_oriented()
+
+    def test_grid_unoriented_has_bad_nodes(self):
+        instance = grid_instance(3, 3, oriented_towards_destination=False)
+        assert instance.bad_nodes()
+
+    def test_grid_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            grid_instance(0, 3)
+        with pytest.raises(ValueError):
+            grid_instance(1, 1)
+
+    def test_layered_structure(self):
+        instance = layered_instance(4, 3, seed=2)
+        assert instance.node_count == 1 + 3 * 3
+        assert instance.is_initially_acyclic()
+        assert instance.is_connected()
+
+    def test_layered_validation(self):
+        with pytest.raises(ValueError):
+            layered_instance(1, 3)
+        with pytest.raises(ValueError):
+            layered_instance(3, 0)
+
+
+class TestRandomDag:
+    def test_connected_and_acyclic(self):
+        for seed in range(5):
+            instance = random_dag_instance(15, edge_probability=0.2, seed=seed)
+            assert instance.is_connected()
+            assert instance.is_initially_acyclic()
+
+    def test_reproducible(self):
+        a = random_dag_instance(12, seed=4)
+        b = random_dag_instance(12, seed=4)
+        assert a.initial_edges == b.initial_edges
+
+    def test_destination_is_node_zero(self):
+        assert random_dag_instance(8, seed=0).destination == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            random_dag_instance(1)
+        with pytest.raises(ValueError):
+            random_dag_instance(5, edge_probability=1.5)
+
+    def test_orient_fraction_keeps_dag(self):
+        instance = random_dag_instance(
+            15, edge_probability=0.3, seed=2, orient_fraction_towards_destination=0.5
+        )
+        assert instance.is_initially_acyclic()
+
+
+class TestGeometricNetwork:
+    def test_links_are_symmetric_within_radius(self):
+        network = GeometricNetwork(
+            positions={0: (0.0, 0.0), 1: (0.1, 0.0), 2: (0.9, 0.9)},
+            radius=0.2,
+            destination=0,
+        )
+        links = network.links()
+        assert frozenset((0, 1)) in links
+        assert frozenset((0, 2)) not in links
+
+    def test_distance(self):
+        network = GeometricNetwork(
+            positions={0: (0.0, 0.0), 1: (0.3, 0.4)}, radius=1.0, destination=0
+        )
+        assert math.isclose(network.distance(0, 1), 0.5)
+
+    def test_destination_must_exist(self):
+        with pytest.raises(ValueError):
+            GeometricNetwork(positions={0: (0, 0)}, radius=0.5, destination=9)
+
+    def test_radius_positive(self):
+        with pytest.raises(ValueError):
+            GeometricNetwork(positions={0: (0, 0)}, radius=0.0, destination=0)
+
+    def test_to_instance_is_destination_oriented_dag(self):
+        instance, network = random_geometric_instance(20, radius=0.4, seed=3)
+        assert instance.is_initially_acyclic()
+        assert instance.is_connected()
+        assert instance.initial_orientation().is_destination_oriented()
+
+    def test_random_geometric_reproducible(self):
+        a, _ = random_geometric_instance(15, radius=0.4, seed=5)
+        b, _ = random_geometric_instance(15, radius=0.4, seed=5)
+        assert a.initial_edges == b.initial_edges
+
+    def test_unreachable_radius_raises(self):
+        with pytest.raises(RuntimeError):
+            random_geometric_instance(30, radius=0.01, seed=0, max_attempts=3)
+
+    def test_moved_returns_new_network(self):
+        _, network = random_geometric_instance(10, radius=0.4, seed=1)
+        moved = network.moved({1: (0.5, 0.5)})
+        assert moved.positions[1] == (0.5, 0.5)
+        assert network.positions[1] != (0.5, 0.5) or network.positions[1] == (0.5, 0.5)
+        assert moved is not network
+
+
+class TestMobility:
+    def test_step_returns_change(self):
+        _, network = random_geometric_instance(12, radius=0.4, seed=2)
+        mobility = RandomWaypointMobility(network, speed=0.1, seed=3)
+        change = mobility.step()
+        assert change.step == 1
+        assert isinstance(change.is_empty, bool)
+
+    def test_positions_change_over_time(self):
+        _, network = random_geometric_instance(12, radius=0.4, seed=2)
+        mobility = RandomWaypointMobility(network, speed=0.1, seed=3)
+        before = mobility.positions()
+        mobility.run(5)
+        after = mobility.positions()
+        moved_nodes = [u for u in before if before[u] != after[u]]
+        assert moved_nodes
+
+    def test_destination_pinned(self):
+        _, network = random_geometric_instance(12, radius=0.4, seed=2)
+        mobility = RandomWaypointMobility(network, speed=0.1, seed=3, pin_destination=True)
+        before = mobility.positions()[network.destination]
+        mobility.run(10)
+        assert mobility.positions()[network.destination] == before
+
+    def test_speed_must_be_positive(self):
+        _, network = random_geometric_instance(10, radius=0.4, seed=2)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(network, speed=0.0)
+
+    def test_run_length(self):
+        _, network = random_geometric_instance(10, radius=0.4, seed=2)
+        mobility = RandomWaypointMobility(network, speed=0.05, seed=1)
+        changes = mobility.run(7)
+        assert len(changes) == 7
+        assert mobility.step_count == 7
+
+    def test_changes_reference_real_links(self):
+        _, network = random_geometric_instance(15, radius=0.35, seed=4)
+        mobility = RandomWaypointMobility(network, speed=0.15, seed=4)
+        all_nodes = set(network.nodes)
+        for change in mobility.run(10):
+            for link in change.removed_links | change.added_links:
+                assert link <= all_nodes

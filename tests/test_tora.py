@@ -1,0 +1,167 @@
+"""Unit tests for the TORA protocol (reference levels, maintenance, partition detection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing.tora import ReferenceLevel, ToraHeight, ToraRouter
+from repro.topology.generators import (
+    chain_instance,
+    grid_instance,
+    random_dag_instance,
+    worst_case_chain_instance,
+)
+
+
+class TestHeights:
+    def test_reference_level_order(self):
+        assert ReferenceLevel(1, 0, 0) > ReferenceLevel(0, 5, 1)
+        assert ReferenceLevel(1, 2, 1) > ReferenceLevel(1, 2, 0)
+
+    def test_reflection(self):
+        level = ReferenceLevel(3, 2, 0)
+        assert level.reflected() == ReferenceLevel(3, 2, 1)
+
+    def test_height_order_lexicographic(self):
+        zero = ToraHeight.zero(0)
+        routed = ToraHeight(ReferenceLevel.zero(), 2, 5)
+        raised = ToraHeight(ReferenceLevel(1, 4, 0), 0, 4)
+        assert zero < routed < raised
+
+    def test_zero_level(self):
+        assert ReferenceLevel.zero() == ReferenceLevel(0, 0, 0)
+
+
+class TestRouteCreation:
+    def test_auto_create_routes_everyone(self, small_grid):
+        router = ToraRouter(small_grid)
+        assert router.routed_fraction() == 1.0
+        assert router.is_acyclic()
+
+    def test_destination_height_is_zero(self, small_grid):
+        router = ToraRouter(small_grid)
+        height = router.height_of(small_grid.destination)
+        assert height.level == ReferenceLevel.zero()
+        assert height.delta == 0
+
+    def test_deltas_follow_bfs_distance(self, good_chain):
+        router = ToraRouter(good_chain)
+        for node in good_chain.nodes:
+            assert router.height_of(node).delta == node  # chain node id == hop distance
+
+    def test_on_demand_creation(self, small_grid):
+        router = ToraRouter(small_grid, auto_create=False)
+        assert router.routed_fraction() < 1.0
+        assigned = router.create_route(for_nodes=[8])
+        assert assigned > 0
+        assert router.has_route(8)
+
+    def test_routes_follow_decreasing_heights(self, small_grid):
+        router = ToraRouter(small_grid)
+        route = router.route(8)
+        assert route[0] == 8 and route[-1] == small_grid.destination
+        heights = [router.height_of(u) for u in route]
+        assert all(a > b for a, b in zip(heights, heights[1:]))
+
+    def test_every_node_has_route_on_random_dag(self):
+        instance = random_dag_instance(30, edge_probability=0.12, seed=4)
+        router = ToraRouter(instance)
+        assert router.routed_fraction() == 1.0
+
+
+class TestRouteMaintenance:
+    def test_single_failure_recovers_on_grid(self, small_grid):
+        router = ToraRouter(small_grid)
+        router.fail_link(1, 0)
+        assert router.routed_fraction() == 1.0
+        assert router.is_acyclic()
+        assert router.reference_levels_created >= 1
+
+    def test_failure_not_on_routes_needs_no_maintenance(self, small_grid):
+        router = ToraRouter(small_grid)
+        before = router.maintenance_steps
+        # the link 7-8 is not the last downstream link of either endpoint
+        router.fail_link(8, 7)
+        assert router.routed_fraction() == 1.0
+        assert router.maintenance_steps - before <= 2
+
+    def test_sequence_of_failures(self):
+        instance = grid_instance(4, 4, oriented_towards_destination=True)
+        router = ToraRouter(instance)
+        for link in [(1, 0), (5, 1), (6, 2), (9, 8)]:
+            router.fail_link(*link)
+            assert router.is_acyclic()
+        assert router.routed_fraction() == 1.0
+
+    def test_unknown_link_rejected(self, small_grid):
+        router = ToraRouter(small_grid)
+        with pytest.raises(ValueError):
+            router.fail_link(0, 8)
+
+    def test_maintenance_counts_accumulate(self, small_grid):
+        router = ToraRouter(small_grid)
+        router.fail_link(1, 0)
+        summary = router.summary()
+        assert summary["maintenance_steps"] >= 1
+        assert summary["routed_fraction"] == 1.0
+
+    def test_heights_stay_distinct(self, small_grid):
+        router = ToraRouter(small_grid)
+        for link in [(1, 0), (4, 3), (7, 6)]:
+            router.fail_link(*link)
+        non_null = [h for h in router.heights.values() if h is not None]
+        assert len(set(non_null)) == len(non_null)
+
+
+class TestPartitionDetection:
+    def test_partition_is_detected_and_routes_erased(self):
+        instance = chain_instance(6, towards_destination=True)
+        router = ToraRouter(instance)
+        router.fail_link(1, 0)  # cuts every other node off the destination
+        summary = router.summary()
+        assert summary["partitions_detected"] >= 1
+        assert summary["routed_fraction"] == pytest.approx(1 / 6)
+        assert all(
+            router.height_of(u) is None for u in instance.nodes if u != instance.destination
+        )
+
+    def test_no_route_after_partition(self):
+        instance = chain_instance(5, towards_destination=True)
+        router = ToraRouter(instance)
+        router.fail_link(1, 0)
+        assert not router.has_route(4)
+        assert router.route(4) == ()
+
+    def test_destination_isolation_detected(self):
+        instance = grid_instance(3, 3, oriented_towards_destination=True)
+        router = ToraRouter(instance)
+        router.fail_link(1, 0)
+        router.fail_link(3, 0)  # destination corner now isolated
+        assert router.partitions_detected >= 1
+        assert router.routed_fraction() == pytest.approx(1 / 9)
+
+    def test_restore_link_rebuilds_routes(self):
+        instance = chain_instance(6, towards_destination=True)
+        router = ToraRouter(instance)
+        router.fail_link(1, 0)
+        assert router.routed_fraction() < 1.0
+        router.restore_link(1, 0)
+        assert router.routed_fraction() == 1.0
+        assert router.is_acyclic()
+
+    def test_restore_unknown_edge_rejected(self, small_grid):
+        router = ToraRouter(small_grid)
+        with pytest.raises(ValueError):
+            router.restore_link(0, 8)
+
+    def test_maintenance_work_stays_bounded_without_partition(self):
+        """Unlike plain GB reversal, TORA terminates even when cut off (via CLR)."""
+        instance = worst_case_chain_instance(10)
+        router = ToraRouter(instance)
+        # cutting in the middle partitions nodes 6..10 from the destination
+        router.fail_link(5, 6)
+        summary = router.summary()
+        assert summary["partitions_detected"] >= 1
+        # the surviving half keeps its routes
+        assert all(router.has_route(u) for u in range(0, 6))
+        assert not any(router.has_route(u) for u in range(6, 11))
