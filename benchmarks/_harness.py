@@ -15,6 +15,10 @@ The ``-s`` flag additionally shows the printed experiment tables.
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 
 def record(benchmark, **info) -> None:
     """Attach experiment outputs to the benchmark record and echo them."""
@@ -33,3 +37,69 @@ def print_table(title: str, headers, rows) -> None:
     print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
     for row in rows:
         print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+# ----------------------------------------------------------------------
+# perf-trajectory baseline (BENCH_baseline.json)
+# ----------------------------------------------------------------------
+def _baseline_workloads():
+    """The timed workloads tracked across PRs, keyed by benchmark module."""
+    from benchmarks.bench_dummy_steps import _measure
+    from benchmarks.bench_simulation import _check_all_families
+    from benchmarks.bench_worst_case import _fr_sweep, _pr_worst_orientation_sweep
+
+    return {
+        "bench_simulation": _check_all_families,
+        "bench_worst_case_fr_sweep": lambda: _fr_sweep()[0],
+        "bench_worst_case_pr_exhaustive": _pr_worst_orientation_sweep,
+        "bench_dummy_steps": _measure,
+    }
+
+
+def measure_baseline(repeats: int = 3) -> dict:
+    """Time every tracked workload (best of ``repeats``) and return seconds."""
+    timings = {}
+    for name, workload in _baseline_workloads().items():
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            workload()
+            best = min(best, time.perf_counter() - start)
+        timings[name] = round(best, 4)
+    return timings
+
+
+def main(argv=None) -> None:
+    """Record the tracked workload timings to a JSON file.
+
+    ``python -m benchmarks._harness --output BENCH_baseline.json`` writes a
+    fresh record; with ``--merge-seed seed.json`` the previously measured seed
+    timings are folded in alongside, with per-workload speedups.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--output", default="BENCH_baseline.json")
+    parser.add_argument("--label", default="current")
+    parser.add_argument("--merge-seed", default=None,
+                        help="JSON file with seed timings to record alongside")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    timings = measure_baseline(repeats=args.repeats)
+    payload = {args.label: timings}
+    if args.merge_seed:
+        seed = json.loads(Path(args.merge_seed).read_text())
+        seed_timings = seed.get("seed", seed)
+        payload["seed"] = seed_timings
+        payload["speedup_vs_seed"] = {
+            name: round(seed_timings[name] / timings[name], 2)
+            for name in timings
+            if name in seed_timings and timings[name] > 0
+        }
+    Path(args.output).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

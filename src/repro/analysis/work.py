@@ -71,18 +71,23 @@ class _WorkObserver:
     def __call__(self, step_index, pre_state, action, post_state) -> None:
         actors = action.actors()
         self.node_steps += len(actors)
-        pre_edges = dict_of_edges(pre_state)
-        post_edges = dict_of_edges(post_state)
+        # the graph signatures are reversal bitmasks over the same edge index,
+        # so the XOR's set bits are exactly the edges this step flipped
+        instance = pre_state.instance
+        diff = pre_state.graph_signature() ^ post_state.graph_signature()
         flipped_by: Dict[Node, int] = {}
         flipped_total = 0
-        for edge, direction in pre_edges.items():
-            if post_edges[edge] != direction:
-                flipped_total += 1
-                # attribute the reversal to the actor incident to the edge
-                for node in actors:
-                    if node in edge:
-                        flipped_by[node] = flipped_by.get(node, 0) + 1
-                        break
+        while diff:
+            low = diff & -diff
+            edge_index = low.bit_length() - 1
+            diff ^= low
+            flipped_total += 1
+            tail, head = instance.edge_endpoints(edge_index)
+            # attribute the reversal to the actor incident to the edge
+            for node in actors:
+                if node == tail or node == head:
+                    flipped_by[node] = flipped_by.get(node, 0) + 1
+                    break
         self.edge_reversals += flipped_total
         for node in actors:
             self.per_node_steps[node] = self.per_node_steps.get(node, 0) + 1
@@ -92,14 +97,6 @@ class _WorkObserver:
             )
             if reversed_here == 0:
                 self.dummy_steps += 1
-
-
-def dict_of_edges(state) -> Dict[frozenset, Node]:
-    """Map every undirected edge of a state to its current head node."""
-    orientation = getattr(state, "orientation", None)
-    if orientation is None:
-        orientation = state.to_orientation()
-    return {frozenset((tail, head)): head for tail, head in orientation.directed_edges()}
 
 
 def count_reversals(

@@ -88,12 +88,13 @@ class LinkReversalState:
         """The current directed edge set of ``G'``."""
         return self.orientation.directed_edges()
 
-    def graph_signature(self) -> Tuple[Tuple[Node, Node], ...]:
+    def graph_signature(self) -> int:
         """Canonical fingerprint of the orientation component only (``s.G'``).
 
-        Simulation relations compare states of *different* automata by this
-        component ("``s.G' = t.G'``" in the paper), so it is exposed
-        separately from the full :meth:`signature`.
+        A compact int — the orientation's reversal bitmask over the instance's
+        global edge index.  Simulation relations compare states of *different*
+        automata by this component ("``s.G' = t.G'``" in the paper), so it is
+        exposed separately from the full :meth:`signature`.
         """
         return self.orientation.signature()
 
@@ -104,14 +105,20 @@ class LinkReversalState:
         """Return an independent copy of this state."""
         return type(self)(self.instance, self.orientation.copy())
 
-    def signature(self) -> Tuple:
+    def signature(self) -> Hashable:
         """A hashable canonical form of the full state (for reachability)."""
         return self.graph_signature()
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, LinkReversalState):
             return NotImplemented
-        return type(self) is type(other) and self.signature() == other.signature()
+        # signatures are instance-relative (bitmask over the instance's edge
+        # index), so states only compare equal over the same problem instance
+        return (
+            type(self) is type(other)
+            and (self.instance is other.instance or self.instance == other.instance)
+            and self.signature() == other.signature()
+        )
 
     def __hash__(self) -> int:
         return hash((type(self).__name__, self.signature()))

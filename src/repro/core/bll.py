@@ -64,11 +64,13 @@ class BLLState(LinkReversalState):
     def copy(self) -> "BLLState":
         return BLLState(self.instance, self.orientation.copy(), dict(self.marks))
 
-    def signature(self) -> Tuple:
-        mark_sig = tuple(
-            (u, tuple(sorted(self.marks[u], key=repr))) for u in self.instance.nodes
-        )
-        return (self.graph_signature(), mark_sig)
+    def signature(self) -> int:
+        """One compact int: ``marked[u]`` packed as neighbour bitmasks above
+        the orientation's reversal bitmask (CSR bit layout of the instance)."""
+        instance = self.instance
+        return (
+            instance.pack_neighbour_sets(self.marks) << instance.edge_count
+        ) | self.graph_signature()
 
 
 class BinaryLinkLabels(LinkReversalAutomaton):
@@ -130,8 +132,8 @@ class BinaryLinkLabels(LinkReversalAutomaton):
         marks = new_state.marks
 
         targets = self.reversal_targets(state, u)
-        for v in targets:
-            orientation.reverse_edge(u, v)
+        # u is a sink, so every targeted edge currently points at it
+        for v in orientation.reverse_edges_from(u, targets):
             if self.mark_on_reversal:
                 marks[v] = marks[v] | {u}
         marks[u] = frozenset()

@@ -61,7 +61,7 @@ class FRState(LinkReversalState):
     def copy(self) -> "FRState":
         return FRState(self.instance, self.orientation.copy(), dict(self.counts))
 
-    def signature(self) -> Tuple:
+    def signature(self) -> int:
         # The counter is history-only; two states with the same orientation are
         # behaviourally identical, so the signature deliberately excludes it.
         return self.graph_signature()
@@ -85,8 +85,7 @@ class FullReversal(LinkReversalAutomaton):
 
     def _apply_reverse(self, state: FRState, u: Node) -> FRState:
         new_state = state.copy()
-        orientation = new_state.orientation
-        for v in self.instance.nbrs(u):
-            orientation.reverse_edge(u, v)
+        # u is a sink, so this flips every incident edge
+        new_state.orientation.reverse_edges_from(u, self.instance.incident_neighbours(u))
         new_state.counts[u] = state.counts[u] + 1
         return new_state

@@ -21,14 +21,32 @@ the edges changes.  This module provides:
     ``dir[u, v]`` state variables of the paper's automata.
 :class:`EdgeDirection`
     The two values ``IN`` / ``OUT`` of a ``dir`` variable.
+
+Indexed representation
+----------------------
+
+The instance assigns every node and every undirected edge a dense integer
+index in :meth:`LinkReversalInstance.__post_init__` and precomputes, once:
+
+* a node ↔ index map and an ordered-pair edge index (``edge_index(u, v)``),
+* CSR-style per-node incident-edge index lists (``incident_edge_ids`` /
+  ``incident_neighbours``), and
+* per-node selector bitmasks over the global edge index.
+
+:class:`Orientation` stores the whole directed version as a *single Python
+int bitmask* (bit ``e`` set iff edge ``e`` is currently reversed relative to
+``G'_init``) plus per-node incoming-edge counters and an incrementally
+maintained sink set.  ``dir`` / ``reverse_edge`` are O(1), ``sinks()`` needs
+no rescan, ``copy()`` copies one int and one counter array, and
+``signature()`` is the bitmask itself — a compact int the model checker can
+dedup on directly.
 """
 
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 Node = Hashable
 UndirectedEdge = FrozenSet[Node]
@@ -88,37 +106,95 @@ class LinkReversalInstance:
     _nbrs: Mapping[Node, FrozenSet[Node]] = field(init=False, repr=False, compare=False)
     _in_nbrs: Mapping[Node, FrozenSet[Node]] = field(init=False, repr=False, compare=False)
     _out_nbrs: Mapping[Node, FrozenSet[Node]] = field(init=False, repr=False, compare=False)
+    # indexed core (see module docstring); every field below is derived once
+    _node_id: Mapping[Node, int] = field(init=False, repr=False, compare=False)
+    _edge_id: Mapping[Tuple[Node, Node], int] = field(init=False, repr=False, compare=False)
+    _edge_node_ids: Tuple[Tuple[int, int], ...] = field(init=False, repr=False, compare=False)
+    _incident_eids: Tuple[Tuple[int, ...], ...] = field(init=False, repr=False, compare=False)
+    _incident_nbrs: Tuple[Tuple[Node, ...], ...] = field(init=False, repr=False, compare=False)
+    _incident_mask: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _tail_sel: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _degree: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _csr_offsets: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _nbr_pos: Optional[Tuple[Mapping[Node, int], ...]] = field(init=False, repr=False, compare=False)
+    _init_in_count: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _init_sink_ids: FrozenSet[int] = field(init=False, repr=False, compare=False)
+    _dest_id: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        node_set = set(self.nodes)
-        if len(node_set) != len(self.nodes):
+        node_id: Dict[Node, int] = {u: i for i, u in enumerate(self.nodes)}
+        if len(node_id) != len(self.nodes):
             raise GraphValidationError("duplicate nodes in instance")
-        if self.destination not in node_set:
+        if self.destination not in node_id:
             raise GraphValidationError(f"destination {self.destination!r} is not a node")
 
-        seen_undirected: set[UndirectedEdge] = set()
-        nbrs: Dict[Node, set] = {u: set() for u in self.nodes}
-        in_nbrs: Dict[Node, set] = {u: set() for u in self.nodes}
-        out_nbrs: Dict[Node, set] = {u: set() for u in self.nodes}
-        for u, v in self.initial_edges:
-            if u not in node_set or v not in node_set:
-                raise GraphValidationError(f"edge ({u!r}, {v!r}) references unknown node")
+        n = len(self.nodes)
+        edge_id: Dict[Tuple[Node, Node], int] = {}
+        edge_node_ids: List[Tuple[int, int]] = []
+        inc_eids: List[List[int]] = [[] for _ in range(n)]
+        inc_nbrs: List[List[Node]] = [[] for _ in range(n)]
+        in_lists: List[List[Node]] = [[] for _ in range(n)]
+        out_lists: List[List[Node]] = [[] for _ in range(n)]
+        inc_mask = [0] * n
+        tail_sel = [0] * n
+        in_count = [0] * n
+        for e, (u, v) in enumerate(self.initial_edges):
+            try:
+                ui, vi = node_id[u], node_id[v]
+            except KeyError:
+                raise GraphValidationError(
+                    f"edge ({u!r}, {v!r}) references unknown node"
+                ) from None
             if u == v:
                 raise GraphValidationError(f"self loop on node {u!r} is not allowed")
-            edge = undirected(u, v)
-            if edge in seen_undirected:
+            if (u, v) in edge_id:
                 raise GraphValidationError(
                     f"edge between {u!r} and {v!r} specified more than once"
                 )
-            seen_undirected.add(edge)
-            nbrs[u].add(v)
-            nbrs[v].add(u)
-            out_nbrs[u].add(v)
-            in_nbrs[v].add(u)
+            edge_id[(u, v)] = e
+            edge_id[(v, u)] = e
+            edge_node_ids.append((ui, vi))
+            bit = 1 << e
+            inc_eids[ui].append(e)
+            inc_nbrs[ui].append(v)
+            inc_eids[vi].append(e)
+            inc_nbrs[vi].append(u)
+            inc_mask[ui] |= bit
+            inc_mask[vi] |= bit
+            tail_sel[ui] |= bit
+            in_count[vi] += 1
+            out_lists[ui].append(v)
+            in_lists[vi].append(u)
 
-        object.__setattr__(self, "_nbrs", {u: frozenset(s) for u, s in nbrs.items()})
-        object.__setattr__(self, "_in_nbrs", {u: frozenset(s) for u, s in in_nbrs.items()})
-        object.__setattr__(self, "_out_nbrs", {u: frozenset(s) for u, s in out_nbrs.items()})
+        degree = [len(eids) for eids in inc_eids]
+        offsets = [0] * n
+        running = 0
+        for i in range(n):
+            offsets[i] = running
+            running += degree[i]
+        init_sinks = frozenset(
+            i for i in range(n) if degree[i] and in_count[i] == degree[i]
+        )
+
+        set_attr = object.__setattr__
+        set_attr(self, "_nbrs", {u: frozenset(inc_nbrs[i]) for i, u in enumerate(self.nodes)})
+        set_attr(self, "_in_nbrs", {u: frozenset(in_lists[i]) for i, u in enumerate(self.nodes)})
+        set_attr(self, "_out_nbrs", {u: frozenset(out_lists[i]) for i, u in enumerate(self.nodes)})
+        set_attr(self, "_node_id", node_id)
+        set_attr(self, "_edge_id", edge_id)
+        set_attr(self, "_edge_node_ids", tuple(edge_node_ids))
+        set_attr(self, "_incident_eids", tuple(map(tuple, inc_eids)))
+        set_attr(self, "_incident_nbrs", tuple(map(tuple, inc_nbrs)))
+        set_attr(self, "_incident_mask", tuple(inc_mask))
+        set_attr(self, "_tail_sel", tuple(tail_sel))
+        set_attr(self, "_degree", tuple(degree))
+        set_attr(self, "_csr_offsets", tuple(offsets))
+        # neighbour-position maps (for pack_neighbour_sets) are built lazily:
+        # most instances never pack bookkeeping signatures
+        set_attr(self, "_nbr_pos", None)
+        set_attr(self, "_init_in_count", tuple(in_count))
+        set_attr(self, "_init_sink_ids", init_sinks)
+        set_attr(self, "_dest_id", node_id[self.destination])
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -193,26 +269,80 @@ class LinkReversalInstance:
 
     def has_edge(self, u: Node, v: Node) -> bool:
         """Whether ``{u, v}`` is an edge of ``G``."""
-        return v in self._nbrs.get(u, frozenset())
+        return (u, v) in self._edge_id
 
     def iter_edges(self) -> Iterator[DirectedEdge]:
         """Iterate over the initial directed edges in declaration order."""
         return iter(self.initial_edges)
 
     # ------------------------------------------------------------------
+    # indexed views (built once in __post_init__)
+    # ------------------------------------------------------------------
+    def node_index(self, u: Node) -> int:
+        """Dense integer index of node ``u`` (instance declaration order)."""
+        return self._node_id[u]
+
+    def edge_index(self, u: Node, v: Node) -> int:
+        """Global index of the undirected edge ``{u, v}``.
+
+        Raises ``KeyError`` if ``{u, v}`` is not an edge; the lookup allocates
+        nothing beyond the key tuple (no frozensets).
+        """
+        return self._edge_id[(u, v)]
+
+    def edge_endpoints(self, edge_index: int) -> DirectedEdge:
+        """The ``(tail, head)`` pair of edge ``edge_index`` in ``G'_init``."""
+        return self.initial_edges[edge_index]
+
+    def incident_edge_ids(self, u: Node) -> Tuple[int, ...]:
+        """Indices of the edges incident to ``u`` (CSR-style index list)."""
+        return self._incident_eids[self._node_id[u]]
+
+    def incident_neighbours(self, u: Node) -> Tuple[Node, ...]:
+        """Neighbours of ``u`` aligned with :meth:`incident_edge_ids`."""
+        return self._incident_nbrs[self._node_id[u]]
+
+    def pack_neighbour_sets(self, sets: Mapping[Node, Iterable[Node]]) -> int:
+        """Pack per-node neighbour subsets into one int (CSR bit layout).
+
+        Each node owns ``degree(u)`` consecutive bits (offset by the CSR row
+        start); bit ``k`` of node ``u``'s span is set iff ``u``'s ``k``-th
+        incident neighbour is in ``sets[u]``.  Used by the algorithm states to
+        turn ``list[u]`` / ``marked[u]`` bookkeeping into compact signature
+        ints for the model checker.
+        """
+        packed = 0
+        node_id = self._node_id
+        offsets = self._csr_offsets
+        positions = self._nbr_pos
+        if positions is None:
+            positions = tuple(
+                {v: pos for pos, v in enumerate(neighbours)}
+                for neighbours in self._incident_nbrs
+            )
+            object.__setattr__(self, "_nbr_pos", positions)
+        for u, members in sets.items():
+            if not members:
+                continue
+            i = node_id[u]
+            base = offsets[i]
+            pos = positions[i]
+            for v in members:
+                packed |= 1 << (base + pos[v])
+        return packed
+
+    # ------------------------------------------------------------------
     # initial-orientation structure
     # ------------------------------------------------------------------
     def initial_orientation(self) -> "Orientation":
         """Return the mutable orientation corresponding to ``G'_init``."""
-        return Orientation.from_directed_edges(self, self.initial_edges)
+        return Orientation(
+            self, 0, list(self._init_in_count), set(self._init_sink_ids)
+        )
 
     def initial_sinks(self) -> Tuple[Node, ...]:
         """Nodes that are sinks in ``G'_init`` (every incident edge incoming)."""
-        return tuple(
-            u
-            for u in self.nodes
-            if self._nbrs[u] and not self._out_nbrs[u]
-        )
+        return tuple(self.nodes[i] for i in sorted(self._init_sink_ids))
 
     def initial_sources(self) -> Tuple[Node, ...]:
         """Nodes that are sources in ``G'_init`` (every incident edge outgoing)."""
@@ -223,8 +353,25 @@ class LinkReversalInstance:
         )
 
     def is_initially_acyclic(self) -> bool:
-        """Whether ``G'_init`` is a DAG (a requirement of the system model)."""
-        return _is_acyclic_edge_list(self.nodes, self.initial_edges)
+        """Whether ``G'_init`` is a DAG (a requirement of the system model).
+
+        Kahn's algorithm over the precomputed index arrays.
+        """
+        n = len(self.nodes)
+        indegree = list(self._init_in_count)
+        succ: List[List[int]] = [[] for _ in range(n)]
+        for tail_id, head_id in self._edge_node_ids:
+            succ[tail_id].append(head_id)
+        queue = [i for i in range(n) if indegree[i] == 0]
+        removed = 0
+        while queue:
+            i = queue.pop()
+            removed += 1
+            for j in succ[i]:
+                indegree[j] -= 1
+                if indegree[j] == 0:
+                    queue.append(j)
+        return removed == n
 
     def is_connected(self) -> bool:
         """Whether the undirected graph ``G`` is connected."""
@@ -282,42 +429,63 @@ class LinkReversalInstance:
         )
 
 
-def _is_acyclic_edge_list(nodes: Sequence[Node], edges: Sequence[DirectedEdge]) -> bool:
-    """Kahn's algorithm acyclicity check on an explicit edge list."""
-    indegree: Dict[Node, int] = {u: 0 for u in nodes}
-    successors: Dict[Node, List[Node]] = {u: [] for u in nodes}
-    for u, v in edges:
-        indegree[v] += 1
-        successors[u].append(v)
-    queue = [u for u in nodes if indegree[u] == 0]
-    removed = 0
-    while queue:
-        u = queue.pop()
-        removed += 1
-        for v in successors[u]:
-            indegree[v] -= 1
-            if indegree[v] == 0:
-                queue.append(v)
-    return removed == len(nodes)
+def _derive_counters(
+    instance: LinkReversalInstance, mask: int
+) -> Tuple[List[int], set]:
+    """Incoming-edge counters and sink ids of an arbitrary reversal mask."""
+    in_count: List[int] = []
+    sink_ids: set = set()
+    degree = instance._degree
+    tail_sel = instance._tail_sel
+    incident_mask = instance._incident_mask
+    for i in range(len(instance.nodes)):
+        toward = ~(mask ^ tail_sel[i]) & incident_mask[i]
+        count = toward.bit_count()
+        in_count.append(count)
+        if degree[i] and count == degree[i]:
+            sink_ids.add(i)
+    return in_count, sink_ids
 
 
 class Orientation:
     """A directed version ``G'`` of the undirected graph ``G``.
 
-    Internally the orientation stores, for every undirected edge, the *head*
-    node the edge currently points to.  This representation makes the paper's
-    Invariant 3.1 (``dir[u, v] = in`` iff ``dir[v, u] = out``) true by
-    construction, while still exposing the ``dir`` view used by the automata.
-
-    The class is deliberately small and copyable in O(|E|): the model checker
-    copies orientations for every explored transition.
+    Internally the orientation is a single int bitmask over the instance's
+    global edge index: bit ``e`` is clear when edge ``e`` points as in
+    ``G'_init`` and set when it is reversed.  This representation makes the
+    paper's Invariant 3.1 (``dir[u, v] = in`` iff ``dir[v, u] = out``) true by
+    construction while keeping every ``dir`` lookup and ``reverse_edge`` O(1).
+    Alongside the mask the orientation maintains per-node incoming-edge
+    counters and the set of current sinks incrementally, so ``sinks()`` and
+    ``is_sink()`` never rescan the graph, and ``copy()`` is one int plus one
+    counter-array copy — the model checker copies orientations for every
+    explored transition.
     """
 
-    __slots__ = ("instance", "_head")
+    __slots__ = ("instance", "_mask", "_in_count", "_sink_ids")
 
-    def __init__(self, instance: LinkReversalInstance, head: Dict[UndirectedEdge, Node]):
+    def __init__(
+        self,
+        instance: LinkReversalInstance,
+        mask: int = 0,
+        in_count: Optional[List[int]] = None,
+        sink_ids: Optional[set] = None,
+    ):
         self.instance = instance
-        self._head = head
+        self._mask = mask
+        if in_count is None:
+            in_count, derived_sinks = _derive_counters(instance, mask)
+            if sink_ids is None:
+                sink_ids = derived_sinks
+        elif sink_ids is None:
+            degree = instance._degree
+            sink_ids = {
+                i
+                for i in range(len(instance.nodes))
+                if degree[i] and in_count[i] == degree[i]
+            }
+        self._in_count = in_count
+        self._sink_ids = sink_ids
 
     # ------------------------------------------------------------------
     # construction
@@ -327,47 +495,88 @@ class Orientation:
         cls, instance: LinkReversalInstance, edges: Iterable[DirectedEdge]
     ) -> "Orientation":
         """Build an orientation from explicit directed edges ``u -> v``."""
-        head: Dict[UndirectedEdge, Node] = {}
+        edge_id = instance._edge_id
+        initial = instance.initial_edges
+        mask = 0
+        seen = 0
         for u, v in edges:
-            edge = undirected(u, v)
-            if not instance.has_edge(u, v):
+            e = edge_id.get((u, v))
+            if e is None:
                 raise GraphValidationError(f"({u!r}, {v!r}) is not an edge of the instance")
-            head[edge] = v
-        missing = instance.undirected_edges - set(head)
-        if missing:
-            raise GraphValidationError(f"orientation missing directions for {sorted(map(tuple, missing))!r}")
-        return cls(instance, head)
+            bit = 1 << e
+            # the declared head is ``v``; the edge is reversed iff that differs
+            # from the initial head
+            if initial[e][1] == v:
+                mask &= ~bit
+            else:
+                mask |= bit
+            seen |= bit
+        missing_bits = seen ^ ((1 << len(initial)) - 1)
+        if missing_bits:
+            missing = [
+                tuple(sorted(map(str, initial[e])))
+                for e in range(len(initial))
+                if (missing_bits >> e) & 1
+            ]
+            raise GraphValidationError(f"orientation missing directions for {sorted(missing)!r}")
+        return cls(instance, mask)
+
+    @classmethod
+    def from_mask(cls, instance: LinkReversalInstance, mask: int) -> "Orientation":
+        """Build an orientation directly from a reversal bitmask (a signature)."""
+        return cls(instance, mask)
 
     def copy(self) -> "Orientation":
         """Return an independent copy of this orientation."""
-        return Orientation(self.instance, dict(self._head))
+        return Orientation(
+            self.instance, self._mask, self._in_count.copy(), self._sink_ids.copy()
+        )
 
     # ------------------------------------------------------------------
     # the paper's ``dir`` view
     # ------------------------------------------------------------------
+    def _head_of(self, u: Node, v: Node) -> Node:
+        """Current head of edge ``{u, v}`` via the edge index (no allocation)."""
+        e = self.instance._edge_id[(u, v)]
+        tail, head = self.instance.initial_edges[e]
+        return tail if (self._mask >> e) & 1 else head
+
     def dir(self, u: Node, v: Node) -> EdgeDirection:
         """The paper's ``dir[u, v]`` variable: direction of ``{u, v}`` from ``u``."""
-        head = self._head[undirected(u, v)]
-        return EdgeDirection.IN if head == u else EdgeDirection.OUT
+        return EdgeDirection.IN if self._head_of(u, v) == u else EdgeDirection.OUT
 
     def head(self, u: Node, v: Node) -> Node:
         """The node the edge ``{u, v}`` currently points to."""
-        return self._head[undirected(u, v)]
+        return self._head_of(u, v)
 
     def tail(self, u: Node, v: Node) -> Node:
         """The node the edge ``{u, v}`` currently points away from."""
-        head = self._head[undirected(u, v)]
-        return v if head == u else u
+        return v if self._head_of(u, v) == u else u
 
     def points_towards(self, u: Node, v: Node) -> bool:
         """Whether the edge between ``u`` and ``v`` is currently directed ``u -> v``."""
-        return self._head[undirected(u, v)] == v
+        return self._head_of(u, v) == v
+
+    def _flip(self, e: int) -> None:
+        """Flip edge ``e``, maintaining the counters and the sink set."""
+        instance = self.instance
+        tail_id, head_id = instance._edge_node_ids[e]
+        if (self._mask >> e) & 1:
+            old_head, new_head = tail_id, head_id
+        else:
+            old_head, new_head = head_id, tail_id
+        self._mask ^= 1 << e
+        in_count = self._in_count
+        in_count[old_head] -= 1
+        self._sink_ids.discard(old_head)
+        gained = in_count[new_head] + 1
+        in_count[new_head] = gained
+        if gained == instance._degree[new_head]:
+            self._sink_ids.add(new_head)
 
     def reverse_edge(self, u: Node, v: Node) -> None:
         """Flip the direction of the edge ``{u, v}`` (in place)."""
-        edge = undirected(u, v)
-        current = self._head[edge]
-        self._head[edge] = u if current == v else v
+        self._flip(self.instance._edge_id[(u, v)])
 
     def reverse_edges_from(self, u: Node, targets: Iterable[Node]) -> Tuple[Node, ...]:
         """Reverse the edges between ``u`` and each node in ``targets``.
@@ -377,64 +586,122 @@ class Orientation:
         it); edges already directed away from ``u`` are left untouched.
         Returns the neighbours whose edge was actually flipped.
         """
+        edge_id = self.instance._edge_id
         flipped: List[Node] = []
         for v in targets:
-            if self._head[undirected(u, v)] == u:
-                self._head[undirected(u, v)] = v
+            e = edge_id[(u, v)]
+            if self._head_bit_points_at_u(e, u):
+                self._flip(e)
                 flipped.append(v)
         return tuple(flipped)
+
+    def _head_bit_points_at_u(self, e: int, u: Node) -> bool:
+        """Whether edge ``e`` currently points at ``u`` (one of its endpoints)."""
+        tail, head = self.instance.initial_edges[e]
+        current_head = tail if (self._mask >> e) & 1 else head
+        return current_head == u
 
     # ------------------------------------------------------------------
     # node-level structure
     # ------------------------------------------------------------------
+    def _toward_mask(self, node_id: int) -> int:
+        """Bitmask of the incident edges currently pointing at node ``node_id``.
+
+        An incident edge points at the node iff its reversal bit differs from
+        the node's tail-selector bit, hence one XOR + NOT + AND over the
+        incident-edge selector.
+        """
+        instance = self.instance
+        return ~(self._mask ^ instance._tail_sel[node_id]) & instance._incident_mask[node_id]
+
     def current_in_nbrs(self, u: Node) -> FrozenSet[Node]:
         """Neighbours whose edge currently points towards ``u``."""
-        return frozenset(v for v in self.instance.nbrs(u) if self._head[undirected(u, v)] == u)
+        instance = self.instance
+        i = instance._node_id[u]
+        toward = self._toward_mask(i)
+        return frozenset(
+            v
+            for e, v in zip(instance._incident_eids[i], instance._incident_nbrs[i])
+            if (toward >> e) & 1
+        )
 
     def current_out_nbrs(self, u: Node) -> FrozenSet[Node]:
         """Neighbours whose edge currently points away from ``u``."""
-        return frozenset(v for v in self.instance.nbrs(u) if self._head[undirected(u, v)] == v)
+        instance = self.instance
+        i = instance._node_id[u]
+        toward = self._toward_mask(i)
+        return frozenset(
+            v
+            for e, v in zip(instance._incident_eids[i], instance._incident_nbrs[i])
+            if not (toward >> e) & 1
+        )
 
     def is_sink(self, u: Node) -> bool:
         """Whether ``u`` is a sink: it has neighbours and every incident edge is incoming.
 
         The destination is never considered a sink for scheduling purposes by
         the automata (it never takes steps), but this predicate is purely
-        structural and applies to any node.
+        structural and applies to any node.  O(1) via the incremental sink set.
         """
-        nbrs = self.instance.nbrs(u)
-        if not nbrs:
-            return False
-        return all(self._head[undirected(u, v)] == u for v in nbrs)
+        return self.instance._node_id[u] in self._sink_ids
 
     def is_source(self, u: Node) -> bool:
         """Whether ``u`` has neighbours and every incident edge is outgoing."""
-        nbrs = self.instance.nbrs(u)
-        if not nbrs:
-            return False
-        return all(self._head[undirected(u, v)] == v for v in nbrs)
+        i = self.instance._node_id[u]
+        return self.instance._degree[i] > 0 and self._in_count[i] == 0
 
     def sinks(self, exclude_destination: bool = True) -> Tuple[Node, ...]:
-        """All sink nodes, optionally excluding the destination."""
-        result = []
-        for u in self.instance.nodes:
-            if exclude_destination and u == self.instance.destination:
-                continue
-            if self.is_sink(u):
-                result.append(u)
-        return tuple(result)
+        """All sink nodes, optionally excluding the destination.
+
+        Served from the incrementally maintained sink set — no node rescan.
+        The result is ordered by instance node order, as before.
+        """
+        instance = self.instance
+        sink_ids = self._sink_ids
+        if exclude_destination and instance._dest_id in sink_ids:
+            sink_ids = sink_ids - {instance._dest_id}
+        nodes = instance.nodes
+        return tuple(nodes[i] for i in sorted(sink_ids))
+
+    def sink_count(self, exclude_destination: bool = True) -> int:
+        """Number of current sinks, O(1)."""
+        count = len(self._sink_ids)
+        if exclude_destination and self.instance._dest_id in self._sink_ids:
+            count -= 1
+        return count
 
     # ------------------------------------------------------------------
     # whole-graph structure
     # ------------------------------------------------------------------
     def directed_edges(self) -> Tuple[DirectedEdge, ...]:
         """All edges as directed pairs ``(tail, head)`` in instance edge order."""
-        result = []
-        for u, v in self.instance.initial_edges:
-            head = self._head[undirected(u, v)]
-            tail = u if head == v else v
-            result.append((tail, head))
-        return tuple(result)
+        mask = self._mask
+        return tuple(
+            (head, tail) if (mask >> e) & 1 else (tail, head)
+            for e, (tail, head) in enumerate(self.instance.initial_edges)
+        )
+
+    def _successor_ids(self) -> List[List[int]]:
+        """Per-node-id successor lists of the current directed graph."""
+        succ: List[List[int]] = [[] for _ in self.instance.nodes]
+        mask = self._mask
+        for e, (tail_id, head_id) in enumerate(self.instance._edge_node_ids):
+            if (mask >> e) & 1:
+                succ[head_id].append(tail_id)
+            else:
+                succ[tail_id].append(head_id)
+        return succ
+
+    def _predecessor_ids(self) -> List[List[int]]:
+        """Per-node-id predecessor lists of the current directed graph."""
+        pred: List[List[int]] = [[] for _ in self.instance.nodes]
+        mask = self._mask
+        for e, (tail_id, head_id) in enumerate(self.instance._edge_node_ids):
+            if (mask >> e) & 1:
+                pred[tail_id].append(head_id)
+            else:
+                pred[head_id].append(tail_id)
+        return pred
 
     def to_networkx(self):
         """Return the current directed graph ``G'`` as a ``networkx.DiGraph``."""
@@ -446,26 +713,41 @@ class Orientation:
         return graph
 
     def is_acyclic(self) -> bool:
-        """Whether the current directed graph is a DAG."""
-        return _is_acyclic_edge_list(self.instance.nodes, self.directed_edges())
+        """Whether the current directed graph is a DAG (Kahn over index arrays)."""
+        n = len(self.instance.nodes)
+        succ = self._successor_ids()
+        indegree = [0] * n
+        for targets in succ:
+            for h in targets:
+                indegree[h] += 1
+        queue = [i for i in range(n) if indegree[i] == 0]
+        removed = 0
+        while queue:
+            i = queue.pop()
+            removed += 1
+            for h in succ[i]:
+                indegree[h] -= 1
+                if indegree[h] == 0:
+                    queue.append(h)
+        return removed == n
 
     def find_cycle(self) -> Tuple[Node, ...]:
         """Return a directed cycle as a node tuple, or ``()`` if none exists.
 
         Used by the verification layer to produce counterexample traces.
         """
-        successors: Dict[Node, List[Node]] = {u: [] for u in self.instance.nodes}
-        for tail, head in self.directed_edges():
-            successors[tail].append(head)
+        nodes = self.instance.nodes
+        n = len(nodes)
+        succ = self._successor_ids()
 
         WHITE, GREY, BLACK = 0, 1, 2
-        colour = {u: WHITE for u in self.instance.nodes}
-        parent: Dict[Node, Node] = {}
+        colour = [WHITE] * n
+        parent = [0] * n
 
-        for root in self.instance.nodes:
+        for root in range(n):
             if colour[root] != WHITE:
                 continue
-            stack: List[Tuple[Node, Iterator[Node]]] = [(root, iter(successors[root]))]
+            stack: List[Tuple[int, Iterator[int]]] = [(root, iter(succ[root]))]
             colour[root] = GREY
             while stack:
                 node, it = stack[-1]
@@ -474,7 +756,7 @@ class Orientation:
                     if colour[nxt] == WHITE:
                         colour[nxt] = GREY
                         parent[nxt] = node
-                        stack.append((nxt, iter(successors[nxt])))
+                        stack.append((nxt, iter(succ[nxt])))
                         advanced = True
                         break
                     if colour[nxt] == GREY:
@@ -484,27 +766,33 @@ class Orientation:
                             cur = parent[cur]
                             cycle.append(cur)
                         cycle.reverse()
-                        return tuple(cycle[:-1])
+                        return tuple(nodes[i] for i in cycle[:-1])
                 if not advanced:
                     colour[node] = BLACK
                     stack.pop()
         return ()
 
+    def _reachable_ids_to_destination(self) -> List[int]:
+        """Node ids with a directed path to the destination (BFS over ids)."""
+        pred = self._predecessor_ids()
+        reached = [False] * len(pred)
+        dest = self.instance._dest_id
+        reached[dest] = True
+        frontier = [dest]
+        result = [dest]
+        while frontier:
+            i = frontier.pop()
+            for j in pred[i]:
+                if not reached[j]:
+                    reached[j] = True
+                    result.append(j)
+                    frontier.append(j)
+        return result
+
     def nodes_with_path_to_destination(self) -> FrozenSet[Node]:
         """Nodes that currently have a directed path to the destination."""
-        destination = self.instance.destination
-        predecessors: Dict[Node, List[Node]] = {u: [] for u in self.instance.nodes}
-        for tail, head in self.directed_edges():
-            predecessors[head].append(tail)
-        reached = {destination}
-        frontier = [destination]
-        while frontier:
-            u = frontier.pop()
-            for v in predecessors[u]:
-                if v not in reached:
-                    reached.add(v)
-                    frontier.append(v)
-        return frozenset(reached)
+        nodes = self.instance.nodes
+        return frozenset(nodes[i] for i in self._reachable_ids_to_destination())
 
     def nodes_without_path_to_destination(self) -> FrozenSet[Node]:
         """Nodes with no directed path to the destination (the "bad" nodes)."""
@@ -517,7 +805,7 @@ class Orientation:
         *destination oriented* when the only sink is the destination and every
         node can reach it.
         """
-        return len(self.nodes_with_path_to_destination()) == len(self.instance.nodes)
+        return len(self._reachable_ids_to_destination()) == len(self.instance.nodes)
 
     def shortest_path_to_destination(self, u: Node) -> Tuple[Node, ...]:
         """A shortest directed path from ``u`` to the destination, or ``()``.
@@ -525,29 +813,31 @@ class Orientation:
         Breadth-first search over the current orientation; used by the routing
         layer to extract routes and measure stretch.
         """
-        destination = self.instance.destination
-        if u == destination:
+        instance = self.instance
+        destination_id = instance._dest_id
+        start = instance._node_id[u]
+        if start == destination_id:
             return (u,)
-        successors: Dict[Node, List[Node]] = {w: [] for w in self.instance.nodes}
-        for tail, head in self.directed_edges():
-            successors[tail].append(head)
-        parent: Dict[Node, Node] = {}
-        frontier = [u]
-        seen = {u}
+        succ = self._successor_ids()
+        n = len(succ)
+        parent = [-1] * n
+        frontier = [start]
+        seen = [False] * n
+        seen[start] = True
         while frontier:
-            next_frontier: List[Node] = []
+            next_frontier: List[int] = []
             for w in frontier:
-                for x in successors[w]:
-                    if x in seen:
+                for x in succ[w]:
+                    if seen[x]:
                         continue
                     parent[x] = w
-                    if x == destination:
-                        path = [x]
-                        while path[-1] != u:
-                            path.append(parent[path[-1]])
-                        path.reverse()
-                        return tuple(path)
-                    seen.add(x)
+                    if x == destination_id:
+                        path_ids = [x]
+                        while path_ids[-1] != start:
+                            path_ids.append(parent[path_ids[-1]])
+                        path_ids.reverse()
+                        return tuple(instance.nodes[i] for i in path_ids)
+                    seen[x] = True
                     next_frontier.append(x)
             frontier = next_frontier
         return ()
@@ -555,20 +845,26 @@ class Orientation:
     # ------------------------------------------------------------------
     # hashing / equality (used by the model checker)
     # ------------------------------------------------------------------
-    def signature(self) -> Tuple[DirectedEdge, ...]:
-        """A canonical, hashable fingerprint of this orientation."""
-        return self.directed_edges()
+    def signature(self) -> int:
+        """A canonical, hashable fingerprint of this orientation.
+
+        The reversal bitmask itself: one compact int.  Signatures of
+        orientations over the same instance are equal iff the orientations
+        are; the model checker dedups on these directly.
+        """
+        return self._mask
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Orientation):
             return NotImplemented
-        return self.instance is other.instance and self._head == other._head or (
-            self.instance.undirected_edges == other.instance.undirected_edges
-            and self._head == other._head
-        )
+        if self.instance is other.instance:
+            return self._mask == other._mask
+        # distinct instance objects: equal iff they orient the same undirected
+        # edges the same way, independent of edge declaration order
+        return frozenset(self.directed_edges()) == frozenset(other.directed_edges())
 
     def __hash__(self) -> int:
-        return hash(self.signature())
+        return hash(frozenset(self.directed_edges()))
 
     def __repr__(self) -> str:  # pragma: no cover - repr convenience
         edges = ", ".join(f"{t}->{h}" for t, h in self.directed_edges())
@@ -579,12 +875,7 @@ def all_orientations(instance: LinkReversalInstance) -> Iterator[Orientation]:
     """Yield every possible orientation of the instance's undirected edges.
 
     Exponential in ``|E|``; intended for exhaustive testing on tiny graphs.
+    Enumerates reversal bitmasks directly, one orientation per mask.
     """
-    edges = list(instance.undirected_edges)
-    pairs = [tuple(edge) for edge in edges]
-    for choice in itertools.product((0, 1), repeat=len(pairs)):
-        directed = [
-            (pair[0], pair[1]) if bit == 0 else (pair[1], pair[0])
-            for pair, bit in zip(pairs, choice)
-        ]
-        yield Orientation.from_directed_edges(instance, directed)
+    for mask in range(1 << instance.edge_count):
+        yield Orientation(instance, mask)

@@ -97,9 +97,24 @@ class HeightState:
                 result.append((v, u))
         return tuple(result)
 
+    def reversal_mask(self) -> int:
+        """The derived orientation as a reversal bitmask over the edge index.
+
+        Bit ``e`` is set iff edge ``e`` currently points against its initial
+        direction, i.e. the initial tail's height dropped below the initial
+        head's.  This is exactly :meth:`Orientation.signature`, computed
+        without materialising an :class:`Orientation`.
+        """
+        mask = 0
+        heights = self.heights
+        for e, (u, v) in enumerate(self.instance.initial_edges):
+            if heights[u] < heights[v]:
+                mask |= 1 << e
+        return mask
+
     def to_orientation(self) -> Orientation:
         """Materialise the derived orientation as an :class:`Orientation`."""
-        return Orientation.from_directed_edges(self.instance, self.directed_edges())
+        return Orientation.from_mask(self.instance, self.reversal_mask())
 
     def is_sink(self, u: Node) -> bool:
         """Whether every incident edge currently points towards ``u``."""
@@ -124,20 +139,25 @@ class HeightState:
         """Whether every node has a directed path to the destination."""
         return self.to_orientation().is_destination_oriented()
 
-    def graph_signature(self) -> Tuple[Tuple[Node, Node], ...]:
+    def graph_signature(self) -> int:
         """Fingerprint of the derived orientation (for cross-algorithm comparison)."""
-        return self.to_orientation().signature()
+        return self.reversal_mask()
 
     def copy(self) -> "HeightState":
         return HeightState(self.instance, dict(self.heights), dict(self.counts))
 
     def signature(self) -> Tuple:
-        return tuple((u, self.heights[u]) for u in self.instance.nodes)
+        # heights in instance node order; node identity is positional
+        return tuple(self.heights[u] for u in self.instance.nodes)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, HeightState):
             return NotImplemented
-        return self.signature() == other.signature()
+        # the signature is positional (heights in instance node order), so
+        # equality is only meaningful over the same problem instance
+        return (
+            self.instance is other.instance or self.instance == other.instance
+        ) and self.signature() == other.signature()
 
     def __hash__(self) -> int:
         return hash(self.signature())

@@ -77,8 +77,12 @@ class NewPRState(LinkReversalState):
         return NewPRState(self.instance, self.orientation.copy(), dict(self.counts))
 
     def signature(self) -> Tuple:
-        count_sig = tuple((u, self.counts[u]) for u in self.instance.nodes)
-        return (self.graph_signature(), count_sig)
+        """Orientation bitmask plus the counts in instance node order."""
+        counts = self.counts
+        return (
+            self.graph_signature(),
+            tuple(counts[u] for u in self.instance.nodes),
+        )
 
 
 class NewPartialReversal(LinkReversalAutomaton):
@@ -107,7 +111,7 @@ class NewPartialReversal(LinkReversalAutomaton):
             targets = self.instance.in_nbrs(u)
         else:
             targets = self.instance.out_nbrs(u)
-        for v in targets:
-            orientation.reverse_edge(u, v)
+        # u is a sink, so every targeted edge currently points at it
+        orientation.reverse_edges_from(u, targets)
         new_state.counts[u] = state.counts[u] + 1
         return new_state

@@ -56,8 +56,7 @@ class OneStepPartialReversal(LinkReversalAutomaton):
         nbrs = self.instance.nbrs(u)
         u_list = state.lists[u]
         targets = nbrs if u_list == nbrs else nbrs - u_list
-        for v in targets:
-            orientation.reverse_edge(u, v)
+        for v in orientation.reverse_edges_from(u, targets):
             lists[v] = lists[v] | {u}
         lists[u] = frozenset()
         return new_state

@@ -20,6 +20,7 @@ per-node effects are independent and can be applied in any order.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import combinations
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Mapping, Optional, Tuple
 
 from repro.automata.ioa import Action, IOAutomaton, TransitionError
@@ -71,11 +72,13 @@ class PRState(LinkReversalState):
     def copy(self) -> "PRState":
         return PRState(self.instance, self.orientation.copy(), dict(self.lists))
 
-    def signature(self) -> Tuple:
-        list_sig = tuple(
-            (u, tuple(sorted(self.lists[u], key=repr))) for u in self.instance.nodes
-        )
-        return (self.graph_signature(), list_sig)
+    def signature(self) -> int:
+        """One compact int: ``list[u]`` packed as neighbour bitmasks above the
+        orientation's reversal bitmask (CSR bit layout of the instance)."""
+        instance = self.instance
+        return (
+            instance.pack_neighbour_sets(self.lists) << instance.edge_count
+        ) | self.graph_signature()
 
 
 class PartialReversal(IOAutomaton):
@@ -102,8 +105,6 @@ class PartialReversal(IOAutomaton):
     def enabled_actions(self, state: PRState) -> Iterator[Action]:
         sinks = state.sinks()
         # non-empty subsets of the sink set, smallest first for determinism
-        from itertools import combinations
-
         for size in range(1, len(sinks) + 1):
             for subset in combinations(sinks, size):
                 yield ReverseSet(frozenset(subset))
@@ -147,8 +148,8 @@ class PartialReversal(IOAutomaton):
                 targets = nbrs - u_list
             else:
                 targets = nbrs
-            for v in targets:
-                orientation.reverse_edge(u, v)  # u was a sink: edge v->u becomes u->v
+            # u was a sink: every targeted edge points at u and gets flipped
+            for v in orientation.reverse_edges_from(u, targets):
                 lists[v] = lists[v] | {u}
             lists[u] = frozenset()
         return new_state

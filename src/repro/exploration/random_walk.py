@@ -27,6 +27,7 @@ class RandomWalkReport:
     automaton_name: str
     walks: int = 0
     states_checked: int = 0
+    distinct_states: int = 0
     total_steps: int = 0
     non_converged_walks: int = 0
     failures: List[Tuple[int, str, str]] = field(default_factory=list)
@@ -85,12 +86,16 @@ class RandomWalkChecker:
     def check(self) -> RandomWalkReport:
         """Run all walks and return the aggregate report."""
         report = RandomWalkReport(automaton_name=self.automaton.name)
+        # states carry compact (int-based) signatures, so tracking how much of
+        # the state space the walks actually covered is nearly free
+        seen_signatures = set()
         for walk_index in range(self.walks):
             seed = self.base_seed + walk_index
             scheduler = RandomScheduler(seed=seed, subset_probability=self.subset_probability)
 
             def observer(step_index, pre_state, action, post_state, _walk=walk_index):
                 report.states_checked += 1
+                seen_signatures.add(post_state.signature())
                 for name, predicate in self.predicates.items():
                     holds, detail = _predicate_outcome(predicate(post_state))
                     if not holds:
@@ -109,4 +114,5 @@ class RandomWalkChecker:
             report.total_steps += result.steps_taken
             if not result.converged:
                 report.non_converged_walks += 1
+        report.distinct_states = len(seen_signatures)
         return report

@@ -3,7 +3,9 @@
 The explorer performs a breadth-first search from the initial state, following
 *every* enabled action (for PR that includes every non-empty subset of the
 sink set — exactly the action set of Algorithm 1), deduplicating states by
-their canonical :meth:`signature`.  A set of named predicates is evaluated on
+their canonical :meth:`signature` — for the link-reversal automata these are
+compact ints (edge-reversal bitmasks, with the per-node bookkeeping packed
+into the high bits), so the dedup set stays small and hashing is cheap.  A set of named predicates is evaluated on
 every newly discovered state; any violation is recorded together with the
 action path that reaches the offending state, so failures are reproducible
 counterexample traces.
@@ -18,7 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.automata.ioa import Action, IOAutomaton
 
@@ -115,7 +117,7 @@ class StateSpaceExplorer:
         report = ExplorationReport(automaton_name=automaton.name)
 
         initial = automaton.initial_state()
-        seen: Dict[object, int] = {initial.signature(): 0}
+        seen = {initial.signature()}
         queue: deque = deque()
         queue.append((initial, (), 0))
         report.states_explored = 1
@@ -142,7 +144,7 @@ class StateSpaceExplorer:
                 if report.states_explored >= self.max_states:
                     report.truncated = True
                     return report
-                seen[signature] = len(seen)
+                seen.add(signature)
                 report.states_explored += 1
                 new_path = path + (action,)
                 self._check_state(successor, new_path, report)

@@ -18,41 +18,45 @@ from repro.core.graph import LinkReversalInstance, Orientation
 Node = Hashable
 
 
+def _id_bfs_distances(
+    instance: LinkReversalInstance, adjacency: List[List[int]]
+) -> Dict[Node, int]:
+    """BFS hop distances from the destination over per-node-id adjacency lists."""
+    nodes = instance.nodes
+    start = instance.node_index(instance.destination)
+    dist = [-1] * len(nodes)
+    dist[start] = 0
+    frontier = [start]
+    while frontier:
+        next_frontier: List[int] = []
+        for i in frontier:
+            d = dist[i] + 1
+            for j in adjacency[i]:
+                if dist[j] < 0:
+                    dist[j] = d
+                    next_frontier.append(j)
+        frontier = next_frontier
+    return {nodes[i]: d for i, d in enumerate(dist) if d >= 0}
+
+
 def _directed_distances_to_destination(
     instance: LinkReversalInstance, directed_edges: Sequence[Tuple[Node, Node]]
 ) -> Dict[Node, int]:
     """BFS distance (in directed hops) from every node to the destination."""
-    destination = instance.destination
-    predecessors: Dict[Node, List[Node]] = {u: [] for u in instance.nodes}
+    node_index = instance.node_index
+    predecessors: List[List[int]] = [[] for _ in instance.nodes]
     for tail, head in directed_edges:
-        predecessors[head].append(tail)
-    distances: Dict[Node, int] = {destination: 0}
-    frontier = [destination]
-    while frontier:
-        next_frontier: List[Node] = []
-        for u in frontier:
-            for v in predecessors[u]:
-                if v not in distances:
-                    distances[v] = distances[u] + 1
-                    next_frontier.append(v)
-        frontier = next_frontier
-    return distances
+        predecessors[node_index(head)].append(node_index(tail))
+    return _id_bfs_distances(instance, predecessors)
 
 
 def _undirected_distances_to_destination(instance: LinkReversalInstance) -> Dict[Node, int]:
     """BFS hop distance from every node to the destination, ignoring directions."""
-    destination = instance.destination
-    distances: Dict[Node, int] = {destination: 0}
-    frontier = [destination]
-    while frontier:
-        next_frontier: List[Node] = []
-        for u in frontier:
-            for v in instance.nbrs(u):
-                if v not in distances:
-                    distances[v] = distances[u] + 1
-                    next_frontier.append(v)
-        frontier = next_frontier
-    return distances
+    node_index = instance.node_index
+    adjacency: List[List[int]] = [[] for _ in instance.nodes]
+    for i, u in enumerate(instance.nodes):
+        adjacency[i] = [node_index(v) for v in instance.incident_neighbours(u)]
+    return _id_bfs_distances(instance, adjacency)
 
 
 @dataclass

@@ -101,6 +101,8 @@ class ToraRouter:
         self._clock = 0
         #: current undirected link set (mutable: links can fail / reappear)
         self.links: Set[FrozenSet[Node]] = set(instance.undirected_edges)
+        #: the same live links as global edge indices — the hot-path view
+        self._live_eids: Set[int] = set(range(instance.edge_count))
         #: per-node height; ``None`` represents the NULL (un-routed) height
         self.heights: Dict[Node, Optional[ToraHeight]] = {
             u: None for u in instance.nodes
@@ -120,7 +122,13 @@ class ToraRouter:
     # structure helpers
     # ------------------------------------------------------------------
     def _neighbours(self, u: Node) -> List[Node]:
-        return [v for v in self.instance.nbrs(u) if frozenset((u, v)) in self.links]
+        instance = self.instance
+        live = self._live_eids
+        return [
+            v
+            for e, v in zip(instance.incident_edge_ids(u), instance.incident_neighbours(u))
+            if e in live
+        ]
 
     def height_of(self, u: Node) -> Optional[ToraHeight]:
         """The current height of ``u`` (``None`` means no route / NULL height)."""
@@ -247,17 +255,22 @@ class ToraRouter:
     # ------------------------------------------------------------------
     def fail_link(self, u: Node, v: Node) -> None:
         """Remove the link ``{u, v}`` and run maintenance until quiescence."""
-        edge = frozenset((u, v))
-        if edge not in self.links:
+        try:
+            e = self.instance.edge_index(u, v)
+        except KeyError:
+            raise ValueError(f"{u!r}-{v!r} is not a current link") from None
+        if e not in self._live_eids:
             raise ValueError(f"{u!r}-{v!r} is not a current link")
         self._clock += 1
-        self.links.discard(edge)
+        self._live_eids.discard(e)
+        self.links.discard(frozenset((u, v)))
         self._run_maintenance(initial_failure=True)
 
     def restore_link(self, u: Node, v: Node) -> None:
         """Re-add a link of the original topology and let NULL nodes rejoin."""
         if not self.instance.has_edge(u, v):
             raise ValueError(f"{u!r}-{v!r} is not an edge of the underlying topology")
+        self._live_eids.add(self.instance.edge_index(u, v))
         self.links.add(frozenset((u, v)))
         # nodes whose routes were erased can rebuild them through the new link
         self.create_route()

@@ -13,9 +13,15 @@ import abc
 from typing import Hashable, Iterable, List, Optional, Sequence
 
 from repro.automata.ioa import Action, IOAutomaton
-from repro.core.base import Reverse
+from repro.core.base import LinkReversalAutomaton, Reverse
+from repro.core.heights import _HeightAutomaton
+from repro.core.pr import PartialReversal, ReverseSet
 
 Node = Hashable
+
+#: Automata whose enabled single-node actions are exactly the non-destination
+#: sinks of the state — the invariant the sink-set fast path relies on.
+_SINK_ENABLED_AUTOMATA = (LinkReversalAutomaton, PartialReversal, _HeightAutomaton)
 
 
 class Scheduler(abc.ABC):
@@ -39,7 +45,17 @@ class Scheduler(abc.ABC):
     # ------------------------------------------------------------------
     @staticmethod
     def _enabled_nodes(automaton: IOAutomaton, state) -> List[Node]:
-        """All nodes with an enabled single-node action, in deterministic order."""
+        """All nodes with an enabled single-node action, in deterministic order.
+
+        Fast path: for the link-reversal automata the enabled single-node
+        actions are by definition exactly the non-destination sinks, and every
+        such state maintains its sink set incrementally, so ``state.sinks()``
+        answers without touching the action machinery.  The shortcut is keyed
+        on the automaton types that own that invariant; anything else falls
+        back to enumerating ``enabled_single_actions``.
+        """
+        if isinstance(automaton, _SINK_ENABLED_AUTOMATA):
+            return list(state.sinks())
         nodes: List[Node] = []
         for action in automaton.enabled_single_actions(state):
             actors = action.actors()
@@ -50,8 +66,6 @@ class Scheduler(abc.ABC):
     @staticmethod
     def _single_action(automaton: IOAutomaton, node: Node) -> Action:
         """Build the single-node action appropriate for ``automaton``."""
-        from repro.core.pr import PartialReversal, ReverseSet
-
         if isinstance(automaton, PartialReversal):
             return ReverseSet(frozenset((node,)))
         return Reverse(node)

@@ -16,9 +16,11 @@ this scheduler by default.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional
+from collections import deque
+from typing import Deque, Hashable, Optional
 
 from repro.automata.ioa import Action, IOAutomaton
+from repro.core.pr import PartialReversal
 from repro.schedulers.base import Scheduler
 
 Node = Hashable
@@ -41,16 +43,14 @@ class GreedyScheduler(Scheduler):
     def __init__(self, seed: Optional[int] = None, concurrent_for_pr: bool = True):
         self.seed = seed
         self.concurrent_for_pr = concurrent_for_pr
-        self._round_queue: List[Node] = []
+        self._round_queue: Deque[Node] = deque()
         self.rounds: int = 0
 
     def reset(self, automaton: IOAutomaton) -> None:
-        self._round_queue = []
+        self._round_queue = deque()
         self.rounds = 0
 
     def select(self, automaton: IOAutomaton, state) -> Optional[Action]:
-        from repro.core.pr import PartialReversal
-
         if self.concurrent_for_pr and isinstance(automaton, PartialReversal):
             action = automaton.greedy_action(state)
             if action is not None:
@@ -60,7 +60,7 @@ class GreedyScheduler(Scheduler):
         # serialised rounds for single-node automata
         while True:
             while self._round_queue:
-                node = self._round_queue.pop(0)
+                node = self._round_queue.popleft()
                 action = self._single_action(automaton, node)
                 if automaton.is_enabled(state, action):
                     return action
@@ -68,4 +68,4 @@ class GreedyScheduler(Scheduler):
             if not sinks:
                 return None
             self.rounds += 1
-            self._round_queue = list(sinks)
+            self._round_queue = deque(sinks)

@@ -13,6 +13,7 @@ import random
 from typing import Optional
 
 from repro.automata.ioa import Action, IOAutomaton
+from repro.core.pr import PartialReversal, ReverseSet
 from repro.schedulers.base import Scheduler
 
 
@@ -40,8 +41,6 @@ class RandomScheduler(Scheduler):
         self._rng = random.Random(self.seed)
 
     def select(self, automaton: IOAutomaton, state) -> Optional[Action]:
-        from repro.core.pr import PartialReversal, ReverseSet
-
         nodes = self._enabled_nodes(automaton, state)
         if not nodes:
             return None

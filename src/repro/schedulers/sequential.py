@@ -23,8 +23,9 @@ class SequentialScheduler(Scheduler):
         self.seed = seed
 
     def select(self, automaton: IOAutomaton, state) -> Optional[Action]:
-        for node in automaton.instance.non_destination_nodes:
-            action = self._single_action(automaton, node)
-            if automaton.is_enabled(state, action):
-                return action
-        return None
+        # the enabled nodes are exactly the non-destination sinks, already in
+        # instance node order, so the first sink is the node to fire
+        nodes = self._enabled_nodes(automaton, state)
+        if not nodes:
+            return None
+        return self._single_action(automaton, nodes[0])

@@ -1,0 +1,198 @@
+"""Cross-algorithm confluence suite and the bitmask-signature equivalence oracle.
+
+Two roles:
+
+1. **Confluence / convergence across the whole algorithm zoo** — for a suite
+   of small random DAG instances, every automaton (PR, OneStepPR, NewPR, FR,
+   BLL) must reach a destination-oriented quiescent state under every
+   scheduler, and FR's final orientation must be scheduler independent
+   (Full Reversal has no bookkeeping, so its reachable quiescent orientation
+   is unique).
+
+2. **Equivalence oracle for the indexed representation** — the library's
+   states fingerprint themselves with compact ints (edge-reversal bitmask +
+   packed bookkeeping).  Along identical seeded executions we recompute the
+   *legacy* tuple signatures (directed edge pairs + sorted per-node
+   bookkeeping, exactly what the seed implementation used) and assert the two
+   signature schemes induce the same equality relation on every visited
+   state.  This proves the bitmask refactor preserves the semantics the
+   model checker and the simulation relations depend on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.executions import run
+from repro.core.bll import BinaryLinkLabels
+from repro.core.full_reversal import FullReversal
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal
+from repro.schedulers import (
+    AdversarialScheduler,
+    GreedyScheduler,
+    LazyScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SequentialScheduler,
+)
+from repro.topology.generators import (
+    grid_instance,
+    random_dag_instance,
+    worst_case_chain_instance,
+)
+
+ALGORITHMS = {
+    "PR": PartialReversal,
+    "OneStepPR": OneStepPartialReversal,
+    "NewPR": NewPartialReversal,
+    "FR": FullReversal,
+    "BLL": BinaryLinkLabels,
+}
+
+SCHEDULERS = {
+    "greedy": GreedyScheduler,
+    "sequential": SequentialScheduler,
+    "random": lambda: RandomScheduler(seed=11),
+    "adversarial": AdversarialScheduler,
+    "lazy": LazyScheduler,
+    "round-robin": RoundRobinScheduler,
+}
+
+
+def _instances():
+    """Small instances covering random DAGs plus the structured families."""
+    suite = {
+        "worst-chain-6": worst_case_chain_instance(6),
+        "grid-3x3": grid_instance(3, 3, oriented_towards_destination=False),
+    }
+    for seed in range(4):
+        suite[f"random-dag-12-s{seed}"] = random_dag_instance(
+            12, edge_probability=0.25, seed=seed
+        )
+    return suite
+
+
+# ----------------------------------------------------------------------
+# 1. confluence / convergence across algorithms and schedulers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm_name", sorted(ALGORITHMS))
+def test_every_algorithm_converges_under_every_scheduler(algorithm_name):
+    automaton_factory = ALGORITHMS[algorithm_name]
+    for instance_name, instance in _instances().items():
+        for scheduler_name, scheduler_factory in SCHEDULERS.items():
+            result = run(
+                automaton_factory(instance),
+                scheduler_factory(),
+                record_states=False,
+            )
+            context = f"{algorithm_name}/{instance_name}/{scheduler_name}"
+            assert result.converged, f"{context}: did not reach quiescence"
+            final = result.final_state
+            assert final.is_destination_oriented(), (
+                f"{context}: quiescent but not destination oriented"
+            )
+            assert final.sinks() == (), f"{context}: quiescent state still has sinks"
+            assert final.is_acyclic(), f"{context}: final orientation has a cycle"
+
+
+def test_fr_final_orientation_is_scheduler_independent():
+    """FR is memoryless, so its quiescent orientation is unique per instance."""
+    for instance_name, instance in _instances().items():
+        finals = {
+            name: run(FullReversal(instance), factory(), record_states=False)
+            .final_state.graph_signature()
+            for name, factory in SCHEDULERS.items()
+        }
+        assert len(set(finals.values())) == 1, (
+            f"{instance_name}: FR finals differ across schedulers: {finals}"
+        )
+
+
+# ----------------------------------------------------------------------
+# 2. the legacy-signature equivalence oracle
+# ----------------------------------------------------------------------
+def _legacy_graph_signature(state):
+    """The seed implementation's orientation fingerprint: directed edge pairs."""
+    return state.orientation.directed_edges()
+
+
+def _legacy_full_signature(state):
+    """The seed implementation's full-state fingerprint (tuple based)."""
+    bookkeeping = getattr(state, "lists", None)
+    if bookkeeping is None:
+        bookkeeping = getattr(state, "marks", None)
+    if bookkeeping is None:
+        bookkeeping = getattr(state, "counts", None)
+    if bookkeeping is None:
+        return _legacy_graph_signature(state)
+    if all(isinstance(value, int) for value in bookkeeping.values()):
+        extra = tuple((u, bookkeeping[u]) for u in state.instance.nodes)
+    else:
+        extra = tuple(
+            (u, tuple(sorted(bookkeeping[u], key=repr))) for u in state.instance.nodes
+        )
+    return (_legacy_graph_signature(state), extra)
+
+
+@pytest.mark.parametrize("algorithm_name", ["OneStepPR", "NewPR", "BLL"])
+def test_int_signatures_equivalent_to_legacy_tuple_signatures(algorithm_name):
+    """Equal int signatures iff equal legacy tuple signatures, trace by trace.
+
+    Runs several identically seeded executions per instance, collects every
+    visited state, and checks the two signature schemes partition the states
+    the same way — the oracle for the bitmask refactor.
+    """
+    automaton_factory = ALGORITHMS[algorithm_name]
+    for instance_name, instance in _instances().items():
+        states = []
+        for seed in (1, 2, 3):
+            automaton = automaton_factory(instance)
+            collected = []
+
+            def observer(step_index, pre_state, action, post_state, _bag=collected):
+                _bag.append(post_state)
+
+            result = run(
+                automaton,
+                RandomScheduler(seed=seed),
+                observers=(observer,),
+                record_states=False,
+            )
+            states.append(automaton.initial_state())
+            states.extend(collected)
+            assert result.converged
+
+        int_sigs = [s.signature() for s in states]
+        legacy_sigs = [_legacy_full_signature(s) for s in states]
+        for i in range(len(states)):
+            for j in range(i + 1, len(states)):
+                assert (int_sigs[i] == int_sigs[j]) == (
+                    legacy_sigs[i] == legacy_sigs[j]
+                ), (
+                    f"{algorithm_name}/{instance_name}: states {i} and {j} "
+                    "disagree between int and legacy signatures"
+                )
+
+
+def test_graph_signature_equivalent_to_legacy_across_algorithms():
+    """Orientation bitmasks agree with directed-edge tuples across automata.
+
+    The same orientation reached by different algorithms must produce the
+    same int graph signature exactly when the legacy directed-edge tuples
+    coincide (the cross-automaton comparison the simulation relations use).
+    """
+    instance = random_dag_instance(10, edge_probability=0.3, seed=7)
+    states = []
+    for factory in ALGORITHMS.values():
+        automaton = factory(instance)
+        result = run(automaton, SequentialScheduler(), record_states=True)
+        states.extend(result.execution.states)
+    for i in range(len(states)):
+        for j in range(i + 1, len(states)):
+            same_int = states[i].graph_signature() == states[j].graph_signature()
+            same_legacy = _legacy_graph_signature(states[i]) == _legacy_graph_signature(
+                states[j]
+            )
+            assert same_int == same_legacy
