@@ -46,6 +46,7 @@ def _baseline_workloads():
     """The timed workloads tracked across PRs, keyed by benchmark module."""
     from benchmarks.bench_dummy_steps import _measure
     from benchmarks.bench_simulation import _check_all_families
+    from benchmarks.bench_sweep import _measure_1worker, _measure_pool
     from benchmarks.bench_worst_case import _fr_sweep, _pr_worst_orientation_sweep
 
     return {
@@ -53,6 +54,8 @@ def _baseline_workloads():
         "bench_worst_case_fr_sweep": lambda: _fr_sweep()[0],
         "bench_worst_case_pr_exhaustive": _pr_worst_orientation_sweep,
         "bench_dummy_steps": _measure,
+        "bench_sweep_1worker": _measure_1worker,
+        "bench_sweep_pool": _measure_pool,
     }
 
 

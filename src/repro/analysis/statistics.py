@@ -37,6 +37,37 @@ def percentile(values: Sequence[float], q: float) -> float:
     return float(ordered[low] * (1 - weight) + ordered[high] * weight)
 
 
+def median(values: Sequence[float]) -> float:
+    """The 50th percentile."""
+    return percentile(values, 50.0)
+
+
+#: Percentiles reported by :func:`summary_stats` (and the campaign reports).
+DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def summary_stats(
+    values: Sequence[float], percentiles: Sequence[float] = DEFAULT_PERCENTILES
+) -> dict:
+    """Count / mean / min / max plus the requested percentiles, as a dict.
+
+    The group-by summaries of the experiment campaign reports are built from
+    this; keys are stable strings (``"p50"`` etc.) so the dict can be dumped
+    to JSON or rendered as a table row directly.
+    """
+    if not values:
+        raise ValueError("summary_stats() of an empty sequence")
+    stats = {
+        "count": len(values),
+        "mean": mean(values),
+        "min": float(min(values)),
+        "max": float(max(values)),
+    }
+    for q in percentiles:
+        stats[f"p{q:g}"] = percentile(values, q)
+    return stats
+
+
 def fit_polynomial(xs: Sequence[float], ys: Sequence[float], degree: int) -> List[float]:
     """Least-squares polynomial fit; returns coefficients, highest degree first.
 

@@ -50,6 +50,24 @@ class WorkSummary:
         """Total node steps — the cost measure of the literature."""
         return self.node_steps
 
+    def to_dict(self, per_node: bool = False) -> Dict[str, object]:
+        """JSON-compatible form (used by ``--json`` CLI output and the store)."""
+        data: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "scheduler": self.scheduler,
+            "node_steps": self.node_steps,
+            "edge_reversals": self.edge_reversals,
+            "dummy_steps": self.dummy_steps,
+            "converged": self.converged,
+            "destination_oriented": self.destination_oriented,
+        }
+        if per_node:
+            data["per_node_steps"] = {str(k): v for k, v in self.per_node_steps.items()}
+            data["per_node_reversals"] = {
+                str(k): v for k, v in self.per_node_reversals.items()
+            }
+        return data
+
     def __str__(self) -> str:  # pragma: no cover - repr convenience
         return (
             f"{self.algorithm}/{self.scheduler}: {self.node_steps} steps, "
@@ -58,8 +76,13 @@ class WorkSummary:
         )
 
 
-class _WorkObserver:
-    """Per-step observer accumulating step and reversal counts."""
+class WorkObserver:
+    """Per-step observer accumulating step and reversal counts.
+
+    Public so that callers composing their own observer stacks (the experiment
+    runner adds round counting and a wall-clock deadline on top) can reuse the
+    signature-XOR reversal accounting instead of re-deriving it.
+    """
 
     def __init__(self) -> None:
         self.node_steps = 0
@@ -105,7 +128,7 @@ def count_reversals(
     max_steps: Optional[int] = None,
 ) -> WorkSummary:
     """Run one execution to quiescence and summarise the work performed."""
-    observer = _WorkObserver()
+    observer = WorkObserver()
     result = run(
         automaton, scheduler, max_steps=max_steps, observers=(observer,), record_states=False
     )

@@ -18,6 +18,13 @@ The CLI exposes the workflows a user typically wants without writing code:
 ``simulate``
     Run the asynchronous message-passing protocol, optionally injecting
     random link failures, and print the network report.
+``sweep``
+    Expand a campaign cross-product (families × algorithms × schedulers ×
+    sizes × replicates × failure models), execute it across a worker pool and
+    persist every run in a resumable result store.
+``report``
+    Aggregate a result store: group-by work summaries, work-vs-size curves
+    with quadratic fits, and the PR-vs-FR worst-case ordering check.
 
 Every command accepts ``--seed`` so runs are reproducible.
 """
@@ -25,6 +32,7 @@ Every command accepts ``--seed`` so runs are reproducible.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
@@ -34,7 +42,7 @@ from repro.analysis.game_theory import (
     partial_reversal_profile,
 )
 from repro.analysis.statistics import quadratic_fit_r2
-from repro.analysis.work import compare_algorithms, count_reversals, worst_case_sweep
+from repro.analysis.work import count_reversals, worst_case_sweep
 from repro.core.full_reversal import FullReversal
 from repro.core.graph import LinkReversalInstance
 from repro.core.new_pr import NewPartialReversal
@@ -42,80 +50,30 @@ from repro.core.one_step_pr import OneStepPartialReversal
 from repro.core.pr import PartialReversal
 from repro.distributed.network import AsyncLinkReversalNetwork
 from repro.distributed.protocol import ReversalMode
+from repro.experiments.aggregate import build_report
+from repro.experiments.executor import run_campaign
+from repro.experiments.spec import ALGORITHM_FACTORIES, FAILURE_MODELS, CampaignSpec, derive_seed
+from repro.experiments.store import ResultStore
 from repro.exploration.enumerate_graphs import all_connected_dag_instances
 from repro.exploration.state_space import explore_and_check
 from repro.io.dot import orientation_to_dot
 from repro.routing.maintenance import RouteMaintenanceSimulation
-from repro.schedulers.adversarial import AdversarialScheduler, LazyScheduler
-from repro.schedulers.base import RoundRobinScheduler
+from repro.schedulers import SCHEDULER_FACTORIES
 from repro.schedulers.greedy import GreedyScheduler
-from repro.schedulers.random_scheduler import RandomScheduler
-from repro.schedulers.sequential import SequentialScheduler
-from repro.topology.generators import (
-    chain_instance,
-    grid_instance,
-    layered_instance,
-    random_dag_instance,
-    star_instance,
-    tree_instance,
-    worst_case_chain_instance,
-)
-from repro.topology.manet import random_geometric_instance
+from repro.topology.generators import FAMILY_NAMES, build_family
 from repro.verification.acyclicity import is_acyclic
 from repro.verification.invariants import newpr_invariant_checks, pr_invariant_checks
 
 
-ALGORITHMS: Dict[str, Callable[[LinkReversalInstance], object]] = {
-    "pr": PartialReversal,
-    "onestep-pr": OneStepPartialReversal,
-    "new-pr": NewPartialReversal,
-    "fr": FullReversal,
-}
+#: Algorithm / scheduler / topology tables — shared with the experiment
+#: campaigns so the CLI axes and the campaign axes can never drift apart.
+ALGORITHMS: Dict[str, Callable[[LinkReversalInstance], object]] = dict(ALGORITHM_FACTORIES)
+SCHEDULERS: Dict[str, Callable[[int], object]] = dict(SCHEDULER_FACTORIES)
+TOPOLOGIES = FAMILY_NAMES
 
-SCHEDULERS: Dict[str, Callable[[int], object]] = {
-    "greedy": lambda seed: GreedyScheduler(seed=seed),
-    "sequential": lambda seed: SequentialScheduler(seed=seed),
-    "random": lambda seed: RandomScheduler(seed=seed),
-    "adversarial": lambda seed: AdversarialScheduler(seed=seed),
-    "lazy": lambda seed: LazyScheduler(seed=seed),
-    "round-robin": lambda seed: RoundRobinScheduler(),
-}
-
-
-def build_topology(name: str, size: int, seed: int) -> LinkReversalInstance:
-    """Build one of the named topology families at the requested size."""
-    if name == "chain":
-        return worst_case_chain_instance(max(1, size - 1))
-    if name == "oriented-chain":
-        return chain_instance(size, towards_destination=True)
-    if name == "star":
-        return star_instance(max(1, size - 1), destination_is_center=True)
-    if name == "tree":
-        return tree_instance(size, seed=seed)
-    if name == "grid":
-        side = max(2, int(round(size ** 0.5)))
-        return grid_instance(side, side, oriented_towards_destination=False)
-    if name == "layered":
-        width = max(1, size // 4)
-        return layered_instance(4, width, seed=seed)
-    if name == "random-dag":
-        return random_dag_instance(size, edge_probability=min(0.5, 6.0 / size), seed=seed)
-    if name == "geometric":
-        instance, _ = random_geometric_instance(size, radius=0.4, seed=seed)
-        return instance
-    raise ValueError(f"unknown topology {name!r}")
-
-
-TOPOLOGIES = (
-    "chain",
-    "oriented-chain",
-    "star",
-    "tree",
-    "grid",
-    "layered",
-    "random-dag",
-    "geometric",
-)
+#: Backwards-compatible alias; the implementation moved to
+#: :func:`repro.topology.generators.build_family`.
+build_topology = build_family
 
 
 # ----------------------------------------------------------------------
@@ -126,15 +84,26 @@ def cmd_run(args: argparse.Namespace) -> int:
     automaton = ALGORITHMS[args.algorithm](instance)
     scheduler = SCHEDULERS[args.scheduler](args.seed)
     summary = count_reversals(automaton, scheduler, max_steps=args.max_steps)
-    print(f"topology      : {args.topology} ({instance.node_count} nodes, "
-          f"{instance.edge_count} edges, {len(instance.bad_nodes())} bad)")
-    print(f"algorithm     : {summary.algorithm}")
-    print(f"scheduler     : {summary.scheduler}")
-    print(f"node steps    : {summary.node_steps}")
-    print(f"edge reversals: {summary.edge_reversals}")
-    print(f"dummy steps   : {summary.dummy_steps}")
-    print(f"converged     : {summary.converged}")
-    print(f"dest oriented : {summary.destination_oriented}")
+    if args.json:
+        payload = summary.to_dict()
+        payload.update(
+            topology=args.topology,
+            nodes=instance.node_count,
+            edges=instance.edge_count,
+            bad_nodes=len(instance.bad_nodes()),
+            seed=args.seed,
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"topology      : {args.topology} ({instance.node_count} nodes, "
+              f"{instance.edge_count} edges, {len(instance.bad_nodes())} bad)")
+        print(f"algorithm     : {summary.algorithm}")
+        print(f"scheduler     : {summary.scheduler}")
+        print(f"node steps    : {summary.node_steps}")
+        print(f"edge reversals: {summary.edge_reversals}")
+        print(f"dummy steps   : {summary.dummy_steps}")
+        print(f"converged     : {summary.converged}")
+        print(f"dest oriented : {summary.destination_oriented}")
     if args.dot:
         from repro.automata.executions import run as run_execution
 
@@ -152,10 +121,29 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     instance = build_topology(args.topology, args.nodes, args.seed)
-    results = compare_algorithms(instance, lambda: SCHEDULERS[args.scheduler](args.seed))
+    # every algorithm gets its own seed derived from --seed and its name, so
+    # the randomised schedulers are not correlated across the compared runs
+    # (a shared schedule would make the comparison hinge on one sample)
+    results = {
+        name: count_reversals(
+            factory(instance),
+            SCHEDULERS[args.scheduler](derive_seed(args.seed, "compare", name)),
+        )
+        for name, factory in ALGORITHMS.items()
+    }
+    if args.json:
+        payload = {
+            "topology": args.topology,
+            "nodes": instance.node_count,
+            "seed": args.seed,
+            "scheduler": args.scheduler,
+            "results": {name: summary.to_dict() for name, summary in results.items()},
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"{'algorithm':<12} {'steps':>8} {'reversals':>10} {'dummy':>6} {'oriented':>9}")
-    for name, summary in results.items():
-        print(f"{name:<12} {summary.node_steps:>8} {summary.edge_reversals:>10} "
+    for summary in results.values():
+        print(f"{summary.algorithm:<12} {summary.node_steps:>8} {summary.edge_reversals:>10} "
               f"{summary.dummy_steps:>6} {str(summary.destination_oriented):>9}")
     return 0
 
@@ -243,6 +231,104 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if report.destination_oriented else 1
 
 
+def _csv(text: str) -> tuple:
+    """Split a comma-separated CLI list, dropping empties."""
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    campaign = CampaignSpec(
+        name=args.name,
+        families=_csv(args.families),
+        algorithms=_csv(args.algorithms),
+        schedulers=_csv(args.schedulers),
+        sizes=tuple(int(s) for s in _csv(args.sizes)),
+        replicates=args.replicates,
+        base_seed=args.seed,
+        failure_models=[(args.failure_model, args.failure_count)],
+        max_steps=args.max_steps,
+    )
+    if args.failure_model == "mobility":
+        dropped = [f for f in campaign.families if f != "geometric"]
+        if dropped:
+            print(f"warning: mobility only applies to the geometric family; "
+                  f"dropping {', '.join(dropped)} from the cross-product", file=sys.stderr)
+    if campaign.run_count == 0:
+        print("error: the campaign cross-product expands to zero runs", file=sys.stderr)
+        return 2
+    store = ResultStore(args.store)
+
+    def progress(done: int, total: int) -> None:
+        if not args.quiet:
+            print(f"  {done}/{total} runs completed", file=sys.stderr)
+
+    report = run_campaign(
+        campaign,
+        store,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        timeout_s=args.timeout,
+        resume=not args.no_resume,
+        progress=progress,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"campaign      : {campaign.name} ({report.total} runs)")
+        print(f"store         : {store.root}")
+        print(f"skipped       : {report.skipped} (already stored)")
+        print(f"executed      : {report.executed} with {report.workers} worker(s)")
+        print(f"ok/err/timeout/crash: {report.ok}/{report.errors}/{report.timeouts}/{report.crashed}")
+        print(f"wall time     : {report.wall_time_s:.2f}s "
+              f"({report.runs_per_second:.1f} runs/s)")
+    return 0 if report.errors == 0 and report.crashed == 0 else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if args.consolidate:
+        store.consolidate()
+    if not store.existing_run_ids():  # consolidates from shards if index is missing
+        print(f"error: no stored runs under {store.root}", file=sys.stderr)
+        return 2
+    data = build_report(store, by=_csv(args.by), metric=args.metric)
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+        return 0
+
+    print(f"store    : {data['store']}")
+    print(f"statuses : {data['status_counts']}")
+    invariants = data["invariants"]
+    print(f"invariants: {invariants['runs']} ok runs, "
+          f"{invariants['acyclic_final']} acyclic, "
+          f"{invariants['destination_oriented']} destination oriented, "
+          f"{invariants['violations']} violations")
+
+    header = f"{'group (' + '/'.join(data['group_by']) + ')':<32}"
+    print(f"\n{header} {'count':>6} {'mean':>10} {'p50':>8} {'p90':>8} {'max':>10}")
+    for key, stats in data["groups"].items():
+        print(f"{key:<32} {stats['count']:>6} {stats['mean']:>10.1f} "
+              f"{stats['p50']:>8.1f} {stats['p90']:>8.1f} {stats['max']:>10.1f}")
+
+    fitted = {k: c for k, c in data["curves"].items() if c["fit"] is not None}
+    if fitted:
+        print(f"\n{'work curve':<32} {'fit (ax²+bx+c)':<28} {'R²':>8}")
+        for key, curve in fitted.items():
+            a, b, c = curve["fit"]
+            print(f"{key:<32} {a:>8.3f}x² {b:>+8.3f}x {c:>+8.3f} {curve['r2']:>8.5f}")
+
+    ordering = data["pr_vs_fr"]
+    if ordering["comparison"]:
+        print(f"\nPR vs FR worst-case ordering on {ordering['family']!r} "
+              f"({ordering['metric']}):")
+        for row in ordering["comparison"]:
+            ratio = f"{row['ratio']:.2f}" if row["ratio"] else "-"
+            print(f"  size {row['size']:>4}: PR={row['pr']:>10.1f} "
+                  f"FR={row['fr']:>10.1f} FR/PR={ratio:>7}")
+        print(f"  ordering holds: {ordering['ordering_holds']}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -261,12 +347,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="greedy")
     run_parser.add_argument("--max-steps", type=int, default=None)
     run_parser.add_argument("--dot", help="write the final orientation to this DOT file")
+    run_parser.add_argument("--json", action="store_true",
+                            help="print the work summary as JSON")
     run_parser.set_defaults(handler=cmd_run)
 
     compare_parser = subparsers.add_parser("compare", help="compare all algorithms")
     compare_parser.add_argument("--topology", choices=TOPOLOGIES, default="chain")
     compare_parser.add_argument("--nodes", type=int, default=20)
     compare_parser.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="greedy")
+    compare_parser.add_argument("--json", action="store_true",
+                                help="print the comparison as JSON")
     compare_parser.set_defaults(handler=cmd_compare)
 
     verify_parser = subparsers.add_parser(
@@ -296,6 +386,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--failures", type=int, default=0, help="inject this many random link failures"
     )
     simulate_parser.set_defaults(handler=cmd_simulate)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a sharded experiment campaign into a result store"
+    )
+    sweep_parser.add_argument("--name", default="sweep", help="campaign name")
+    sweep_parser.add_argument("--families", default="chain,random-dag",
+                              help="comma-separated topology families")
+    sweep_parser.add_argument("--algorithms", default="pr,fr",
+                              help=f"comma-separated algorithms ({','.join(sorted(ALGORITHMS))})")
+    sweep_parser.add_argument("--schedulers", default="greedy",
+                              help=f"comma-separated schedulers ({','.join(sorted(SCHEDULERS))})")
+    sweep_parser.add_argument("--sizes", default="5,10,20",
+                              help="comma-separated instance sizes")
+    sweep_parser.add_argument("--replicates", type=int, default=1,
+                              help="seed replicates per cross-product cell")
+    sweep_parser.add_argument("--failure-model", choices=FAILURE_MODELS, default="none")
+    sweep_parser.add_argument("--failure-count", type=int, default=0,
+                              help="failures / mobility steps per run")
+    sweep_parser.add_argument("--max-steps", type=int, default=None,
+                              help="per-run step bound")
+    sweep_parser.add_argument("--store", required=True,
+                              help="result store directory (created if missing)")
+    sweep_parser.add_argument("--workers", type=int, default=1,
+                              help="worker processes (1 = inline, no pool)")
+    sweep_parser.add_argument("--chunk-size", type=int, default=None,
+                              help="runs per dispatched chunk")
+    sweep_parser.add_argument("--timeout", type=float, default=None,
+                              help="per-run wall-clock budget in seconds")
+    sweep_parser.add_argument("--no-resume", action="store_true",
+                              help="re-execute runs already present in the store")
+    sweep_parser.add_argument("--quiet", action="store_true",
+                              help="suppress progress lines on stderr")
+    sweep_parser.add_argument("--json", action="store_true",
+                              help="print the campaign report as JSON")
+    sweep_parser.set_defaults(handler=cmd_sweep)
+
+    report_parser = subparsers.add_parser(
+        "report", help="aggregate a result store into summary tables"
+    )
+    report_parser.add_argument("--store", required=True, help="result store directory")
+    report_parser.add_argument("--by", default="family,algorithm",
+                               help="comma-separated record fields to group by")
+    report_parser.add_argument("--metric", default="node_steps",
+                               help="record field to summarise")
+    report_parser.add_argument("--consolidate", action="store_true",
+                               help="rebuild the SQLite index from the JSONL shards first")
+    report_parser.add_argument("--json", action="store_true",
+                               help="print the full report as JSON")
+    report_parser.set_defaults(handler=cmd_report)
 
     return parser
 

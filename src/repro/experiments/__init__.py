@@ -1,0 +1,55 @@
+"""Sharded experiment campaigns with a persistent, resumable result store.
+
+The paper's claims are statements over *families* of topologies and
+adversarial schedules; this subpackage is the machinery that measures them at
+that granularity instead of one scenario at a time:
+
+* :mod:`repro.experiments.spec` — declarative :class:`ScenarioSpec` /
+  :class:`CampaignSpec` layer; a campaign is the cross-product of topology
+  families × algorithms × schedulers × sizes × seed replicates × failure
+  models, expanded into a deterministic, seed-stamped run list;
+* :mod:`repro.experiments.runner` — executes one scenario inside a worker
+  (everything rebuilt from plain data), including link-failure and mobility
+  churn phases and per-run invariant checks;
+* :mod:`repro.experiments.executor` — shards the run list across a
+  ``multiprocessing`` pool with chunked dispatch, cooperative per-run
+  timeouts and crash isolation;
+* :mod:`repro.experiments.store` — persistent results: append-only JSONL
+  shards plus a consolidated SQLite index, supporting campaign resume;
+* :mod:`repro.experiments.aggregate` — group-by summaries, work-vs-size
+  curves with quadratic fits, and the PR-vs-FR worst-case ordering check.
+
+The CLI surface is ``python -m repro sweep`` / ``python -m repro report``.
+"""
+
+from repro.experiments.aggregate import (
+    build_report,
+    group_summary,
+    pr_vs_fr_ordering,
+    work_curves,
+)
+from repro.experiments.executor import CampaignReport, run_campaign
+from repro.experiments.runner import ScenarioTimeout, execute_scenario
+from repro.experiments.spec import (
+    ALGORITHM_FACTORIES,
+    CampaignSpec,
+    ScenarioSpec,
+    derive_seed,
+)
+from repro.experiments.store import ResultStore
+
+__all__ = [
+    "ALGORITHM_FACTORIES",
+    "CampaignReport",
+    "CampaignSpec",
+    "ResultStore",
+    "ScenarioSpec",
+    "ScenarioTimeout",
+    "build_report",
+    "derive_seed",
+    "execute_scenario",
+    "group_summary",
+    "pr_vs_fr_ordering",
+    "run_campaign",
+    "work_curves",
+]

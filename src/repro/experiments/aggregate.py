@@ -1,0 +1,186 @@
+"""Aggregation over stored campaign results: group-bys, curves, orderings.
+
+Everything here consumes the flat records persisted by the
+:class:`~repro.experiments.store.ResultStore` and produces plain-data
+summaries, which ``repro report`` renders as tables (or dumps as JSON):
+
+* :func:`group_summary` — ``analysis.statistics`` summaries of any metric,
+  grouped by arbitrary record fields (family, algorithm, scheduler, ...);
+* :func:`work_curves` — mean work as a function of instance size per
+  (family, algorithm), with a quadratic least-squares fit when the campaign
+  swept enough sizes — the stored-data analogue of the Θ(n_b²) experiment;
+* :func:`pr_vs_fr_ordering` — checks the paper-adjacent worst-case ordering
+  (Full Reversal does quadratic work on the bad chain where Partial Reversal
+  stays linear) directly from stored results;
+* :func:`build_report` — bundles all of the above into one dict.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.statistics import quadratic_fit_r2, summary_stats
+from repro.experiments.store import ResultStore
+
+#: Minimum distinct sizes before a quadratic fit is attempted.
+MIN_FIT_POINTS = 4
+
+
+def ok_records(store: ResultStore, **filters: Any) -> List[Dict[str, Any]]:
+    """Successful run records matching the filters (failed runs excluded)."""
+    return store.records(status="ok", **filters)
+
+
+def group_summary(
+    records: Sequence[Dict[str, Any]],
+    by: Sequence[str] = ("family", "algorithm"),
+    metric: str = "node_steps",
+) -> Dict[Tuple[Any, ...], Dict[str, float]]:
+    """Summary statistics of ``metric`` grouped by the ``by`` fields."""
+    groups: Dict[Tuple[Any, ...], List[float]] = defaultdict(list)
+    for record in records:
+        value = record.get(metric)
+        if value is None:
+            continue
+        groups[tuple(record.get(field) for field in by)].append(float(value))
+    return {key: summary_stats(values) for key, values in sorted(groups.items())}
+
+
+def work_curves(
+    records: Sequence[Dict[str, Any]],
+    metric: str = "node_steps",
+) -> Dict[Tuple[str, str], Dict[str, Any]]:
+    """Mean work vs size per (family, algorithm), with quadratic fits.
+
+    Returns ``{(family, algorithm): {"points": [(size, mean), ...],
+    "fit": [a, b, c] | None, "r2": float | None}}``.  The fit is only
+    attempted when at least :data:`MIN_FIT_POINTS` distinct sizes are present.
+    """
+    by_size: Dict[Tuple[str, str], Dict[int, List[float]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    for record in records:
+        value = record.get(metric)
+        if value is None:
+            continue
+        key = (record.get("family"), record.get("algorithm"))
+        by_size[key][int(record.get("size"))].append(float(value))
+
+    curves: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for key, size_map in sorted(by_size.items()):
+        points = [
+            (size, sum(values) / len(values)) for size, values in sorted(size_map.items())
+        ]
+        fit: Optional[List[float]] = None
+        r2: Optional[float] = None
+        if len(points) >= MIN_FIT_POINTS:
+            xs = [float(size) for size, _ in points]
+            ys = [value for _, value in points]
+            try:
+                fit, r2 = quadratic_fit_r2(xs, ys)
+            except ValueError:
+                fit, r2 = None, None  # degenerate sweep (e.g. constant sizes)
+        curves[key] = {"points": points, "fit": fit, "r2": r2}
+    return curves
+
+
+def pr_vs_fr_ordering(
+    records: Sequence[Dict[str, Any]],
+    family: str = "chain",
+    pr_algorithm: str = "pr",
+    fr_algorithm: str = "fr",
+    metric: str = "node_steps",
+) -> Dict[str, Any]:
+    """Check the worst-case PR-vs-FR work ordering from stored results.
+
+    On the all-bad chain family, Full Reversal performs Θ(n²) total work
+    while Partial Reversal stays linear (the Busch–Tirthapura bounds quoted
+    in Section 1 of the paper).  This verifies the measured consequence:
+    at every swept size FR's mean work is at least PR's, and at the largest
+    size it is strictly larger (once sizes are past the trivial ones), with
+    a growing FR/PR ratio.
+    """
+    curves = work_curves(
+        [r for r in records if r.get("family") == family], metric=metric
+    )
+    pr_curve = {s: w for s, w in curves.get((family, pr_algorithm), {}).get("points", [])}
+    fr_curve = {s: w for s, w in curves.get((family, fr_algorithm), {}).get("points", [])}
+    shared_sizes = sorted(set(pr_curve) & set(fr_curve))
+
+    comparison = [
+        {
+            "size": size,
+            "pr": pr_curve[size],
+            "fr": fr_curve[size],
+            "ratio": (fr_curve[size] / pr_curve[size]) if pr_curve[size] else None,
+        }
+        for size in shared_sizes
+    ]
+    holds = bool(shared_sizes) and all(
+        row["fr"] >= row["pr"] for row in comparison
+    )
+    if holds and len(shared_sizes) >= 2 and shared_sizes[-1] >= 4:
+        holds = comparison[-1]["fr"] > comparison[-1]["pr"]
+    return {
+        "family": family,
+        "pr_algorithm": pr_algorithm,
+        "fr_algorithm": fr_algorithm,
+        "metric": metric,
+        "sizes": shared_sizes,
+        "comparison": comparison,
+        "ordering_holds": holds,
+        "fr_fit": curves.get((family, fr_algorithm), {}).get("fit"),
+        "fr_r2": curves.get((family, fr_algorithm), {}).get("r2"),
+    }
+
+
+def invariant_outcomes(records: Sequence[Dict[str, Any]]) -> Dict[str, int]:
+    """Counts of the per-run invariant checks across all given records."""
+    outcome = {
+        "runs": len(records),
+        "converged": 0,
+        "destination_oriented": 0,
+        "acyclic_final": 0,
+        "violations": 0,
+    }
+    for record in records:
+        outcome["converged"] += bool(record.get("converged"))
+        outcome["destination_oriented"] += bool(record.get("destination_oriented"))
+        outcome["acyclic_final"] += bool(record.get("acyclic_final"))
+        if record.get("status") == "ok" and not record.get("acyclic_final"):
+            outcome["violations"] += 1
+    return outcome
+
+
+def status_counts(store: ResultStore) -> Dict[str, int]:
+    """How many stored runs ended in each status (SQL aggregate, no scan)."""
+    return store.status_counts()
+
+
+def build_report(
+    store: ResultStore,
+    by: Sequence[str] = ("family", "algorithm"),
+    metric: str = "node_steps",
+) -> Dict[str, Any]:
+    """The full aggregation bundle behind ``repro report``."""
+    records = ok_records(store)
+    summaries = group_summary(records, by=by, metric=metric)
+    curves = work_curves(records, metric=metric)
+    return {
+        "store": str(store.root),
+        "campaign": store.load_campaign(),
+        "status_counts": status_counts(store),
+        "invariants": invariant_outcomes(records),
+        "group_by": list(by),
+        "metric": metric,
+        "groups": {
+            "/".join(str(part) for part in key): stats
+            for key, stats in summaries.items()
+        },
+        "curves": {
+            f"{family}/{algorithm}": curve
+            for (family, algorithm), curve in curves.items()
+        },
+        "pr_vs_fr": pr_vs_fr_ordering(records),
+    }

@@ -1,0 +1,255 @@
+"""Sharded campaign executor: chunked dispatch over a process pool.
+
+The executor expands a :class:`~repro.experiments.spec.CampaignSpec` into its
+run list, drops every run already present in the
+:class:`~repro.experiments.store.ResultStore` (campaign **resume**), splits
+the remainder into chunks of plain spec dicts and dispatches the chunks
+across a ``multiprocessing`` worker pool.  Workers rebuild all heavyweight
+objects (instances, automata, schedulers) locally from the dicts, so nothing
+but plain data is ever pickled.
+
+Failure containment is layered:
+
+* a bad *run* (exception, timeout) is caught inside the worker and comes back
+  as a record with ``status`` ``"error"`` / ``"timeout"``;
+* a dead *worker process* (segfault, OOM-kill) breaks the pool; the
+  surviving chunks are retried in quarantine (one single-use pool each) and
+  only the chunk that kills its private pool is written out as
+  ``status="crashed"`` records, so the campaign still completes;
+* an interrupted *campaign* (Ctrl-C, machine loss) is resumable: records are
+  appended to the store as each chunk completes, so a re-run skips everything
+  already recorded.
+
+``workers <= 1`` bypasses multiprocessing entirely and executes inline —
+deterministic, easy to debug, and what the tests mostly use.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.runner import run_scenarios
+from repro.experiments.spec import CRASH_SENTINEL, CampaignSpec
+from repro.experiments.store import ResultStore
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    total: int
+    skipped: int
+    executed: int
+    ok: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    crashed: int = 0
+    workers: int = 1
+    wall_time_s: float = 0.0
+    shard: Optional[str] = None
+
+    @property
+    def runs_per_second(self) -> float:
+        """Executed-run throughput of this invocation."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.executed / self.wall_time_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (printed by ``repro sweep --json``)."""
+        return {
+            "total": self.total,
+            "skipped": self.skipped,
+            "executed": self.executed,
+            "ok": self.ok,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "crashed": self.crashed,
+            "workers": self.workers,
+            "wall_time_s": round(self.wall_time_s, 4),
+            "runs_per_second": round(self.runs_per_second, 2),
+            "shard": self.shard,
+        }
+
+
+def _execute_chunk(chunk: List[Dict[str, Any]], timeout_s: Optional[float]) -> List[Dict[str, Any]]:
+    """Worker entry point: run one chunk of scenario dicts."""
+    for spec in chunk:
+        if spec.get("algorithm") == CRASH_SENTINEL:
+            os._exit(43)
+    return run_scenarios(chunk, timeout_s=timeout_s)
+
+
+def _crashed_records(chunk: Sequence[Dict[str, Any]], detail: str) -> List[Dict[str, Any]]:
+    """Placeholder records for runs whose worker died before reporting."""
+    records = []
+    for spec in chunk:
+        record = dict(spec)
+        record.update(
+            status="crashed", error=detail,
+            node_steps=0, edge_reversals=0, dummy_steps=0, rounds=0, steps_taken=0,
+            converged=False, destination_oriented=False, acyclic_final=False,
+            failures_applied=0, partition_skips=0, reorientations=0,
+            wall_time_s=0.0, nodes=None, edges=None, bad_nodes=None,
+        )
+        records.append(record)
+    return records
+
+
+def _chunked(items: List[Dict[str, Any]], chunk_size: int) -> List[List[Dict[str, Any]]]:
+    return [items[i:i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+
+def _default_chunk_size(pending: int, workers: int) -> int:
+    # aim for ~8 chunks per worker so stragglers balance, but keep chunks
+    # big enough that per-chunk dispatch overhead stays negligible
+    if pending <= 0:
+        return 1
+    return max(1, min(64, -(-pending // (max(1, workers) * 8))))
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    store: ResultStore,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    resume: bool = True,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> CampaignReport:
+    """Execute (the missing part of) a campaign and persist every record.
+
+    Parameters
+    ----------
+    campaign:
+        The cross-product spec to sweep.
+    store:
+        Result store; already-stored runs are skipped when ``resume`` is set.
+    workers:
+        Pool size; ``<= 1`` executes inline without multiprocessing.
+    chunk_size:
+        Runs per dispatched chunk (default: balanced from the pending count).
+    timeout_s:
+        Cooperative per-run wall-clock budget; over-budget runs are recorded
+        with ``status="timeout"``.
+    progress:
+        Optional ``callback(done, pending_total)`` invoked after every chunk.
+    """
+    start = time.perf_counter()
+    specs = [spec.to_dict() for spec in campaign.expand()]
+    store.record_campaign(campaign.to_dict())
+
+    existing = store.existing_run_ids() if resume else set()
+    pending = [spec for spec in specs if spec["run_id"] not in existing]
+    report = CampaignReport(
+        total=len(specs),
+        skipped=len(specs) - len(pending),
+        executed=len(pending),
+        workers=max(1, workers),
+    )
+    if not pending:
+        report.wall_time_s = time.perf_counter() - start
+        return report
+
+    shard = store.new_shard()
+    report.shard = str(shard)
+    if chunk_size is None:
+        chunk_size = _default_chunk_size(len(pending), workers)
+    chunks = _chunked(pending, chunk_size)
+
+    done = 0
+
+    def _absorb(records: List[Dict[str, Any]]) -> None:
+        nonlocal done
+        store.append(records, shard)
+        done += len(records)
+        for record in records:
+            status = record.get("status")
+            if status == "ok":
+                report.ok += 1
+            elif status == "timeout":
+                report.timeouts += 1
+            elif status == "crashed":
+                report.crashed += 1
+            else:
+                report.errors += 1
+        if progress is not None:
+            progress(done, len(pending))
+
+    if workers <= 1:
+        for chunk in chunks:
+            _absorb(run_scenarios(chunk, timeout_s=timeout_s))
+    else:
+        _run_pooled(chunks, workers, timeout_s, _absorb)
+
+    report.wall_time_s = time.perf_counter() - start
+    return report
+
+
+def _run_pooled(
+    chunks: List[List[Dict[str, Any]]],
+    workers: int,
+    timeout_s: Optional[float],
+    absorb: Callable[[List[Dict[str, Any]]], None],
+) -> None:
+    """Dispatch chunks over a process pool, surviving worker crashes.
+
+    Fast path: one shared pool for every chunk.  When a worker process dies
+    the pool is broken and *every* pending future fails, which says nothing
+    about which chunk was at fault — so the surviving chunks fall back to
+    quarantine mode: each runs in its own single-use pool, and only a chunk
+    that kills its private pool is recorded as crashed.
+    """
+    context = _pool_context()
+    remaining = {index: chunk for index, chunk in enumerate(chunks)}
+
+    pool_broke = False
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        futures = {
+            pool.submit(_execute_chunk, chunk, timeout_s): index
+            for index, chunk in remaining.items()
+        }
+        not_done = set(futures)
+        while not_done:
+            finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            for future in finished:
+                index = futures[future]
+                try:
+                    records = future.result()
+                except BrokenProcessPool:
+                    pool_broke = True
+                    continue  # stays in `remaining` for quarantine
+                except Exception as exc:  # noqa: BLE001 — keep the campaign alive
+                    absorb(_crashed_records(
+                        remaining.pop(index), f"{type(exc).__name__}: {exc}"
+                    ))
+                    continue
+                absorb(records)
+                remaining.pop(index)
+            if pool_broke:
+                break
+
+    if remaining and not pool_broke:
+        raise RuntimeError("process pool stopped with chunks unfinished")
+
+    # quarantine: isolate each surviving chunk in a throwaway pool
+    for index in sorted(remaining):
+        chunk = remaining[index]
+        try:
+            with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+                records = pool.submit(_execute_chunk, chunk, timeout_s).result()
+        except Exception as exc:  # noqa: BLE001 — BrokenProcessPool included
+            absorb(_crashed_records(chunk, f"worker process died: {type(exc).__name__}: {exc}"))
+            continue
+        absorb(records)

@@ -1,0 +1,277 @@
+"""Worker-side execution of one scenario.
+
+:func:`execute_scenario` is the function the sharded executor ships to its
+worker pool.  It takes a :class:`~repro.experiments.spec.ScenarioSpec` (or its
+plain-dict form — the only thing that actually crosses the process boundary),
+rebuilds the instance / automaton / scheduler locally, runs to quiescence and
+returns a flat, JSON-compatible result record.
+
+Three execution modes, selected by ``spec.failure_model``:
+
+``none``
+    Run the algorithm from the initial orientation to quiescence.
+``link-failures``
+    Converge first, then inject ``failure_count`` random link failures one at
+    a time; after each, the algorithm repairs from the surviving orientation
+    (the abstraction level of :func:`repro.routing.maintenance.repair_with_automaton`).
+    Failures that would partition the network are skipped and counted.
+``mobility``
+    (geometric family only) Converge, then advance a random-waypoint mobility
+    model ``failure_count`` steps; after each step with link churn the
+    instance is rebuilt — surviving links keep their orientation, new links
+    are oriented towards the destination-closer endpoint — and the algorithm
+    re-converges.  If carrying the orientation over would create a cycle the
+    run falls back to a fresh distance-oriented DAG (counted as a
+    reorientation).
+
+Work counters accumulate across the convergence and every repair phase, so
+``node_steps`` is the total work of the whole scenario.  A cooperative
+per-run timeout is enforced by an observer that checks the wall clock at
+every automaton step and aborts the run with status ``"timeout"``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
+
+from repro.analysis.work import WorkObserver
+from repro.automata.executions import run
+from repro.core.graph import LinkReversalInstance
+from repro.experiments.spec import ALGORITHM_FACTORIES, ScenarioSpec, derive_seed
+from repro.schedulers import make_scheduler
+from repro.topology.generators import build_family
+from repro.verification.acyclicity import is_acyclic
+
+Node = Hashable
+
+
+class ScenarioTimeout(Exception):
+    """Raised by the deadline observer when a run exceeds its time budget."""
+
+
+class _DeadlineObserver:
+    """Aborts a run when the wall clock passes ``deadline`` (cooperative)."""
+
+    def __init__(self, deadline: Optional[float]):
+        self.deadline = deadline
+
+    def __call__(self, step_index, pre_state, action, post_state) -> None:
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            raise ScenarioTimeout(f"deadline exceeded at step {step_index}")
+
+
+class _RoundObserver:
+    """Counts greedy-style rounds: a round ends when an actor steps again.
+
+    This gives a scheduler-independent notion of "rounds" — the minimum number
+    of synchronous phases the observed step sequence could be folded into,
+    counting a new phase whenever a node takes its second step since the
+    phase began.
+    """
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        self._seen: set = set()
+
+    def __call__(self, step_index, pre_state, action, post_state) -> None:
+        actors = action.actors()
+        if self.rounds == 0:
+            self.rounds = 1
+        if any(a in self._seen for a in actors):
+            self.rounds += 1
+            self._seen = set(actors)
+        else:
+            self._seen.update(actors)
+
+
+def _surviving_instance(
+    instance: LinkReversalInstance, orientation, dropped_link: Tuple[Node, Node]
+) -> LinkReversalInstance:
+    """The instance left after removing one undirected link, keeping orientations."""
+    dropped = frozenset(dropped_link)
+    surviving = tuple(
+        (tail, head)
+        for tail, head in orientation.directed_edges()
+        if frozenset((tail, head)) != dropped
+    )
+    return LinkReversalInstance(instance.nodes, instance.destination, surviving)
+
+
+def _converge(automaton_factory, instance, scheduler, observers, max_steps):
+    """Run one convergence phase and return its ExecutionResult."""
+    automaton = automaton_factory(instance)
+    return run(
+        automaton, scheduler, max_steps=max_steps, observers=observers, record_states=False
+    )
+
+
+def execute_scenario(
+    spec: Union[ScenarioSpec, Dict[str, Any]],
+    timeout_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Execute one scenario and return its flat result record.
+
+    Never raises for per-run problems: failures are reported through the
+    record's ``status`` field (``ok`` / ``timeout`` / ``error``) so one bad
+    run cannot take down a whole campaign shard.
+    """
+    if isinstance(spec, dict):
+        spec = ScenarioSpec.from_dict(spec)
+
+    record: Dict[str, Any] = spec.to_dict()
+    record.update(
+        status="ok", error=None,
+        nodes=None, edges=None, bad_nodes=None,
+        node_steps=0, edge_reversals=0, dummy_steps=0, rounds=0, steps_taken=0,
+        converged=False, destination_oriented=False, acyclic_final=False,
+        failures_applied=0, partition_skips=0, reorientations=0,
+        wall_time_s=0.0,
+    )
+
+    start = time.perf_counter()
+    deadline = None if timeout_s is None else start + timeout_s
+    work = WorkObserver()
+    rounds = _RoundObserver()
+    observers = (work, rounds, _DeadlineObserver(deadline))
+
+    try:
+        spec.validate()
+        instance = build_family(spec.family, spec.size, spec.topology_seed)
+        record.update(
+            nodes=instance.node_count,
+            edges=instance.edge_count,
+            bad_nodes=len(instance.bad_nodes()),
+        )
+        automaton_factory = ALGORITHM_FACTORIES[spec.algorithm]
+        scheduler = make_scheduler(spec.scheduler, spec.scheduler_seed)
+
+        result = _converge(automaton_factory, instance, scheduler, observers, spec.max_steps)
+        record["steps_taken"] += result.steps_taken
+        final_state = result.final_state
+        converged = result.converged
+
+        if spec.failure_model == "link-failures" and spec.failure_count > 0:
+            instance, final_state, converged = _run_link_failures(
+                spec, instance, final_state, converged, automaton_factory, observers, record
+            )
+        elif spec.failure_model == "mobility" and spec.failure_count > 0:
+            instance, final_state, converged = _run_mobility(
+                spec, automaton_factory, observers, record, final_state, converged
+            )
+
+        record.update(
+            converged=converged,
+            destination_oriented=bool(final_state.is_destination_oriented()),
+            acyclic_final=bool(is_acyclic(final_state)),
+        )
+    except ScenarioTimeout as exc:
+        record.update(status="timeout", error=str(exc))
+    except Exception as exc:  # noqa: BLE001 — crash isolation is the contract
+        record.update(status="error", error=f"{type(exc).__name__}: {exc}")
+
+    record.update(
+        node_steps=work.node_steps,
+        edge_reversals=work.edge_reversals,
+        dummy_steps=work.dummy_steps,
+        rounds=rounds.rounds,
+        wall_time_s=round(time.perf_counter() - start, 6),
+    )
+    return record
+
+
+def _run_link_failures(spec, instance, final_state, converged, automaton_factory, observers, record):
+    """Inject random link failures and repair after each; returns the end state.
+
+    ``converged`` stays ``True`` only if the initial convergence *and* every
+    repair phase reached quiescence (a truncated phase must not be recorded
+    as converged).
+    """
+    rng = random.Random(derive_seed(spec.scheduler_seed, "failures"))
+    orientation = _orientation_of(final_state)
+    for index in range(spec.failure_count):
+        candidates = sorted(instance.initial_edges)
+        if not candidates:
+            break
+        dropped = candidates[rng.randrange(len(candidates))]
+        candidate = _surviving_instance(instance, orientation, dropped)
+        if not candidate.is_connected():
+            record["partition_skips"] += 1
+            continue
+        scheduler = make_scheduler(
+            spec.scheduler, derive_seed(spec.scheduler_seed, "repair", index)
+        )
+        result = _converge(automaton_factory, candidate, scheduler, observers, spec.max_steps)
+        record["failures_applied"] += 1
+        record["steps_taken"] += result.steps_taken
+        instance = candidate
+        final_state = result.final_state
+        orientation = _orientation_of(final_state)
+        converged = converged and result.converged
+    return instance, final_state, converged
+
+
+def _run_mobility(spec, automaton_factory, observers, record, final_state, converged):
+    """Advance random-waypoint mobility, re-converging after each churn step.
+
+    As in :func:`_run_link_failures`, ``converged`` is the conjunction over
+    the initial convergence and every churn phase.
+    """
+    from repro.topology.manet import random_geometric_instance
+    from repro.topology.mobility import RandomWaypointMobility
+
+    instance, network = random_geometric_instance(
+        spec.size, radius=0.4, seed=spec.topology_seed
+    )
+    mobility = RandomWaypointMobility(
+        network, seed=derive_seed(spec.topology_seed, "mobility")
+    )
+    orientation = _orientation_of(final_state)
+    for index in range(spec.failure_count):
+        change = mobility.step()
+        if change.is_empty:
+            continue
+        fresh = mobility.network.to_instance()
+        if not fresh.is_connected():
+            record["partition_skips"] += 1
+            continue
+        # carry surviving orientations over; new links take the fresh
+        # (distance-towards-destination) direction
+        surviving = {
+            frozenset(edge): edge
+            for edge in orientation.directed_edges()
+            if frozenset(edge) in fresh.undirected_edges
+        }
+        edges = tuple(
+            surviving.get(frozenset(edge), edge) for edge in fresh.initial_edges
+        )
+        candidate = LinkReversalInstance(fresh.nodes, fresh.destination, edges)
+        if not candidate.is_initially_acyclic():
+            candidate = fresh
+            record["reorientations"] += 1
+        scheduler = make_scheduler(
+            spec.scheduler, derive_seed(spec.scheduler_seed, "churn", index)
+        )
+        result = _converge(automaton_factory, candidate, scheduler, observers, spec.max_steps)
+        record["failures_applied"] += 1
+        record["steps_taken"] += result.steps_taken
+        final_state = result.final_state
+        orientation = _orientation_of(final_state)
+        converged = converged and result.converged
+    return instance, final_state, converged
+
+
+def _orientation_of(state):
+    """The orientation of any link-reversal state (height states derive one)."""
+    orientation = getattr(state, "orientation", None)
+    if orientation is None:
+        orientation = state.to_orientation()
+    return orientation
+
+
+def run_scenarios(
+    specs: List[Dict[str, Any]], timeout_s: Optional[float] = None
+) -> List[Dict[str, Any]]:
+    """Execute a chunk of scenario dicts sequentially (the worker entry point)."""
+    return [execute_scenario(spec, timeout_s=timeout_s) for spec in specs]

@@ -1,0 +1,247 @@
+"""Declarative scenario and campaign specifications.
+
+A :class:`ScenarioSpec` pins down *one* run completely: which topology family
+at which size built from which seed, which algorithm, which scheduler with
+which (independently derived) seed, and which failure/churn model is applied.
+Everything in a spec is plain data — strings and ints — so specs cross
+process boundaries untouched and workers can rebuild the full object graph
+locally (see :mod:`repro.experiments.runner`).
+
+A :class:`CampaignSpec` is the cross-product description of a whole
+experiment family: lists of families, algorithms, schedulers, sizes, seed
+replicates and failure models.  :meth:`CampaignSpec.expand` flattens it into
+a deterministic, seed-stamped run list, which is what the sharded executor
+partitions across workers and what the result store keys on.
+
+Seed derivation
+---------------
+
+Seeds are derived with a stable hash (:func:`derive_seed`), never with
+Python's randomised ``hash``.  Two properties matter:
+
+* the *topology* seed depends on ``(base_seed, family, size, replicate)``
+  only — every algorithm/scheduler combination of one replicate runs on the
+  **same** instance, so work comparisons are paired;
+* the *scheduler* seed additionally depends on the algorithm and scheduler
+  names — schedules are **not** correlated across algorithms, so a comparison
+  never hinges on one shared random schedule (the bug the CLI ``compare``
+  command used to have).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bll import BinaryLinkLabels
+from repro.core.full_reversal import FullReversal
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal
+from repro.schedulers import SCHEDULER_FACTORIES
+from repro.topology.generators import FAMILY_NAMES
+
+#: Name → automaton-class registry used by the campaigns and the CLI.
+ALGORITHM_FACTORIES = {
+    "pr": PartialReversal,
+    "onestep-pr": OneStepPartialReversal,
+    "new-pr": NewPartialReversal,
+    "fr": FullReversal,
+    "bll": BinaryLinkLabels,
+}
+
+#: Supported failure / churn models (see runner.execute_scenario).
+FAILURE_MODELS = ("none", "link-failures", "mobility")
+
+#: Fault-injection sentinel: a spec with this "algorithm" makes a pooled
+#: worker process hard-exit, exercising the executor's crash isolation.  It
+#: passes validation (so campaigns can inject it deliberately) but has no
+#: automaton, so an inline run records an error instead of killing the parent.
+CRASH_SENTINEL = "__crash__"
+
+
+def derive_seed(*components: Any) -> int:
+    """Derive a stable 63-bit seed from arbitrary (stringifiable) components.
+
+    Uses blake2b, not ``hash()``, so the derivation is identical across
+    processes and interpreter invocations.
+    """
+    text = "\x1f".join(str(c) for c in components)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") & 0x7FFFFFFFFFFFFFFF
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-determined run of one algorithm on one topology."""
+
+    family: str
+    size: int
+    algorithm: str
+    scheduler: str
+    topology_seed: int
+    scheduler_seed: int
+    replicate: int = 0
+    failure_model: str = "none"
+    failure_count: int = 0
+    max_steps: Optional[int] = None
+    campaign: str = "adhoc"
+
+    def validate(self) -> None:
+        """Check every axis against the registries; raise ``ValueError`` if off."""
+        if self.family not in FAMILY_NAMES:
+            raise ValueError(f"unknown family {self.family!r}")
+        if self.algorithm not in ALGORITHM_FACTORIES and self.algorithm != CRASH_SENTINEL:
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.scheduler not in SCHEDULER_FACTORIES:
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.failure_model not in FAILURE_MODELS:
+            raise ValueError(f"unknown failure model {self.failure_model!r}")
+        if self.failure_model == "mobility" and self.family != "geometric":
+            raise ValueError("the mobility model only applies to the geometric family")
+        if self.size < 2:
+            raise ValueError("size must be at least 2")
+        if self.failure_count < 0:
+            raise ValueError("failure_count must be non-negative")
+
+    @property
+    def run_id(self) -> str:
+        """Stable content hash identifying this run in the result store."""
+        identity = {
+            "family": self.family,
+            "size": self.size,
+            "algorithm": self.algorithm,
+            "scheduler": self.scheduler,
+            "topology_seed": self.topology_seed,
+            "scheduler_seed": self.scheduler_seed,
+            "replicate": self.replicate,
+            "failure_model": self.failure_model,
+            "failure_count": self.failure_count,
+            "max_steps": self.max_steps,
+        }
+        blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (what is sent to worker processes and stored)."""
+        data = asdict(self)
+        data["run_id"] = self.run_id
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (extra keys ignored)."""
+        fields = {
+            "family", "size", "algorithm", "scheduler", "topology_seed",
+            "scheduler_seed", "replicate", "failure_model", "failure_count",
+            "max_steps", "campaign",
+        }
+        return cls(**{k: v for k, v in data.items() if k in fields})
+
+
+@dataclass
+class CampaignSpec:
+    """Cross-product description of an experiment campaign."""
+
+    name: str = "campaign"
+    families: Sequence[str] = ("chain",)
+    algorithms: Sequence[str] = ("pr", "fr")
+    schedulers: Sequence[str] = ("greedy",)
+    sizes: Sequence[int] = (10,)
+    replicates: int = 1
+    base_seed: int = 0
+    failure_models: Sequence[Tuple[str, int]] = field(default_factory=lambda: [("none", 0)])
+    max_steps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.families = tuple(self.families)
+        self.algorithms = tuple(self.algorithms)
+        self.schedulers = tuple(self.schedulers)
+        self.sizes = tuple(int(s) for s in self.sizes)
+        self.failure_models = tuple((str(m), int(k)) for m, k in self.failure_models)
+
+    @property
+    def run_count(self) -> int:
+        """Size of the expanded run list (matches ``len(self.expand())``)."""
+        per_family = 0
+        for family in self.families:
+            applicable = sum(
+                1 for model, _ in self.failure_models
+                if model != "mobility" or family == "geometric"
+            )
+            per_family += applicable
+        return (
+            per_family * len(self.algorithms) * len(self.schedulers)
+            * len(self.sizes) * self.replicates
+        )
+
+    def expand(self) -> List[ScenarioSpec]:
+        """The deterministic, seed-stamped run list of this campaign.
+
+        Iteration order is the declared axis order (families outermost,
+        failure models innermost), so the list — and every ``run_id`` in it —
+        is reproducible from the spec alone.
+        """
+        runs: List[ScenarioSpec] = []
+        for family in self.families:
+            for size in self.sizes:
+                for replicate in range(self.replicates):
+                    topology_seed = derive_seed(
+                        self.base_seed, "topology", family, size, replicate
+                    )
+                    for algorithm in self.algorithms:
+                        for scheduler in self.schedulers:
+                            scheduler_seed = derive_seed(
+                                self.base_seed, "scheduler", family, size,
+                                replicate, algorithm, scheduler,
+                            )
+                            for failure_model, failure_count in self.failure_models:
+                                if failure_model == "mobility" and family != "geometric":
+                                    continue
+                                spec = ScenarioSpec(
+                                    family=family,
+                                    size=size,
+                                    algorithm=algorithm,
+                                    scheduler=scheduler,
+                                    topology_seed=topology_seed,
+                                    scheduler_seed=scheduler_seed,
+                                    replicate=replicate,
+                                    failure_model=failure_model,
+                                    failure_count=failure_count,
+                                    max_steps=self.max_steps,
+                                    campaign=self.name,
+                                )
+                                spec.validate()
+                                runs.append(spec)
+        return runs
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form, stored next to the results for provenance."""
+        return {
+            "name": self.name,
+            "families": list(self.families),
+            "algorithms": list(self.algorithms),
+            "schedulers": list(self.schedulers),
+            "sizes": list(self.sizes),
+            "replicates": self.replicates,
+            "base_seed": self.base_seed,
+            "failure_models": [list(fm) for fm in self.failure_models],
+            "max_steps": self.max_steps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        """Rebuild a campaign from :meth:`to_dict` output."""
+        return cls(
+            name=data.get("name", "campaign"),
+            families=data.get("families", ("chain",)),
+            algorithms=data.get("algorithms", ("pr", "fr")),
+            schedulers=data.get("schedulers", ("greedy",)),
+            sizes=data.get("sizes", (10,)),
+            replicates=data.get("replicates", 1),
+            base_seed=data.get("base_seed", 0),
+            failure_models=[tuple(fm) for fm in data.get("failure_models", [("none", 0)])],
+            max_steps=data.get("max_steps"),
+        )

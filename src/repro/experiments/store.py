@@ -1,0 +1,212 @@
+"""Persistent campaign result store: JSONL shards + a SQLite index.
+
+Layout of a store directory::
+
+    <root>/
+        campaign.json          # provenance: the last CampaignSpec swept here
+        shards/
+            shard-00001.jsonl  # one JSON record per line, append-only
+            shard-00002.jsonl
+        index.sqlite           # consolidated queryable index over all shards
+
+The JSONL shards are the source of truth: append-only, diffable, and safe to
+copy around or concatenate.  The SQLite index is derived — it exists so
+``repro report`` and campaign resume can answer "which runs exist / give me
+the chain-family rows" without re-parsing every shard, and it can always be
+rebuilt from the shards with :meth:`ResultStore.consolidate`.
+
+Only the executor's parent process writes; workers hand their records back
+over the pool, so there is no cross-process write contention.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Union
+
+#: Record fields mirrored into queryable SQLite columns (everything else is
+#: still available via the ``record`` JSON column).
+_COLUMNS = (
+    ("run_id", "TEXT PRIMARY KEY"),
+    ("campaign", "TEXT"),
+    ("family", "TEXT"),
+    ("algorithm", "TEXT"),
+    ("scheduler", "TEXT"),
+    ("size", "INTEGER"),
+    ("replicate", "INTEGER"),
+    ("failure_model", "TEXT"),
+    ("failure_count", "INTEGER"),
+    ("status", "TEXT"),
+    ("node_steps", "INTEGER"),
+    ("edge_reversals", "INTEGER"),
+    ("dummy_steps", "INTEGER"),
+    ("rounds", "INTEGER"),
+    ("converged", "INTEGER"),
+    ("destination_oriented", "INTEGER"),
+    ("acyclic_final", "INTEGER"),
+    ("wall_time_s", "REAL"),
+)
+
+_SCHEMA = (
+    "CREATE TABLE IF NOT EXISTS runs ("
+    + ", ".join(f"{name} {kind}" for name, kind in _COLUMNS)
+    + ", record TEXT NOT NULL)"
+)
+
+
+class ResultStore:
+    """A directory-backed, resumable store of campaign run records."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.shard_dir = self.root / "shards"
+        self.index_path = self.root / "index.sqlite"
+        self.campaign_path = self.root / "campaign.json"
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
+        self._connection: Optional[sqlite3.Connection] = None
+
+    # ------------------------------------------------------------------
+    # low-level plumbing
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        if self._connection is None:
+            self._connection = sqlite3.connect(self.index_path)
+            self._connection.execute(_SCHEMA)
+            self._connection.commit()
+        return self._connection
+
+    def close(self) -> None:
+        """Close the SQLite connection (the JSONL shards need no closing)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _shard_paths(self) -> List[Path]:
+        return sorted(self.shard_dir.glob("shard-*.jsonl"))
+
+    def new_shard(self) -> Path:
+        """Path of the next unused shard file (not created until written to)."""
+        existing = self._shard_paths()
+        next_number = 1
+        if existing:
+            next_number = int(existing[-1].stem.split("-")[1]) + 1
+        return self.shard_dir / f"shard-{next_number:05d}.jsonl"
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, records: Sequence[Dict[str, Any]], shard: Union[str, Path, None] = None) -> Path:
+        """Append records to a shard and index them; returns the shard path."""
+        shard_path = Path(shard) if shard is not None else self.new_shard()
+        with shard_path.open("a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._index(records)
+        return shard_path
+
+    def _index(self, records: Sequence[Dict[str, Any]]) -> None:
+        connection = self._connect()
+        names = [name for name, _ in _COLUMNS]
+        placeholders = ", ".join("?" for _ in range(len(names) + 1))
+        sql = f"INSERT OR REPLACE INTO runs ({', '.join(names)}, record) VALUES ({placeholders})"
+        rows = []
+        for record in records:
+            values = [record.get(name) for name in names]
+            for i, (name, kind) in enumerate(_COLUMNS):
+                if kind == "INTEGER" and isinstance(values[i], bool):
+                    values[i] = int(values[i])
+            rows.append((*values, json.dumps(record, sort_keys=True)))
+        connection.executemany(sql, rows)
+        connection.commit()
+
+    def record_campaign(self, campaign_dict: Dict[str, Any]) -> None:
+        """Persist the campaign spec next to its results for provenance."""
+        self.campaign_path.write_text(
+            json.dumps(campaign_dict, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def load_campaign(self) -> Optional[Dict[str, Any]]:
+        """The recorded campaign spec, if any."""
+        if not self.campaign_path.exists():
+            return None
+        return json.loads(self.campaign_path.read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------
+    # consolidation / resume
+    # ------------------------------------------------------------------
+    def iter_shard_records(self) -> Iterator[Dict[str, Any]]:
+        """Every record in every JSONL shard, in shard order."""
+        for path in self._shard_paths():
+            with path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line)
+
+    def consolidate(self) -> int:
+        """Rebuild the SQLite index from the JSONL shards; returns row count.
+
+        The shards are authoritative, so this is safe to call any time — e.g.
+        after concatenating shards from another machine, or when the index
+        file was deleted or is suspected stale.
+        """
+        self.close()
+        if self.index_path.exists():
+            self.index_path.unlink()
+        records = list(self.iter_shard_records())
+        if records:
+            self._index(records)
+        else:
+            self._connect()
+        return self.count()
+
+    def existing_run_ids(self) -> Set[str]:
+        """The run ids already stored (what campaign resume skips)."""
+        if not self.index_path.exists() and self._shard_paths():
+            self.consolidate()
+        connection = self._connect()
+        return {row[0] for row in connection.execute("SELECT run_id FROM runs")}
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Number of stored runs."""
+        connection = self._connect()
+        return connection.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    def status_counts(self) -> Dict[str, int]:
+        """Stored runs per status, aggregated in SQLite (no record parsing)."""
+        connection = self._connect()
+        return dict(
+            connection.execute("SELECT status, COUNT(*) FROM runs GROUP BY status")
+        )
+
+    def records(self, **filters: Any) -> List[Dict[str, Any]]:
+        """Full records matching equality filters on the indexed columns.
+
+        Example: ``store.records(family="chain", status="ok")``.
+        """
+        names = {name for name, _ in _COLUMNS}
+        unknown = set(filters) - names
+        if unknown:
+            raise ValueError(f"cannot filter on non-indexed fields: {sorted(unknown)}")
+        sql = "SELECT record FROM runs"
+        values: List[Any] = []
+        if filters:
+            clauses = []
+            for name, value in sorted(filters.items()):
+                clauses.append(f"{name} = ?")
+                values.append(int(value) if isinstance(value, bool) else value)
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY run_id"
+        connection = self._connect()
+        return [json.loads(row[0]) for row in connection.execute(sql, values)]

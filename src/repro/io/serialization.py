@@ -10,10 +10,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, List
 
-from repro.automata.executions import Execution
+from repro.automata.executions import Execution, replay
 from repro.core.graph import LinkReversalInstance
 
 Node = Hashable
+
+
+class SerializationError(ValueError):
+    """Raised when serialised data cannot be rebuilt into a live object."""
 
 
 def instance_to_dict(instance: LinkReversalInstance) -> Dict[str, Any]:
@@ -51,3 +55,70 @@ def execution_to_dict(execution: Execution) -> Dict[str, Any]:
         "final_edges": [list(edge) for edge in execution.final_state.directed_edges()],
         "length": execution.length,
     }
+
+
+def _automaton_classes() -> Dict[str, Any]:
+    """Automaton-name → class registry (lazy to avoid import cycles)."""
+    from repro.core.bll import BinaryLinkLabels
+    from repro.core.full_reversal import FullReversal
+    from repro.core.new_pr import NewPartialReversal
+    from repro.core.one_step_pr import OneStepPartialReversal
+    from repro.core.pr import PartialReversal
+
+    return {
+        "PR": PartialReversal,
+        "OneStepPR": OneStepPartialReversal,
+        "NewPR": NewPartialReversal,
+        "FR": FullReversal,
+        "BLL": BinaryLinkLabels,
+    }
+
+
+def execution_from_dict(data: Dict[str, Any]) -> Execution:
+    """Rebuild an execution previously produced by :func:`execution_to_dict`.
+
+    The inverse is replay-based: the instance and automaton are
+    reconstructed, the serialised action trace is re-applied step by step
+    (validating every precondition), and the resulting final orientation is
+    checked against the serialised ``final_edges``.  A mismatch — a tampered
+    trace, or data produced by an incompatible algorithm version — raises
+    :class:`SerializationError` rather than returning a silently wrong
+    execution.
+    """
+    from repro.core.base import Reverse
+    from repro.core.pr import ReverseSet
+
+    classes = _automaton_classes()
+    name = data.get("automaton")
+    if name not in classes:
+        raise SerializationError(
+            f"unknown automaton {name!r}; known: {', '.join(sorted(classes))}"
+        )
+    instance = instance_from_dict(data["instance"])
+    automaton = classes[name](instance)
+
+    actions = []
+    for entry in data["actions"]:
+        actors = entry["actors"]
+        if not actors:
+            raise SerializationError("serialised action with no actors")
+        if name == "PR":
+            # PR's actions are set-valued reverse(S); the JSON list order is
+            # irrelevant because the action stores a frozenset
+            actions.append(ReverseSet(frozenset(actors)))
+        else:
+            if len(actors) != 1:
+                raise SerializationError(
+                    f"automaton {name} takes single-node actions, got {actors!r}"
+                )
+            actions.append(Reverse(actors[0]))
+
+    execution = replay(automaton, actions)
+
+    expected = {tuple(edge) for edge in data["final_edges"]}
+    replayed = {tuple(edge) for edge in execution.final_state.directed_edges()}
+    if replayed != expected:
+        raise SerializationError(
+            "replayed final orientation does not match the serialised final_edges"
+        )
+    return execution

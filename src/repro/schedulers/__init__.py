@@ -28,11 +28,37 @@ Available schedulers
     checker and by regression tests).
 """
 
+from typing import Optional
+
 from repro.schedulers.base import Scheduler, TraceScheduler, RoundRobinScheduler
 from repro.schedulers.greedy import GreedyScheduler
 from repro.schedulers.sequential import SequentialScheduler
 from repro.schedulers.random_scheduler import RandomScheduler
 from repro.schedulers.adversarial import AdversarialScheduler, LazyScheduler
+
+#: Name → factory registry shared by the CLI and the experiment campaigns.
+#: Every factory takes a seed (ignored by the deterministic schedulers) so
+#: sweeps can construct any scheduler uniformly.
+SCHEDULER_FACTORIES = {
+    "greedy": lambda seed: GreedyScheduler(seed=seed),
+    "sequential": lambda seed: SequentialScheduler(seed=seed),
+    "random": lambda seed: RandomScheduler(seed=seed),
+    "adversarial": lambda seed: AdversarialScheduler(seed=seed),
+    "lazy": lambda seed: LazyScheduler(seed=seed),
+    "round-robin": lambda seed: RoundRobinScheduler(),
+}
+
+
+def make_scheduler(name: str, seed: Optional[int] = None) -> Scheduler:
+    """Build the named scheduler with the given seed."""
+    try:
+        factory = SCHEDULER_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; known: {', '.join(sorted(SCHEDULER_FACTORIES))}"
+        ) from None
+    return factory(seed)
+
 
 __all__ = [
     "AdversarialScheduler",
@@ -40,7 +66,9 @@ __all__ = [
     "LazyScheduler",
     "RandomScheduler",
     "RoundRobinScheduler",
+    "SCHEDULER_FACTORIES",
     "Scheduler",
     "SequentialScheduler",
     "TraceScheduler",
+    "make_scheduler",
 ]

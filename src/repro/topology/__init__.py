@@ -15,6 +15,8 @@ families the benchmarks sweep over:
 """
 
 from repro.topology.generators import (
+    FAMILY_NAMES,
+    build_family,
     chain_instance,
     grid_instance,
     layered_instance,
@@ -27,7 +29,9 @@ from repro.topology.manet import GeometricNetwork, random_geometric_instance
 from repro.topology.mobility import RandomWaypointMobility, TopologyChange
 
 __all__ = [
+    "FAMILY_NAMES",
     "GeometricNetwork",
+    "build_family",
     "RandomWaypointMobility",
     "TopologyChange",
     "chain_instance",

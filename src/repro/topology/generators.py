@@ -26,6 +26,50 @@ from repro.core.graph import LinkReversalInstance
 
 Node = Hashable
 
+#: The named topology families swept by the CLI and the experiment campaigns.
+FAMILY_NAMES = (
+    "chain",
+    "oriented-chain",
+    "star",
+    "tree",
+    "grid",
+    "layered",
+    "random-dag",
+    "geometric",
+)
+
+
+def build_family(name: str, size: int, seed: int) -> LinkReversalInstance:
+    """Build one of the named topology families at the requested size.
+
+    This is the single entry point behind both the CLI's ``--topology`` flag
+    and the experiment campaigns' ``family`` axis, so every layer agrees on
+    what e.g. ``"chain"`` at ``size=20`` means.  Deterministic: the same
+    ``(name, size, seed)`` triple always yields an identical instance.
+    """
+    if name == "chain":
+        return worst_case_chain_instance(max(1, size - 1))
+    if name == "oriented-chain":
+        return chain_instance(size, towards_destination=True)
+    if name == "star":
+        return star_instance(max(1, size - 1), destination_is_center=True)
+    if name == "tree":
+        return tree_instance(size, seed=seed)
+    if name == "grid":
+        side = max(2, int(round(size ** 0.5)))
+        return grid_instance(side, side, oriented_towards_destination=False)
+    if name == "layered":
+        width = max(1, size // 4)
+        return layered_instance(4, width, seed=seed)
+    if name == "random-dag":
+        return random_dag_instance(size, edge_probability=min(0.5, 6.0 / size), seed=seed)
+    if name == "geometric":
+        from repro.topology.manet import random_geometric_instance
+
+        instance, _ = random_geometric_instance(size, radius=0.4, seed=seed)
+        return instance
+    raise ValueError(f"unknown topology {name!r}")
+
 
 def chain_instance(
     num_nodes: int,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -116,3 +117,107 @@ class TestCommands:
         main(["--seed", "7", "run", "--topology", "random-dag", "--nodes", "15"])
         second = capsys.readouterr().out
         assert first == second
+
+    def test_run_json_output(self, capsys):
+        exit_code = main(["run", "--topology", "grid", "--nodes", "9", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["algorithm"] == "PR"
+        assert payload["destination_oriented"] is True
+        assert payload["nodes"] == 9
+
+    def test_compare_json_output(self, capsys):
+        exit_code = main(["compare", "--topology", "chain", "--nodes", "8", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert set(payload["results"]) == set(ALGORITHMS)
+        # the worst-case chain: FR does strictly more work than (one-step) PR
+        assert payload["results"]["fr"]["node_steps"] > payload["results"]["pr"]["node_steps"]
+
+    def test_compare_seeds_are_independent_per_algorithm(self, capsys):
+        # under the seeded random scheduler every algorithm must get its own
+        # derived seed; with a shared seed the schedules would be correlated.
+        # The observable contract is determinism + per-algorithm derivation,
+        # which we check through the derive_seed values being distinct.
+        from repro.experiments.spec import derive_seed
+
+        seeds = {name: derive_seed(7, "compare", name) for name in ALGORITHMS}
+        assert len(set(seeds.values())) == len(seeds)
+        # and the command itself is reproducible under the random scheduler
+        main(["--seed", "7", "compare", "--topology", "random-dag", "--nodes", "12",
+              "--scheduler", "random", "--json"])
+        first = capsys.readouterr().out
+        main(["--seed", "7", "compare", "--topology", "random-dag", "--nodes", "12",
+              "--scheduler", "random", "--json"])
+        assert first == capsys.readouterr().out
+
+
+class TestSweepAndReport:
+    def _sweep(self, store, extra=()):
+        return main([
+            "sweep", "--families", "chain,random-dag", "--algorithms", "pr,fr",
+            "--sizes", "4,6,8,10", "--replicates", "1", "--store", str(store),
+            "--quiet", *extra,
+        ])
+
+    def test_sweep_then_report(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert self._sweep(store, ["--json"]) == 0
+        sweep_payload = json.loads(capsys.readouterr().out)
+        assert sweep_payload["executed"] == 16
+        assert sweep_payload["ok"] == 16
+
+        assert main(["report", "--store", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert "ordering holds: True" in output
+        assert "chain/fr" in output
+
+    def test_sweep_resume_skips(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        self._sweep(store)
+        capsys.readouterr()
+        assert self._sweep(store, ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["skipped"] == 16
+        assert payload["executed"] == 0
+
+    def test_sweep_with_workers(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert self._sweep(store, ["--workers", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] == 16
+        assert payload["workers"] == 2
+
+    def test_report_json(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        self._sweep(store)
+        capsys.readouterr()
+        assert main(["report", "--store", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pr_vs_fr"]["ordering_holds"] is True
+        assert payload["invariants"]["violations"] == 0
+
+    def test_sweep_zero_run_cross_product_fails(self, tmp_path, capsys):
+        # mobility × non-geometric families expands to nothing: error, not
+        # a silently "successful" empty campaign
+        exit_code = main([
+            "sweep", "--families", "chain", "--failure-model", "mobility",
+            "--failure-count", "3", "--store", str(tmp_path / "s"), "--quiet",
+        ])
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "zero runs" in err
+        assert "dropping chain" in err
+
+    def test_report_empty_store_fails(self, tmp_path, capsys):
+        assert main(["report", "--store", str(tmp_path / "empty")]) == 2
+        assert "no stored runs" in capsys.readouterr().err
+
+    def test_report_consolidate_flag(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        self._sweep(store)
+        capsys.readouterr()
+        (store / "index.sqlite").unlink()
+        assert main(["report", "--store", str(store), "--consolidate", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sum(payload["status_counts"].values()) == 16

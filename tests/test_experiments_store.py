@@ -1,0 +1,128 @@
+"""Unit tests for the persistent campaign result store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.store import ResultStore
+
+
+def _record(run_id: str, **overrides) -> dict:
+    record = {
+        "run_id": run_id,
+        "campaign": "test",
+        "family": "chain",
+        "algorithm": "pr",
+        "scheduler": "greedy",
+        "size": 6,
+        "replicate": 0,
+        "failure_model": "none",
+        "failure_count": 0,
+        "status": "ok",
+        "node_steps": 5,
+        "edge_reversals": 7,
+        "dummy_steps": 0,
+        "rounds": 3,
+        "converged": True,
+        "destination_oriented": True,
+        "acyclic_final": True,
+        "wall_time_s": 0.01,
+    }
+    record.update(overrides)
+    return record
+
+
+class TestAppendAndQuery:
+    def test_append_writes_jsonl_and_indexes(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        shard = store.append([_record("a"), _record("b", family="grid")])
+        assert shard.exists()
+        assert len(shard.read_text().strip().splitlines()) == 2
+        assert store.count() == 2
+        assert store.existing_run_ids() == {"a", "b"}
+
+    def test_records_filtering(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append([
+            _record("a"),
+            _record("b", family="grid"),
+            _record("c", family="grid", status="error"),
+        ])
+        assert [r["run_id"] for r in store.records(family="grid")] == ["b", "c"]
+        assert [r["run_id"] for r in store.records(family="grid", status="ok")] == ["b"]
+        assert store.records(converged=True) and store.records(converged=False) == []
+
+    def test_filter_on_unknown_field_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.records(flavour="vanilla")
+
+    def test_duplicate_run_id_replaces(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append([_record("a", node_steps=1)])
+        store.append([_record("a", node_steps=99)])
+        assert store.count() == 1
+        assert store.records()[0]["node_steps"] == 99
+
+    def test_full_record_preserved_through_index(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = _record("a", custom_metric=123.5, error=None)
+        store.append([record])
+        assert store.records()[0] == json.loads(json.dumps(record))
+
+
+class TestShards:
+    def test_new_shard_numbers_increase(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = store.append([_record("a")])
+        second = store.append([_record("b")])
+        assert first.name == "shard-00001.jsonl"
+        assert second.name == "shard-00002.jsonl"
+
+    def test_explicit_shard_appends(self, tmp_path):
+        store = ResultStore(tmp_path)
+        shard = store.new_shard()
+        store.append([_record("a")], shard)
+        store.append([_record("b")], shard)
+        assert len(shard.read_text().strip().splitlines()) == 2
+        assert len(list((store.shard_dir).glob("*.jsonl"))) == 1
+
+
+class TestConsolidate:
+    def test_index_rebuilt_from_shards(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append([_record("a"), _record("b")])
+        store.close()
+        store.index_path.unlink()
+
+        reopened = ResultStore(tmp_path)
+        # existing_run_ids transparently consolidates when the index is gone
+        assert reopened.existing_run_ids() == {"a", "b"}
+        assert reopened.count() == 2
+
+    def test_consolidate_after_manual_shard_copy(self, tmp_path):
+        source = ResultStore(tmp_path / "src")
+        source.append([_record("a"), _record("b")])
+        target = ResultStore(tmp_path / "dst")
+        target.append([_record("c")])
+        # simulate merging stores by copying shard files
+        shard = source.shard_dir / "shard-00001.jsonl"
+        (target.shard_dir / "shard-00099.jsonl").write_text(shard.read_text())
+        assert target.consolidate() == 3
+        assert target.existing_run_ids() == {"a", "b", "c"}
+
+    def test_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.consolidate() == 0
+        assert store.existing_run_ids() == set()
+        assert store.records() == []
+
+
+class TestCampaignProvenance:
+    def test_campaign_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load_campaign() is None
+        store.record_campaign({"name": "x", "sizes": [4, 8]})
+        assert store.load_campaign() == {"name": "x", "sizes": [4, 8]}

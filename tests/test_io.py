@@ -7,14 +7,21 @@ import json
 import pytest
 
 from repro.automata.executions import run, replay
+from repro.core.bll import BinaryLinkLabels
+from repro.core.full_reversal import FullReversal
+from repro.core.new_pr import NewPartialReversal
 from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal
 from repro.core.base import Reverse
 from repro.io.dot import orientation_to_dot, render_ascii, to_dot
 from repro.io.serialization import (
+    SerializationError,
+    execution_from_dict,
     execution_to_dict,
     instance_from_dict,
     instance_to_dict,
 )
+from repro.schedulers.greedy import GreedyScheduler
 from repro.schedulers.sequential import SequentialScheduler
 
 
@@ -81,3 +88,58 @@ class TestSerialization:
         actions = [Reverse(entry["actors"][0]) for entry in data["actions"]]
         replayed = replay(OneStepPartialReversal(rebuilt_instance), actions)
         assert [list(e) for e in replayed.final_state.directed_edges()] == data["final_edges"]
+
+
+class TestExecutionFromDict:
+    """Replay-based round trip: to_dict ∘ from_dict preserves the execution."""
+
+    @pytest.mark.parametrize("automaton_class", [
+        PartialReversal, OneStepPartialReversal, NewPartialReversal,
+        FullReversal, BinaryLinkLabels,
+    ])
+    def test_round_trip_every_automaton(self, bad_chain, automaton_class):
+        result = run(automaton_class(bad_chain), GreedyScheduler(seed=0))
+        data = json.loads(json.dumps(execution_to_dict(result.execution)))
+
+        rebuilt = execution_from_dict(data)
+
+        assert rebuilt.automaton.name == result.execution.automaton.name
+        assert rebuilt.length == result.execution.length
+        assert rebuilt.final_state.signature() == result.final_state.signature()
+        # the rebuilt execution is a valid execution in its own right
+        rebuilt.validate()
+
+    def test_round_trip_preserves_set_actions(self, diamond):
+        # PR's greedy schedule fires multi-node reverse(S) actions
+        result = run(PartialReversal(diamond), GreedyScheduler(seed=0))
+        data = json.loads(json.dumps(execution_to_dict(result.execution)))
+        rebuilt = execution_from_dict(data)
+        assert [set(a.actors()) for a in rebuilt.actions] == [
+            set(a.actors()) for a in result.execution.actions
+        ]
+
+    def test_unknown_automaton_rejected(self, bad_chain):
+        data = execution_to_dict(run(FullReversal(bad_chain), GreedyScheduler()).execution)
+        data["automaton"] = "Dijkstra"
+        with pytest.raises(SerializationError):
+            execution_from_dict(data)
+
+    def test_tampered_final_edges_rejected(self, bad_chain):
+        data = execution_to_dict(run(FullReversal(bad_chain), GreedyScheduler()).execution)
+        u, v = data["final_edges"][0]
+        data["final_edges"][0] = [v, u]
+        with pytest.raises(SerializationError):
+            execution_from_dict(data)
+
+    def test_tampered_trace_rejected(self, bad_chain):
+        from repro.automata.ioa import TransitionError
+
+        data = execution_to_dict(run(FullReversal(bad_chain), GreedyScheduler()).execution)
+        # a truncated trace replays fine but cannot reach the recorded final
+        # orientation; an action on the destination is simply never enabled
+        truncated = dict(data, actions=data["actions"][:-1])
+        with pytest.raises(SerializationError):
+            execution_from_dict(truncated)
+        bogus = dict(data, actions=[{"actors": [0]}] + data["actions"])
+        with pytest.raises((SerializationError, TransitionError)):
+            execution_from_dict(bogus)

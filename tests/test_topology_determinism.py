@@ -1,0 +1,76 @@
+"""Seed-determinism of every topology generator family.
+
+The experiment campaigns rebuild instances from ``(family, size, seed)``
+triples inside worker processes, so the whole subsystem rests on generators
+being pure functions of their seed: same triple ⇒ identical nodes,
+destination and initial edge tuple, in identical order, across calls and
+across processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.generators import (
+    FAMILY_NAMES,
+    build_family,
+    layered_instance,
+    random_dag_instance,
+    tree_instance,
+)
+from repro.topology.manet import random_geometric_instance
+
+
+def _identity(instance):
+    return (instance.nodes, instance.destination, instance.initial_edges)
+
+
+class TestBuildFamilyDeterminism:
+    @pytest.mark.parametrize("family", FAMILY_NAMES)
+    @pytest.mark.parametrize("seed", [0, 7, 12345])
+    def test_same_seed_same_instance(self, family, seed):
+        first = build_family(family, 14, seed)
+        second = build_family(family, 14, seed)
+        assert _identity(first) == _identity(second)
+
+    @pytest.mark.parametrize("family", ["tree", "layered", "random-dag", "geometric"])
+    def test_different_seeds_differ(self, family):
+        # the randomised families must actually consume the seed
+        instances = {_identity(build_family(family, 16, seed)) for seed in range(6)}
+        assert len(instances) > 1
+
+    @pytest.mark.parametrize("family", FAMILY_NAMES)
+    def test_instances_are_valid_dags(self, family):
+        instance = build_family(family, 12, seed=3)
+        assert instance.node_count >= 2
+        assert instance.is_initially_acyclic()
+
+
+class TestGeneratorDeterminism:
+    def test_tree_instance(self):
+        assert _identity(tree_instance(20, seed=9)) == _identity(tree_instance(20, seed=9))
+
+    def test_layered_instance(self):
+        assert _identity(layered_instance(4, 5, seed=9)) == _identity(
+            layered_instance(4, 5, seed=9)
+        )
+
+    def test_random_dag_instance(self):
+        assert _identity(random_dag_instance(18, seed=9)) == _identity(
+            random_dag_instance(18, seed=9)
+        )
+
+    def test_random_geometric_instance(self):
+        first_instance, first_network = random_geometric_instance(15, seed=9)
+        second_instance, second_network = random_geometric_instance(15, seed=9)
+        assert _identity(first_instance) == _identity(second_instance)
+        # the generating network (positions included) is deterministic too
+        assert first_network.positions == second_network.positions
+        assert first_network.radius == second_network.radius
+
+    def test_geometric_retry_path_is_deterministic(self):
+        # a small radius forces the connectivity-retry loop; the retry
+        # sequence is seed-derived, so the result is still reproducible
+        first, _ = random_geometric_instance(12, radius=0.32, seed=2)
+        second, _ = random_geometric_instance(12, radius=0.32, seed=2)
+        assert _identity(first) == _identity(second)
