@@ -45,6 +45,7 @@ def print_table(title: str, headers, rows) -> None:
 def _baseline_workloads():
     """The timed workloads tracked across PRs, keyed by benchmark module."""
     from benchmarks.bench_dummy_steps import _measure
+    from benchmarks.bench_model_check import _measure as _measure_model_check
     from benchmarks.bench_simulation import _check_all_families
     from benchmarks.bench_sweep import _measure_1worker, _measure_pool
     from benchmarks.bench_worst_case import _fr_sweep, _pr_worst_orientation_sweep
@@ -56,6 +57,7 @@ def _baseline_workloads():
         "bench_dummy_steps": _measure,
         "bench_sweep_1worker": _measure_1worker,
         "bench_sweep_pool": _measure_pool,
+        "bench_model_check": _measure_model_check,
     }
 
 

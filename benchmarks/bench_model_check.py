@@ -1,0 +1,97 @@
+"""Experiment E19 — exhaustive model-checking throughput (states/second).
+
+The frontier engine is what turns the paper's universally-quantified claims
+into machine-checked facts at scale, so its per-state cost is tracked like
+any other hot path.  The workload exhaustively verifies the built-in
+``acyclic`` + ``progress`` invariants for Full Reversal on the all-bad 4×5
+grid — 18 150 reachable orientations, 95 960 transitions — once with the
+production :class:`~repro.exploration.checker.ModelChecker` and once with the
+legacy state-materialising :class:`~repro.exploration.state_space
+.StateSpaceExplorer` (no predicates there; it has no mask-level checks), to
+keep the engine-vs-reference ratio visible.
+
+The tracked ``bench_model_check`` baseline entry is the ModelChecker half
+only.  For scale context (not CI-timed): the same verification on the 5×6
+grid — 2 068 146 states, 13 640 060 transitions — completes in under a
+minute single-process, while the legacy explorer's per-state path tuples
+(O(states × depth) memory) put it out of reach two grid sizes earlier.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import print_table, record
+
+from repro.core.full_reversal import FullReversal
+from repro.exploration.checker import ModelChecker
+from repro.exploration.state_space import StateSpaceExplorer
+from repro.topology.generators import grid_instance
+
+#: The tracked workload: FR on the all-bad 4×5 grid, exhaustive.
+GRID_ROWS, GRID_COLS = 4, 5
+EXPECTED_STATES = 18_150
+
+
+def _instance():
+    return grid_instance(GRID_ROWS, GRID_COLS, oriented_towards_destination=False)
+
+
+def _measure() -> dict:
+    """The baseline workload: exhaustive check with built-in invariants."""
+    report = ModelChecker(
+        FullReversal(_instance()),
+        max_states=1_000_000,
+        check_acyclicity=True,
+        check_progress=True,
+    ).run()
+    assert report.states_explored == EXPECTED_STATES, report
+    assert report.all_predicates_hold and not report.truncated
+    return {
+        "states": report.states_explored,
+        "transitions": report.transitions_explored,
+        "max_depth": report.max_depth,
+        "wall_time_s": report.wall_time_s,
+    }
+
+
+def _measure_legacy() -> dict:
+    """The seed-era reference explorer on the same instance (no predicates)."""
+    report = StateSpaceExplorer(FullReversal(_instance()), max_states=1_000_000).explore()
+    assert report.states_explored == EXPECTED_STATES
+    return {"states": report.states_explored}
+
+
+def test_e19_model_check_throughput(benchmark):
+    import time
+
+    def workload():
+        start = time.perf_counter()
+        frontier = _measure()
+        frontier_s = time.perf_counter() - start
+        start = time.perf_counter()
+        _measure_legacy()
+        legacy_s = time.perf_counter() - start
+        return frontier, frontier_s, legacy_s
+
+    frontier, frontier_s, legacy_s = benchmark.pedantic(workload, rounds=1, iterations=1)
+    states_per_s = frontier["states"] / frontier_s if frontier_s else 0.0
+    rows = [
+        ("ModelChecker (acyclic+progress)", frontier["states"], f"{frontier_s:.3f}",
+         f"{states_per_s:,.0f}"),
+        ("legacy explorer (no predicates)", frontier["states"], f"{legacy_s:.3f}", "-"),
+    ]
+    print_table(
+        f"E19 — exhaustive FR check on the {GRID_ROWS}x{GRID_COLS} all-bad grid",
+        ["engine", "states", "wall s", "states/s"],
+        rows,
+    )
+    record(
+        benchmark,
+        experiment="E19",
+        states=frontier["states"],
+        transitions=frontier["transitions"],
+        max_depth=frontier["max_depth"],
+        states_per_second=round(states_per_s),
+        legacy_wall_s=round(legacy_s, 3),
+        speedup_vs_legacy=round(legacy_s / frontier_s, 2) if frontier_s else 0.0,
+    )
+    assert frontier["transitions"] > frontier["states"]

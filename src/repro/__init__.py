@@ -68,6 +68,8 @@ from repro.verification.simulation import (
     check_onestep_to_newpr_simulation,
 )
 from repro.exploration.state_space import StateSpaceExplorer, ExplorationReport
+from repro.exploration.checker import CheckReport, ModelChecker
+from repro.exploration.counterexample import CounterexampleTrace
 from repro.analysis.work import WorkSummary, count_reversals, compare_algorithms
 from repro.topology.generators import (
     chain_instance,
@@ -85,6 +87,9 @@ __all__ = [
     "AdversarialScheduler",
     "BLLState",
     "BinaryLinkLabels",
+    "CheckReport",
+    "CounterexampleTrace",
+    "ModelChecker",
     "EdgeDirection",
     "Execution",
     "ExecutionResult",

@@ -1,0 +1,19 @@
+"""Shared multiprocessing plumbing.
+
+Both process-based engines — the experiment campaign executor
+(:mod:`repro.experiments.executor`) and the sharded model checker
+(:mod:`repro.exploration.checker`) — prefer the ``fork`` start method:
+worker arguments are inherited rather than pickled, so automata, predicate
+bundles (including lambdas) and closures all work.  On spawn-only platforms
+(Windows) everything handed to a worker must be picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+
+def fork_preferring_context():
+    """The ``fork`` multiprocessing context where available, default otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)

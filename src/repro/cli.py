@@ -11,6 +11,13 @@ The CLI exposes the workflows a user typically wants without writing code:
 ``verify``
     Exhaustively model-check the paper's invariants and the acyclicity
     theorems over every connected DAG with up to N nodes.
+``check``
+    Exhaustively model-check one algorithm on one generated topology with
+    the production engine: sharded multi-process frontier exploration over
+    int state signatures (``--workers``), optional twin-node symmetry
+    reduction (``--symmetry``) and disk-spilled visited set (``--spill``),
+    with verdicts and replayable counterexample traces written into an
+    experiments result store (``--store``, resumable).
 ``worst-case``
     Print the Θ(n_b²) worst-case sweep for FR and PR with a quadratic fit.
 ``game``
@@ -32,6 +39,7 @@ Every command accepts ``--seed`` so runs are reproducible.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import sys
 from typing import Callable, Dict, Optional, Sequence
@@ -54,6 +62,7 @@ from repro.experiments.aggregate import build_report
 from repro.experiments.executor import run_campaign
 from repro.experiments.spec import ALGORITHM_FACTORIES, FAILURE_MODELS, CampaignSpec, derive_seed
 from repro.experiments.store import ResultStore
+from repro.exploration.checker import ModelChecker
 from repro.exploration.enumerate_graphs import all_connected_dag_instances
 from repro.exploration.state_space import explore_and_check
 from repro.io.dot import orientation_to_dot
@@ -168,6 +177,130 @@ def cmd_verify(args: argparse.Namespace) -> int:
     if total_failures == 0:
         print("all invariants and acyclicity claims hold on every reachable state")
     return 0 if total_failures == 0 else 1
+
+
+#: Invariant groups selectable via ``repro check --invariants``.
+CHECK_INVARIANTS = ("acyclic", "progress", "paper")
+
+
+def _check_run_id(args: argparse.Namespace) -> str:
+    """Stable content hash identifying one ``repro check`` verification run.
+
+    Workers, spill and store layout are excluded — they change how the
+    check executes, not what it verifies — so a resumed run with different
+    parallelism still matches the stored verdict.  (One caveat: when
+    ``--max-states`` actually truncates, the sharded cap is round-granular,
+    so a stored truncated verdict's ``states_explored`` may differ slightly
+    from what a single-process re-run would count; exhaustive verdicts are
+    configuration-independent.)
+    """
+    identity = {
+        "kind": "check",
+        "family": args.topology,
+        "size": args.nodes,
+        "algorithm": args.algorithm,
+        "seed": args.seed,
+        "invariants": sorted(_csv(args.invariants)),
+        "max_states": args.max_states,
+        "single_actions": args.single_actions,
+        "symmetry": args.symmetry,
+    }
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    invariants = _csv(args.invariants)
+    unknown = set(invariants) - set(CHECK_INVARIANTS)
+    if unknown:
+        print(f"error: unknown invariant group(s) {sorted(unknown)}; "
+              f"choose from {', '.join(CHECK_INVARIANTS)}", file=sys.stderr)
+        return 2
+
+    run_id = _check_run_id(args)
+    store = ResultStore(args.store) if args.store else None
+    if store is not None and not args.no_resume and run_id in store.existing_run_ids():
+        stored = store.records(run_id=run_id)[0]
+        if args.json:
+            stored["skipped"] = True
+            print(json.dumps(stored, indent=2, sort_keys=True))
+        else:
+            print(f"check {run_id} already stored (status {stored['status']}); "
+                  f"use --no-resume to re-verify")
+        return 0 if stored["status"] in ("ok", "truncated") else 1
+
+    instance = build_topology(args.topology, args.nodes, args.seed)
+    automaton = ALGORITHMS[args.algorithm](instance)
+    predicates = {}
+    if "paper" in invariants:
+        if args.algorithm in ("pr", "onestep-pr"):
+            predicates.update(pr_invariant_checks())
+        elif args.algorithm == "new-pr":
+            predicates.update(newpr_invariant_checks())
+        else:
+            print(f"warning: no paper invariant bundle for {args.algorithm!r}; "
+                  f"checking structural invariants only", file=sys.stderr)
+
+    try:
+        checker = ModelChecker(
+            automaton,
+            predicates,
+            max_states=args.max_states,
+            workers=args.workers,
+            single_actions_only=args.single_actions,
+            symmetry=args.symmetry,
+            check_acyclicity="acyclic" in invariants,
+            check_progress="progress" in invariants,
+            spill_threshold=args.spill_threshold if args.spill else None,
+            spill_dir=args.spill_dir,
+            max_traced_failures=args.max_traced,
+        )
+        report = checker.run()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    record = report.to_record(
+        run_id=run_id,
+        kind="check",
+        campaign=args.name,
+        family=args.topology,
+        size=args.nodes,
+        algorithm=args.algorithm,
+        scheduler="exhaustive",
+        seed=args.seed,
+        nodes=instance.node_count,
+        edges=instance.edge_count,
+        invariants=sorted(invariants),
+        max_states=args.max_states,
+        single_actions=args.single_actions,
+        symmetry=args.symmetry,
+    )
+    if store is not None:
+        store.append([record])
+
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(f"topology      : {args.topology} ({instance.node_count} nodes, "
+              f"{instance.edge_count} edges)")
+        print(f"algorithm     : {report.automaton_name}")
+        print(f"invariants    : {', '.join(report.predicate_names)}")
+        print(f"states        : {report.states_explored}"
+              + (" (truncated)" if report.truncated else " (exhaustive)"))
+        print(f"transitions   : {report.transitions_explored}")
+        print(f"max depth     : {report.max_depth}")
+        print(f"quiescent     : {report.quiescent_states}")
+        print(f"workers       : {report.workers}"
+              + (" [symmetry-reduced]" if report.symmetry_reduced else "")
+              + (" [spilled]" if report.spilled else ""))
+        print(f"wall time     : {report.wall_time_s:.2f}s")
+        print(f"violations    : {len(report.failures)}")
+        for failure in report.failures[:args.max_traced]:
+            print(f"  {failure.trace}")
+        if store is not None:
+            print(f"stored        : {run_id} -> {store.root}")
+    return 1 if report.failures else 0
 
 
 def cmd_worst_case(args: argparse.Namespace) -> int:
@@ -364,6 +497,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify_parser.add_argument("--max-nodes", type=int, default=4)
     verify_parser.set_defaults(handler=cmd_verify)
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="exhaustively model-check one algorithm with the sharded engine",
+    )
+    check_parser.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="pr")
+    check_parser.add_argument("--topology", choices=TOPOLOGIES, default="chain")
+    check_parser.add_argument("--nodes", type=int, default=8)
+    check_parser.add_argument("--invariants", default="acyclic,progress",
+                              help=f"comma-separated invariant groups "
+                                   f"({','.join(CHECK_INVARIANTS)})")
+    check_parser.add_argument("--max-states", type=int, default=1_000_000,
+                              help="truncation bound on distinct states")
+    check_parser.add_argument("--workers", type=int, default=1,
+                              help="shard the signature space over this many processes")
+    check_parser.add_argument("--single-actions", action="store_true",
+                              help="restrict PR to singleton reverse({u}) actions")
+    check_parser.add_argument("--symmetry", action="store_true",
+                              help="canonicalise over twin-node permutations "
+                                   "(sound for label-invariant predicates only)")
+    check_parser.add_argument("--spill", action="store_true",
+                              help="spill the visited set to disk beyond --spill-threshold")
+    check_parser.add_argument("--spill-threshold", type=int, default=1_000_000,
+                              help="in-memory signatures per worker before spilling")
+    check_parser.add_argument("--spill-dir", default=None,
+                              help="directory for spill runs (default: a temp dir)")
+    check_parser.add_argument("--store", default=None,
+                              help="write the verdict + counterexample traces into "
+                                   "this result store (resumable)")
+    check_parser.add_argument("--name", default="check", help="campaign name in the store")
+    check_parser.add_argument("--no-resume", action="store_true",
+                              help="re-verify even if the run is already stored")
+    check_parser.add_argument("--max-traced", type=int, default=10,
+                              help="counterexamples reconstructed into full traces")
+    check_parser.add_argument("--json", action="store_true",
+                              help="print the verdict record as JSON")
+    check_parser.set_defaults(handler=cmd_check)
 
     worst_parser = subparsers.add_parser("worst-case", help="Θ(n_b²) worst-case sweep")
     worst_parser.add_argument("--max-bad", type=int, default=12)

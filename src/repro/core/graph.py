@@ -331,6 +331,27 @@ class LinkReversalInstance:
                 packed |= 1 << (base + pos[v])
         return packed
 
+    def unpack_neighbour_sets(self, packed: int) -> Dict[Node, FrozenSet[Node]]:
+        """Inverse of :meth:`pack_neighbour_sets`: decode per-node subsets.
+
+        The model checker explores pure int signatures; this reconstructs the
+        bookkeeping component (``list[u]`` per node) when a state object is
+        needed again — predicate evaluation, counterexample replay.
+        """
+        result: Dict[Node, FrozenSet[Node]] = {}
+        offsets = self._csr_offsets
+        degrees = self._degree
+        neighbours = self._incident_nbrs
+        for i, u in enumerate(self.nodes):
+            row = (packed >> offsets[i]) & ((1 << degrees[i]) - 1)
+            if row:
+                result[u] = frozenset(
+                    v for k, v in enumerate(neighbours[i]) if (row >> k) & 1
+                )
+            else:
+                result[u] = frozenset()
+        return result
+
     # ------------------------------------------------------------------
     # initial-orientation structure
     # ------------------------------------------------------------------

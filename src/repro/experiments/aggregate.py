@@ -148,8 +148,15 @@ def invariant_outcomes(records: Sequence[Dict[str, Any]]) -> Dict[str, int]:
         outcome["converged"] += bool(record.get("converged"))
         outcome["destination_oriented"] += bool(record.get("destination_oriented"))
         outcome["acyclic_final"] += bool(record.get("acyclic_final"))
-        if record.get("status") == "ok" and not record.get("acyclic_final"):
+        # acyclic_final is tri-state since the model-check records joined the
+        # store: True (checked, held), False (checked, failed), None (the
+        # acyclicity check did not run) — only an actual failure is a
+        # violation.  Check records additionally carry their own explicit
+        # violation count.
+        if record.get("status") == "ok" and record.get("acyclic_final") is False:
             outcome["violations"] += 1
+        if record.get("kind") == "check":
+            outcome["violations"] += int(record.get("violations") or 0)
     return outcome
 
 

@@ -34,6 +34,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro._mp import fork_preferring_context
 from repro.experiments.runner import run_scenarios
 from repro.experiments.spec import CRASH_SENTINEL, CampaignSpec
 from repro.experiments.store import ResultStore
@@ -115,8 +116,7 @@ def _default_chunk_size(pending: int, workers: int) -> int:
 
 
 def _pool_context():
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
+    return fork_preferring_context()
 
 
 def run_campaign(

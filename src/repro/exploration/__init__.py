@@ -1,21 +1,40 @@
 """Exhaustive and randomized exploration of automaton state spaces.
 
 The paper's invariants are universally quantified over *reachable states*.
-On small instances the reachable state space of each automaton is finite and
-small enough to enumerate exhaustively, which turns the paper's proofs into
-machine-checked facts for those instances:
+This package turns those universally-quantified claims into machine-checked
+facts at the largest instance sizes the hardware allows:
 
-* :class:`~repro.exploration.state_space.StateSpaceExplorer` — breadth-first
-  exploration of every reachable state (following every enabled action),
-  checking a set of named predicates on each state;
-* :mod:`repro.exploration.random_walk` — long random executions for larger
+* :class:`~repro.exploration.checker.ModelChecker` — the production engine:
+  breadth-first exploration directly over compact int state signatures (no
+  state materialisation on the hot path), with a sharded multiprocessing
+  mode, twin-node symmetry reduction, an optional disk-spilled visited set
+  and first-class counterexample traces.  Surfaced as ``repro check``;
+* :class:`~repro.exploration.state_space.StateSpaceExplorer` — the simple
+  state-materialising reference explorer, kept as the oracle the production
+  engine is differentially tested against;
+* :mod:`repro.exploration.random_walk` — long random executions for
   instances where exhaustive exploration is infeasible;
 * :mod:`repro.exploration.enumerate_graphs` — enumeration of all small DAG
-  instances (up to isomorphism-insensitive labelling) so the exhaustive check
-  can quantify over *graphs* as well as over states.
+  instances so the exhaustive check can quantify over *graphs* as well as
+  over states.
 """
 
-from repro.exploration.state_space import ExplorationReport, StateSpaceExplorer
+from repro.exploration.checker import CheckReport, ModelChecker, check_exhaustively
+from repro.exploration.counterexample import CounterexampleTrace
+from repro.exploration.frontier import (
+    SignatureExpander,
+    VisitedSet,
+    compile_expander,
+    mask_is_acyclic,
+    mask_is_destination_oriented,
+    twin_node_classes,
+)
+from repro.exploration.state_space import (
+    ExplorationReport,
+    PredicateFailure,
+    StateSpaceExplorer,
+    explore_and_check,
+)
 from repro.exploration.random_walk import RandomWalkChecker, RandomWalkReport
 from repro.exploration.enumerate_graphs import (
     all_dag_instances,
@@ -23,10 +42,22 @@ from repro.exploration.enumerate_graphs import (
 )
 
 __all__ = [
+    "CheckReport",
+    "CounterexampleTrace",
     "ExplorationReport",
+    "ModelChecker",
+    "PredicateFailure",
     "RandomWalkChecker",
     "RandomWalkReport",
+    "SignatureExpander",
     "StateSpaceExplorer",
+    "VisitedSet",
     "all_connected_dag_instances",
     "all_dag_instances",
+    "check_exhaustively",
+    "compile_expander",
+    "explore_and_check",
+    "mask_is_acyclic",
+    "mask_is_destination_oriented",
+    "twin_node_classes",
 ]

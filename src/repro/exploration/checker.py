@@ -1,0 +1,742 @@
+"""Parallel exhaustive model checker over compact int state signatures.
+
+:class:`ModelChecker` is the production engine behind ``repro check``.  It
+explores every reachable state of an automaton breadth-first, working
+directly on the int signatures from :mod:`repro.exploration.frontier` (no
+state materialisation on the hot path), and offers:
+
+* **per-state invariant hooks** — the bundles from
+  :mod:`repro.verification.invariants` plus two built-in signature-level
+  checks: ``acyclic`` (Theorems 4.3/5.5, checked with a mask-only Kahn scan)
+  and ``progress`` (every quiescent state is destination oriented — the
+  termination/goal condition of link reversal);
+* **counterexample extraction** — predecessor pointers are kept per state,
+  and any predicate violation is reconstructed into a replayable
+  :class:`~repro.exploration.counterexample.CounterexampleTrace`;
+* **sharded exploration** — with ``workers >= 2`` the signature space is
+  hash-partitioned across worker processes that exchange cross-shard
+  frontier entries in BFS rounds (each worker owns the signatures hashing to
+  its shard, dedups them locally, and routes successors to their owners);
+* **twin-node symmetry reduction** (``symmetry=True``) and a **disk-spilled
+  visited set** (``spill_threshold=...``) for explorations beyond what a
+  Python set can hold.
+
+Semantics match the legacy :class:`~repro.exploration.state_space
+.StateSpaceExplorer` exactly in single-process mode — same BFS order, same
+state/transition/depth/quiescence accounting, same truncation behaviour —
+which the differential regression tests pin down.  Automata without a
+compiled kernel fall back to a generic state-materialising path (single
+process, no spill).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Set, Tuple
+
+from repro._mp import fork_preferring_context
+from repro.automata.ioa import IOAutomaton
+from repro.exploration.counterexample import CounterexampleTrace
+from repro.exploration.frontier import (
+    SignatureExpander,
+    VisitedSet,
+    compile_expander,
+    mask_is_acyclic,
+    mask_is_destination_oriented,
+    shard_of,
+)
+from repro.exploration.state_space import (
+    PredicateFailure,
+    StatePredicate,
+    _predicate_outcome,
+)
+
+#: Built-in predicate names (checked on the signature level, no decoding).
+ACYCLIC = "acyclic"
+PROGRESS = "progress"
+
+_PROGRESS_DETAIL = "quiescent state is not destination oriented"
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one :meth:`ModelChecker.run` invocation."""
+
+    automaton_name: str
+    states_explored: int = 0
+    transitions_explored: int = 0
+    quiescent_states: int = 0
+    truncated: bool = False
+    max_depth: int = 0
+    failures: List[PredicateFailure] = field(default_factory=list)
+    predicate_names: Tuple[str, ...] = ()
+    workers: int = 1
+    symmetry_reduced: bool = False
+    spilled: bool = False
+    wall_time_s: float = 0.0
+    #: Populated only when ``collect_signatures=True`` (test instrumentation).
+    signatures: Optional[Set[Hashable]] = None
+
+    @property
+    def all_predicates_hold(self) -> bool:
+        """Whether no predicate was violated on any explored state."""
+        return not self.failures
+
+    def __str__(self) -> str:
+        status = "OK" if self.all_predicates_hold else f"{len(self.failures)} FAILURE(S)"
+        suffix = " (truncated)" if self.truncated else ""
+        extras = []
+        if self.workers > 1:
+            extras.append(f"{self.workers} workers")
+        if self.symmetry_reduced:
+            extras.append("symmetry-reduced")
+        if self.spilled:
+            extras.append("spilled")
+        extra = f" [{', '.join(extras)}]" if extras else ""
+        return (
+            f"[{self.automaton_name}] {self.states_explored} states, "
+            f"{self.transitions_explored} transitions, depth {self.max_depth}, "
+            f"{self.quiescent_states} quiescent — {status}{suffix}{extra}"
+        )
+
+    def to_record(self, **extra: Any) -> Dict[str, Any]:
+        """Flat JSON-safe record for the experiments result store.
+
+        ``status`` is ``"violated"`` when any predicate failed, else
+        ``"truncated"`` / ``"ok"``; counterexample traces ride along under
+        ``counterexamples`` in the serialised trace schema.  Only the
+        reconstructed traces (bounded by the checker's
+        ``max_traced_failures``) are serialised — ``violations`` still
+        counts every failure, so a predicate failing on a large fraction of
+        a huge space cannot balloon the stored record.
+        """
+        if self.failures:
+            status = "violated"
+        elif self.truncated:
+            status = "truncated"
+        else:
+            status = "ok"
+        record: Dict[str, Any] = {
+            "status": status,
+            "states_explored": self.states_explored,
+            "transitions_explored": self.transitions_explored,
+            "quiescent_states": self.quiescent_states,
+            "max_depth": self.max_depth,
+            "truncated": self.truncated,
+            "violations": len(self.failures),
+            "predicates": list(self.predicate_names),
+            "workers": self.workers,
+            "symmetry_reduced": self.symmetry_reduced,
+            "spilled": self.spilled,
+            "wall_time_s": round(self.wall_time_s, 4),
+            # only a verified claim when the acyclicity check actually ran
+            "acyclic_final": (
+                not any(f.predicate_name == ACYCLIC for f in self.failures)
+                if ACYCLIC in self.predicate_names
+                else None
+            ),
+            "counterexamples": [
+                f.trace.to_dict() for f in self.failures if f.trace.reconstructed
+            ],
+        }
+        record.update(extra)
+        return record
+
+
+# ----------------------------------------------------------------------
+# shared per-state evaluation
+# ----------------------------------------------------------------------
+def _discovery_failures(
+    sig: Hashable,
+    expander: SignatureExpander,
+    predicates: Mapping[str, StatePredicate],
+    check_acyclicity: bool,
+) -> List[Tuple[Hashable, str, str]]:
+    """Evaluate the discovery-time checks on one signature."""
+    failures: List[Tuple[Hashable, str, str]] = []
+    if check_acyclicity:
+        mask = expander.orientation_mask(sig)
+        if not mask_is_acyclic(expander.instance, mask):
+            cycle = expander.state_for(sig).orientation.find_cycle()
+            failures.append(
+                (sig, ACYCLIC, "cycle: " + " -> ".join(map(str, cycle)))
+            )
+    if predicates:
+        state = expander.state_for(sig)
+        for name, predicate in predicates.items():
+            holds, detail = _predicate_outcome(predicate(state))
+            if not holds:
+                failures.append((sig, name, detail))
+    return failures
+
+
+# ----------------------------------------------------------------------
+# sharded worker process
+# ----------------------------------------------------------------------
+def _shard_worker(
+    conn,
+    index: int,
+    shards: int,
+    automaton: IOAutomaton,
+    predicates: Mapping[str, StatePredicate],
+    options: Dict[str, Any],
+) -> None:
+    """Own one hash-shard of signature space; driven round-by-round by the parent.
+
+    Protocol (parent → worker, worker replies on the same pipe):
+
+    * ``("round", entries)`` — ``entries`` are ``(sig, parent_sig, token)``
+      triples routed to this shard.  The worker dedups them against its
+      visited set, records predecessor pointers, runs the discovery checks,
+      expands the fresh signatures and replies with
+      ``(new, transitions, quiescent, out_by_owner, failures)``.
+    * ``("probe", entries)`` — read-only: replies with how many entries are
+      genuinely new (absent from the visited set, deduped within the batch)
+      *without* inserting them, so the visited set keeps matching
+      ``states_explored``.  Used to decide whether hitting ``max_states``
+      with a pending frontier actually truncated anything.
+    * ``("parent_of", sig)`` — replies with the stored ``(parent, token)``.
+    * ``("signatures",)`` — replies with the full visited set (tests only).
+    * ``("stats",)`` — replies with ``{"spilled_runs": int}``.
+    * ``("stop",)`` — terminates the worker loop.
+
+    Any exception while handling a message is shipped back as a
+    ``("__shard_error__", detail)`` reply instead of killing the process,
+    so the parent can raise a diagnosable error rather than an EOF.
+    """
+    expander = compile_expander(automaton, options["single_actions_only"])
+    symmetry = options["symmetry"]
+    check_acyclicity = options["check_acyclicity"]
+    check_progress = options["check_progress"]
+    spill_threshold = options["spill_threshold"]
+    visited = VisitedSet(
+        key_bytes=(expander.signature_bits + 7) // 8 if spill_threshold else None,
+        spill_threshold=spill_threshold,
+        spill_dir=options["spill_dir"],
+    )
+    predecessors: Optional[Dict[Hashable, Tuple]] = {} if options["track_traces"] else None
+    instance = expander.instance
+
+    while True:
+        message = conn.recv()
+        kind = message[0]
+        try:
+            if kind == "round":
+                new = transitions = quiescent = 0
+                out: Dict[int, List[Tuple[Hashable, Hashable, Tuple[int, ...]]]] = {}
+                failures: List[Tuple[Hashable, str, str]] = []
+                fresh: List[Hashable] = []
+                for sig, parent, token in message[1]:
+                    if not visited.add(sig):
+                        continue
+                    if predecessors is not None:
+                        predecessors[sig] = (parent, token)
+                    new += 1
+                    fresh.append(sig)
+                    failures.extend(
+                        _discovery_failures(sig, expander, predicates, check_acyclicity)
+                    )
+                routed: set = set()  # round-local dedup of outgoing frontier entries
+                for sig in fresh:
+                    successors = expander.successors(sig)
+                    if not successors:
+                        quiescent += 1
+                        if check_progress and not mask_is_destination_oriented(
+                            instance, expander.orientation_mask(sig)
+                        ):
+                            failures.append((sig, PROGRESS, _PROGRESS_DETAIL))
+                        continue
+                    for token, successor in successors:
+                        transitions += 1
+                        if symmetry:
+                            successor = expander.canonicalize(successor)
+                        if successor in routed:
+                            continue
+                        owner = shard_of(successor, shards)
+                        if owner == index and successor in visited:
+                            continue
+                        routed.add(successor)
+                        out.setdefault(owner, []).append((successor, sig, token))
+                conn.send((new, transitions, quiescent, out, failures))
+            elif kind == "probe":
+                batch: set = set()
+                for sig, _parent, _token in message[1]:
+                    if sig not in visited:
+                        batch.add(sig)
+                conn.send(len(batch))
+            elif kind == "parent_of":
+                conn.send(
+                    predecessors.get(message[1]) if predecessors is not None else None
+                )
+            elif kind == "signatures":
+                conn.send(set(visited))
+            elif kind == "stats":
+                conn.send({"spilled_runs": visited.spilled_runs})
+            else:  # "stop"
+                visited.close()
+                conn.close()
+                return
+        except Exception as error:  # noqa: BLE001 — ship the failure to the parent
+            conn.send(("__shard_error__", f"{type(error).__name__}: {error}"))
+
+
+def _shard_recv(connection):
+    """Receive a worker reply, surfacing shipped worker exceptions."""
+    reply = connection.recv()
+    if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "__shard_error__":
+        raise RuntimeError(f"shard worker failed: {reply[1]}")
+    return reply
+
+
+# ----------------------------------------------------------------------
+# the checker
+# ----------------------------------------------------------------------
+class ModelChecker:
+    """Exhaustive BFS model checker with sharding, symmetry and spill.
+
+    Parameters
+    ----------
+    automaton:
+        The automaton to explore.  PR / OneStepPR / NewPR / FR run on
+        compiled signature kernels; anything else uses the generic
+        state-materialising path (single process only).
+    predicates:
+        Named state predicates (the bundles from
+        :mod:`repro.verification.invariants`), evaluated on every newly
+        discovered state.  These decode the state; the built-in checks below
+        do not.
+    max_states:
+        Truncation bound on distinct states, mirroring the legacy explorer.
+    workers:
+        ``>= 2`` enables the sharded multiprocessing mode (hash-partitioned
+        signature space, round-based frontier exchange).  For exhaustive
+        (untruncated) runs the visited sets, counts and failure sets are
+        identical to a single-process run; when ``max_states`` binds, the
+        sharded cap is round-granular (the count may overshoot slightly and
+        an exactly-exhausting final round reports a complete run).
+    single_actions_only:
+        Restrict PR to singleton ``reverse({u})`` actions (the
+        OneStepPR-reachable subset), exactly like the legacy flag.
+    symmetry:
+        Canonicalise every signature over twin-node permutations before
+        deduplication.  Sound for label-invariant predicates; see
+        :mod:`repro.exploration.frontier` for the argument and caveats.
+    check_acyclicity / check_progress:
+        Built-in signature-level checks: every state's orientation is a DAG;
+        every quiescent state is destination oriented.
+    spill_threshold / spill_dir:
+        Enable the disk-spilled visited set once the in-memory set reaches
+        the threshold (per worker, in sharded mode).
+    track_traces:
+        Keep predecessor pointers so violations come back as replayable
+        counterexample traces.  Disable to halve memory on huge clean runs.
+    collect_signatures:
+        Attach the full visited signature set to the report (tests only).
+    max_traced_failures:
+        Cap on the number of failures converted into full traces.
+    """
+
+    def __init__(
+        self,
+        automaton: IOAutomaton,
+        predicates: Optional[Mapping[str, StatePredicate]] = None,
+        *,
+        max_states: int = 1_000_000,
+        workers: int = 1,
+        single_actions_only: bool = False,
+        symmetry: bool = False,
+        check_acyclicity: bool = False,
+        check_progress: bool = False,
+        spill_threshold: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+        track_traces: bool = True,
+        collect_signatures: bool = False,
+        max_traced_failures: int = 25,
+    ):
+        self.automaton = automaton
+        self.predicates = dict(predicates or {})
+        self.max_states = max_states
+        self.workers = max(1, workers)
+        self.single_actions_only = single_actions_only
+        self.symmetry = symmetry
+        self.check_acyclicity = check_acyclicity
+        self.check_progress = check_progress
+        self.spill_threshold = spill_threshold
+        self.spill_dir = spill_dir
+        self.track_traces = track_traces
+        self.collect_signatures = collect_signatures
+        self.max_traced_failures = max_traced_failures
+        self._expander = compile_expander(automaton, single_actions_only)
+        if self._expander is None:
+            if self.workers > 1:
+                raise ValueError(
+                    f"sharded exploration requires a compiled signature kernel "
+                    f"(PR/OneStepPR/NewPR/FR); {automaton.name!r} has none"
+                )
+            if self.symmetry:
+                raise ValueError(
+                    "symmetry reduction requires a compiled signature kernel"
+                )
+            if self.spill_threshold is not None:
+                raise ValueError(
+                    "disk spill requires a compiled signature kernel "
+                    "(generic signatures have no fixed width)"
+                )
+
+    # ------------------------------------------------------------------
+    def run(self) -> CheckReport:
+        """Explore the reachable state space and return the report."""
+        start = time.perf_counter()
+        names = list(self.predicates)
+        if self.check_acyclicity:
+            names.insert(0, ACYCLIC)
+        if self.check_progress:
+            names.append(PROGRESS)
+        report = CheckReport(
+            automaton_name=self.automaton.name,
+            predicate_names=tuple(names),
+            workers=self.workers,
+            symmetry_reduced=bool(
+                self.symmetry and self._expander is not None and self._expander.has_symmetry
+            ),
+        )
+        if self.workers > 1:
+            self._run_sharded(report)
+        elif self._expander is not None:
+            self._run_compiled(report)
+        else:
+            self._run_generic(report)
+        report.wall_time_s = time.perf_counter() - start
+        return report
+
+    # ------------------------------------------------------------------
+    # single-process compiled path
+    # ------------------------------------------------------------------
+    def _run_compiled(self, report: CheckReport) -> None:
+        expander = self._expander
+        initial = expander.initial_signature()
+        if self.symmetry:
+            initial = expander.canonicalize(initial)
+        visited = VisitedSet(
+            key_bytes=(expander.signature_bits + 7) // 8 if self.spill_threshold else None,
+            spill_threshold=self.spill_threshold,
+            spill_dir=self.spill_dir,
+        )
+        visited.add(initial)
+        report.states_explored = 1
+        predecessors: Optional[Dict] = {initial: (None, None)} if self.track_traces else None
+        try:
+            raw_failures = _discovery_failures(
+                initial, expander, self.predicates, self.check_acyclicity
+            )
+
+            queue: deque = deque()
+            queue.append((initial, 0))
+            while queue:
+                sig, depth = queue.popleft()
+                if depth > report.max_depth:
+                    report.max_depth = depth
+                successors = expander.successors(sig)
+                if not successors:
+                    report.quiescent_states += 1
+                    if self.check_progress and not mask_is_destination_oriented(
+                        expander.instance, expander.orientation_mask(sig)
+                    ):
+                        raw_failures.append((sig, PROGRESS, _PROGRESS_DETAIL))
+                    continue
+                for token, successor in successors:
+                    report.transitions_explored += 1
+                    if self.symmetry:
+                        successor = expander.canonicalize(successor)
+                    if report.states_explored >= self.max_states:
+                        # at the cap, mirror the legacy explorer exactly: a
+                        # pure membership probe (no insertion) so that any
+                        # genuinely new successor truncates the run while
+                        # collect_signatures stays consistent with
+                        # states_explored
+                        if successor in visited:
+                            continue
+                        report.truncated = True
+                        queue.clear()
+                        break
+                    if not visited.add(successor):
+                        continue
+                    report.states_explored += 1
+                    if predecessors is not None:
+                        predecessors[successor] = (sig, token)
+                    raw_failures.extend(
+                        _discovery_failures(
+                            successor, expander, self.predicates, self.check_acyclicity
+                        )
+                    )
+                    queue.append((successor, depth + 1))
+
+            report.spilled = visited.spilled_runs > 0
+            if self.collect_signatures:
+                report.signatures = set(visited)
+        finally:
+            visited.close()
+        self._attach_failures(report, raw_failures, predecessors)
+
+    def _attach_failures(
+        self,
+        report: CheckReport,
+        raw_failures: List[Tuple[Hashable, str, str]],
+        predecessors: Optional[Dict],
+    ) -> None:
+        """Convert raw ``(sig, predicate, detail)`` hits into traced failures."""
+        parent_of = predecessors.get if predecessors is not None else lambda sig: None
+        self._build_failures(report, raw_failures, parent_of)
+
+    def _build_failures(
+        self,
+        report: CheckReport,
+        raw_failures: List[Tuple[Hashable, str, str]],
+        parent_of: Callable[[Hashable], Optional[Tuple]],
+    ) -> None:
+        """Walk predecessor chains (via ``parent_of``) into traced failures.
+
+        ``parent_of(sig)`` returns the stored ``(parent, token)`` entry or
+        ``None``; a ``None`` entry or parent ends the walk.  Shared by the
+        single-process paths (dict lookup) and the sharded path (pipe
+        round-trip to the owning worker).
+        """
+        expander = self._expander
+        for index, (sig, name, detail) in enumerate(raw_failures):
+            traced = self.track_traces and index < self.max_traced_failures
+            actions: List = []
+            signatures: List[Hashable] = [sig]
+            if traced:
+                current = sig
+                while True:
+                    entry = parent_of(current)
+                    if entry is None or entry[0] is None:
+                        break
+                    parent, token = entry
+                    actions.append(
+                        expander.action_for(token) if expander is not None else token
+                    )
+                    signatures.append(parent)
+                    current = parent
+                actions.reverse()
+                signatures.reverse()
+            trace = CounterexampleTrace(
+                automaton_name=self.automaton.name,
+                predicate_name=name,
+                detail=detail,
+                actions=tuple(actions),
+                signatures=tuple(signatures) if traced else None,
+                symmetry_reduced=report.symmetry_reduced,
+                reconstructed=traced,
+            )
+            report.failures.append(PredicateFailure(name, trace, detail))
+
+    # ------------------------------------------------------------------
+    # generic fallback (no compiled kernel): legacy state-materialising BFS
+    # ------------------------------------------------------------------
+    def _run_generic(self, report: CheckReport) -> None:
+        automaton = self.automaton
+        initial = automaton.initial_state()
+        # the built-in checks must not silently turn into no-ops: a report
+        # listing them (and a store record claiming acyclic_final) would
+        # otherwise assert something that was never evaluated
+        if self.check_acyclicity and getattr(initial, "is_acyclic", None) is None:
+            raise ValueError(
+                f"check_acyclicity requires states exposing is_acyclic(); "
+                f"{type(initial).__name__} has none"
+            )
+        if self.check_progress and getattr(initial, "is_destination_oriented", None) is None:
+            raise ValueError(
+                f"check_progress requires states exposing is_destination_oriented(); "
+                f"{type(initial).__name__} has none"
+            )
+        initial_sig = initial.signature()
+        visited = {initial_sig}
+        report.states_explored = 1
+        predecessors: Optional[Dict] = {initial_sig: (None, None)} if self.track_traces else None
+        raw_failures = self._generic_state_failures(initial_sig, initial)
+
+        queue: deque = deque()
+        queue.append((initial, 0))
+        while queue:
+            state, depth = queue.popleft()
+            if depth > report.max_depth:
+                report.max_depth = depth
+            if self.single_actions_only:
+                actions = list(automaton.enabled_single_actions(state))
+            else:
+                actions = list(automaton.enabled_actions(state))
+            if not actions:
+                report.quiescent_states += 1
+                if self.check_progress and not state.is_destination_oriented():
+                    raw_failures.append(
+                        (state.signature(), PROGRESS, _PROGRESS_DETAIL)
+                    )
+                continue
+            sig = state.signature()
+            for action in actions:
+                successor = automaton.apply(state, action)
+                report.transitions_explored += 1
+                successor_sig = successor.signature()
+                if successor_sig in visited:
+                    continue
+                if report.states_explored >= self.max_states:
+                    report.truncated = True
+                    queue.clear()
+                    break
+                visited.add(successor_sig)
+                report.states_explored += 1
+                if predecessors is not None:
+                    predecessors[successor_sig] = (sig, action)
+                raw_failures.extend(
+                    self._generic_state_failures(successor_sig, successor)
+                )
+                queue.append((successor, depth + 1))
+
+        if self.collect_signatures:
+            report.signatures = set(visited)
+        self._attach_failures(report, raw_failures, predecessors)
+
+    def _generic_state_failures(self, sig, state) -> List[Tuple[Hashable, str, str]]:
+        failures: List[Tuple[Hashable, str, str]] = []
+        if self.check_acyclicity and not state.is_acyclic():
+            failures.append((sig, ACYCLIC, "directed cycle in reachable state"))
+        for name, predicate in self.predicates.items():
+            holds, detail = _predicate_outcome(predicate(state))
+            if not holds:
+                failures.append((sig, name, detail))
+        return failures
+
+    # ------------------------------------------------------------------
+    # sharded multi-process path
+    # ------------------------------------------------------------------
+    def _run_sharded(self, report: CheckReport) -> None:
+        expander = self._expander
+        workers = self.workers
+        context = fork_preferring_context()
+        options = {
+            "single_actions_only": self.single_actions_only,
+            "symmetry": self.symmetry,
+            "check_acyclicity": self.check_acyclicity,
+            "check_progress": self.check_progress,
+            "spill_threshold": self.spill_threshold,
+            "spill_dir": None,
+            "track_traces": self.track_traces,
+        }
+        connections = []
+        processes = []
+        for index in range(workers):
+            worker_options = dict(options)
+            if self.spill_dir is not None:
+                worker_options["spill_dir"] = f"{self.spill_dir}/worker-{index}"
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_shard_worker,
+                args=(child_conn, index, workers, self.automaton, self.predicates, worker_options),
+                daemon=True,
+            )
+            try:
+                process.start()
+            except Exception as error:  # spawn platforms pickle the args
+                for connection in connections:
+                    connection.close()
+                raise ValueError(
+                    f"failed to start shard workers — on spawn-only platforms the "
+                    f"automaton and predicates must be picklable (lambda-based "
+                    f"bundles need a fork platform or workers=1): {error}"
+                ) from error
+            child_conn.close()
+            connections.append(parent_conn)
+            processes.append(process)
+
+        try:
+            initial = expander.initial_signature()
+            if self.symmetry:
+                initial = expander.canonicalize(initial)
+            buckets: Dict[int, List] = {shard_of(initial, workers): [(initial, None, None)]}
+            raw_failures: List[Tuple[Hashable, str, str]] = []
+            round_index = 0
+            while buckets:
+                if report.states_explored >= self.max_states:
+                    # round-granular truncation: the cap is only evaluated
+                    # between BFS rounds, so the count may overshoot slightly.
+                    # The pending frontier may consist entirely of duplicates
+                    # (an exactly-exhausted space), so probe before declaring
+                    # truncation: workers dedup the entries without checking
+                    # or expanding them and report how many were new.
+                    probe_new = 0
+                    for index in range(workers):
+                        connections[index].send(("probe", buckets.get(index, [])))
+                    for index in range(workers):
+                        probe_new += _shard_recv(connections[index])
+                    report.truncated = probe_new > 0
+                    break
+                for index in range(workers):
+                    connections[index].send(("round", buckets.get(index, [])))
+                next_buckets: Dict[int, List] = {}
+                round_new = 0
+                for index in range(workers):
+                    new, transitions, quiescent, out, failures = _shard_recv(
+                        connections[index]
+                    )
+                    round_new += new
+                    report.transitions_explored += transitions
+                    report.quiescent_states += quiescent
+                    raw_failures.extend(failures)
+                    for owner, entries in out.items():
+                        next_buckets.setdefault(owner, []).extend(entries)
+                report.states_explored += round_new
+                if round_new:
+                    report.max_depth = round_index
+                round_index += 1
+                buckets = next_buckets
+
+            self._collect_sharded_failures(report, raw_failures, connections)
+            if self.collect_signatures:
+                collected: Set[Hashable] = set()
+                for connection in connections:
+                    connection.send(("signatures",))
+                    collected |= _shard_recv(connection)
+                report.signatures = collected
+            for connection in connections:
+                connection.send(("stats",))
+                if _shard_recv(connection)["spilled_runs"]:
+                    report.spilled = True
+        finally:
+            for connection in connections:
+                try:
+                    connection.send(("stop",))
+                    connection.close()
+                except (BrokenPipeError, OSError):  # worker already gone
+                    pass
+            for process in processes:
+                process.join(timeout=10)
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.terminate()
+
+    def _collect_sharded_failures(
+        self,
+        report: CheckReport,
+        raw_failures: List[Tuple[Hashable, str, str]],
+        connections,
+    ) -> None:
+        """Reconstruct failure traces by walking predecessor chains shard-wise."""
+        workers = self.workers
+
+        def parent_of(sig: Hashable) -> Optional[Tuple]:
+            owner = shard_of(sig, workers)
+            connections[owner].send(("parent_of", sig))
+            return _shard_recv(connections[owner])
+
+        self._build_failures(report, raw_failures, parent_of)
+
+
+def check_exhaustively(
+    automaton: IOAutomaton,
+    predicates: Optional[Mapping[str, StatePredicate]] = None,
+    **options: Any,
+) -> CheckReport:
+    """Convenience wrapper: build a :class:`ModelChecker` and run it."""
+    return ModelChecker(automaton, predicates, **options).run()

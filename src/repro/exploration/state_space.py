@@ -1,14 +1,21 @@
-"""Bounded, exhaustive exploration of an automaton's reachable states.
+"""Reference breadth-first exploration of an automaton's reachable states.
 
 The explorer performs a breadth-first search from the initial state, following
 *every* enabled action (for PR that includes every non-empty subset of the
 sink set — exactly the action set of Algorithm 1), deduplicating states by
-their canonical :meth:`signature` — for the link-reversal automata these are
-compact ints (edge-reversal bitmasks, with the per-node bookkeeping packed
-into the high bits), so the dedup set stays small and hashing is cheap.  A set of named predicates is evaluated on
-every newly discovered state; any violation is recorded together with the
-action path that reaches the offending state, so failures are reproducible
-counterexample traces.
+their canonical :meth:`signature`.  A set of named predicates is evaluated on
+every newly discovered state; any violation is recorded together with a
+replayable :class:`~repro.exploration.counterexample.CounterexampleTrace`
+reaching the offending state.
+
+This is the **reference implementation**: it materialises a full state object
+per transition and runs in a single process, which keeps it simple enough to
+serve as the oracle that the production engine —
+:class:`~repro.exploration.checker.ModelChecker`, which explores compact int
+signatures directly, shards across processes, spills the visited set to disk
+and applies symmetry reduction — is differentially tested against
+(``tests/test_model_check_differential.py``).  Use :class:`ModelChecker` for
+anything beyond toy sizes.
 
 For the link-reversal automata the reachable space is finite: each node can
 take only a bounded number of steps before the graph is destination oriented,
@@ -20,9 +27,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Hashable, List, Mapping, Optional, Tuple
 
 from repro.automata.ioa import Action, IOAutomaton
+from repro.exploration.counterexample import CounterexampleTrace
 
 #: A predicate evaluated on every reachable state.  It may return a ``bool``
 #: or any object with a truthy ``holds`` attribute (e.g. an
@@ -32,11 +40,23 @@ StatePredicate = Callable[[object], object]
 
 @dataclass
 class PredicateFailure:
-    """A state (identified by the path reaching it) violating a predicate."""
+    """A reachable state violating a predicate, with its replayable trace.
+
+    ``trace`` is a full :class:`~repro.exploration.counterexample
+    .CounterexampleTrace`: replaying its actions from the initial state
+    reproduces the violating state.  The legacy ``path`` view (the raw action
+    tuple) is kept as a property for callers that only need the action
+    sequence.
+    """
 
     predicate_name: str
-    path: Tuple[Action, ...]
+    trace: CounterexampleTrace
     detail: str
+
+    @property
+    def path(self) -> Tuple[Action, ...]:
+        """The action sequence reaching the violating state."""
+        return self.trace.actions
 
 
 @dataclass
@@ -56,7 +76,7 @@ class ExplorationReport:
         """Whether no predicate was violated on any explored state."""
         return not self.failures
 
-    def __str__(self) -> str:  # pragma: no cover - repr convenience
+    def __str__(self) -> str:
         status = "OK" if self.all_predicates_hold else f"{len(self.failures)} FAILURE(S)"
         suffix = " (truncated)" if self.truncated else ""
         return (
@@ -157,7 +177,13 @@ class StateSpaceExplorer:
             outcome = predicate(state)
             holds, detail = _predicate_outcome(outcome)
             if not holds:
-                report.failures.append(PredicateFailure(name, path, detail))
+                trace = CounterexampleTrace(
+                    automaton_name=self.automaton.name,
+                    predicate_name=name,
+                    detail=detail,
+                    actions=path,
+                )
+                report.failures.append(PredicateFailure(name, trace, detail))
 
 
 def explore_and_check(

@@ -152,6 +152,138 @@ class TestCommands:
         assert first == capsys.readouterr().out
 
 
+class TestCheck:
+    def test_check_command(self, capsys):
+        exit_code = main(["check", "--algorithm", "fr", "--topology", "grid", "--nodes", "9"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "(exhaustive)" in output
+        assert "violations    : 0" in output
+
+    def test_check_json_output(self, capsys):
+        exit_code = main(["check", "--algorithm", "fr", "--topology", "grid",
+                          "--nodes", "9", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["status"] == "ok"
+        assert payload["states_explored"] > 1
+        assert payload["violations"] == 0
+        assert payload["acyclic_final"] is True
+        assert payload["counterexamples"] == []
+        assert payload["invariants"] == ["acyclic", "progress"]
+
+    def test_check_acyclic_final_unset_when_not_checked(self, capsys):
+        # a record must not claim acyclicity was verified when the check
+        # never ran (the aggregate layer counts acyclic_final as an outcome)
+        exit_code = main(["check", "--algorithm", "fr", "--topology", "grid",
+                          "--nodes", "9", "--invariants", "progress", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["acyclic_final"] is None
+        assert payload["invariants"] == ["progress"]
+
+    def test_check_paper_invariants(self, capsys):
+        exit_code = main(["check", "--algorithm", "onestep-pr", "--topology", "grid",
+                          "--nodes", "9", "--invariants", "acyclic,progress,paper", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert "Invariant 3.1" in payload["predicates"]
+        assert payload["violations"] == 0
+
+    def test_check_workers_match_single_process(self, capsys):
+        args = ["check", "--algorithm", "fr", "--topology", "grid", "--nodes", "9", "--json"]
+        assert main(args) == 0
+        single = json.loads(capsys.readouterr().out)
+        assert main(args + ["--workers", "2"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        for key in ("states_explored", "transitions_explored", "quiescent_states", "max_depth"):
+            assert sharded[key] == single[key], key
+        assert sharded["workers"] == 2
+
+    def test_check_store_and_resume(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        args = ["check", "--algorithm", "fr", "--topology", "grid", "--nodes", "9",
+                "--store", str(store), "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["status"] == "ok"
+        # second run resumes from the stored verdict without re-exploring
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["skipped"] is True
+        assert second["run_id"] == first["run_id"]
+        assert second["states_explored"] == first["states_explored"]
+        # --no-resume re-verifies
+        assert main(args + ["--no-resume"]) == 0
+        third = json.loads(capsys.readouterr().out)
+        assert "skipped" not in third
+        assert third["states_explored"] == first["states_explored"]
+
+    def test_check_resume_after_interrupt_reuses_partial_store(self, tmp_path, capsys):
+        # an interrupted campaign leaves some runs stored; re-running the
+        # same set of checks skips those and executes only the missing ones
+        store = tmp_path / "store"
+        base = ["check", "--topology", "chain", "--store", str(store), "--json"]
+        assert main(base + ["--nodes", "5"]) == 0
+        capsys.readouterr()
+        # "interrupt": the --nodes 6 check never ran.  Re-running the sweep:
+        assert main(base + ["--nodes", "5"]) == 0
+        assert json.loads(capsys.readouterr().out)["skipped"] is True
+        assert main(base + ["--nodes", "6"]) == 0
+        assert "skipped" not in json.loads(capsys.readouterr().out)
+        from repro.experiments.store import ResultStore
+
+        assert ResultStore(str(store)).count() == 2
+
+    def test_check_symmetry_on_star(self, capsys):
+        args = ["check", "--algorithm", "fr", "--topology", "star", "--nodes", "7", "--json"]
+        assert main(args) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert main(args + ["--symmetry"]) == 0
+        reduced = json.loads(capsys.readouterr().out)
+        assert reduced["symmetry_reduced"] is True
+        assert reduced["states_explored"] < plain["states_explored"]
+        assert reduced["status"] == "ok"
+
+    def test_check_spill(self, tmp_path, capsys):
+        exit_code = main(["check", "--algorithm", "fr", "--topology", "grid", "--nodes", "9",
+                          "--spill", "--spill-threshold", "5",
+                          "--spill-dir", str(tmp_path / "spill"), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["spilled"] is True
+
+    def test_check_truncated_status(self, capsys):
+        exit_code = main(["check", "--algorithm", "fr", "--topology", "grid", "--nodes", "9",
+                          "--max-states", "3", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["status"] == "truncated"
+        assert payload["truncated"] is True
+
+    def test_check_unknown_invariants_rejected(self, capsys):
+        exit_code = main(["check", "--invariants", "acyclic,frobnicate"])
+        assert exit_code == 2
+        assert "unknown invariant" in capsys.readouterr().err
+
+    def test_check_sharding_refused_without_kernel(self, capsys):
+        exit_code = main(["check", "--algorithm", "bll", "--nodes", "5", "--workers", "2"])
+        assert exit_code == 2
+        assert "compiled signature kernel" in capsys.readouterr().err
+
+    def test_check_spill_refused_without_kernel(self, capsys):
+        exit_code = main(["check", "--algorithm", "bll", "--nodes", "5", "--spill"])
+        assert exit_code == 2
+        assert "compiled signature kernel" in capsys.readouterr().err
+
+    def test_check_paper_warning_for_fr(self, capsys):
+        exit_code = main(["check", "--algorithm", "fr", "--nodes", "5",
+                          "--invariants", "paper", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "no paper invariant bundle" in captured.err
+
+
 class TestSweepAndReport:
     def _sweep(self, store, extra=()):
         return main([

@@ -107,6 +107,24 @@ class TestInvariantsAndReport:
         assert outcome["destination_oriented"] == 40
         assert outcome["violations"] == 0
 
+    def test_invariant_outcomes_acyclic_tristate(self):
+        # acyclic_final=None means "the acyclicity check did not run" (model
+        # check records with --invariants progress); only False is a failure
+        records = [
+            {"status": "ok", "acyclic_final": True},
+            {"status": "ok", "acyclic_final": None, "kind": "check", "violations": 0},
+            {"status": "ok", "acyclic_final": False},
+        ]
+        outcome = invariant_outcomes(records)
+        assert outcome["violations"] == 1
+
+    def test_invariant_outcomes_count_check_record_violations(self):
+        records = [
+            {"status": "violated", "kind": "check", "acyclic_final": False,
+             "violations": 3},
+        ]
+        assert invariant_outcomes(records)["violations"] == 3
+
     def test_build_report_bundle(self, swept_store):
         report = build_report(swept_store)
         assert report["campaign"]["name"] == "agg"

@@ -111,10 +111,47 @@ class TestStateSpaceExplorer:
         assert not report.all_predicates_hold
         assert all(len(f.path) >= 1 for f in report.failures)
 
+    def test_failures_carry_replayable_traces(self, diamond):
+        # PredicateFailure.trace is a full counterexample: replaying its
+        # actions through the automaton reproduces the violating state
+        initial_signature = NewPartialReversal(diamond).initial_state().signature()
+        report = explore_and_check(
+            NewPartialReversal(diamond),
+            {"is-initial": lambda s: s.signature() == initial_signature},
+        )
+        for failure in report.failures:
+            assert failure.trace.predicate_name == "is-initial"
+            assert failure.trace.actions == failure.path
+            execution = failure.trace.replay(NewPartialReversal(diamond))
+            execution.validate()
+            assert execution.final_state.signature() != initial_signature
+
     def test_report_string(self, bad_chain):
         report = StateSpaceExplorer(NewPartialReversal(bad_chain)).explore()
         text = str(report)
         assert "states" in text and "transitions" in text
+
+    def test_report_string_exact_format(self, bad_chain):
+        report = StateSpaceExplorer(NewPartialReversal(bad_chain)).explore()
+        assert str(report) == (
+            f"[NewPR] {report.states_explored} states, "
+            f"{report.transitions_explored} transitions, "
+            f"depth {report.max_depth}, "
+            f"{report.quiescent_states} quiescent — OK"
+        )
+
+    def test_report_string_failure_branch(self, diamond):
+        report = explore_and_check(
+            NewPartialReversal(diamond), {"never": lambda s: False}
+        )
+        text = str(report)
+        assert f"{len(report.failures)} FAILURE(S)" in text
+        assert "(truncated)" not in text
+
+    def test_report_string_truncated_branch(self, bad_grid):
+        report = StateSpaceExplorer(NewPartialReversal(bad_grid), max_states=2).explore()
+        assert report.truncated
+        assert str(report).endswith("(truncated)")
 
 
 class TestRandomWalkChecker:

@@ -1,0 +1,120 @@
+"""Differential regression tests: frontier engine vs. the legacy explorer.
+
+The legacy :class:`~repro.exploration.state_space.StateSpaceExplorer`
+materialises a full state object per transition; the production
+:class:`~repro.exploration.checker.ModelChecker` explores compact int
+signatures through compiled kernels.  These tests pin the rewrite to the
+reference semantics on the seed graphs: identical state / transition /
+quiescence counts, identical BFS depths, identical truncation behaviour and
+identical predicate-failure sequences (including the action paths), so the
+engine swap provably preserves what "exhaustively explored" means.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.full_reversal import FullReversal
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal
+from repro.exploration.checker import ModelChecker
+from repro.exploration.state_space import StateSpaceExplorer
+from repro.verification.acyclicity import is_acyclic
+from repro.verification.invariants import newpr_invariant_checks, pr_invariant_checks
+
+ALGORITHM_CLASSES = (PartialReversal, OneStepPartialReversal, NewPartialReversal, FullReversal)
+
+#: The report fields that must match field-for-field between the engines.
+REPORT_FIELDS = (
+    "states_explored",
+    "transitions_explored",
+    "quiescent_states",
+    "max_depth",
+    "truncated",
+)
+
+
+def _legacy(automaton, predicates=None, **kwargs):
+    return StateSpaceExplorer(automaton, predicates, **kwargs).explore()
+
+
+def _frontier(automaton, predicates=None, **kwargs):
+    kwargs.setdefault("max_traced_failures", 10_000)
+    if "use_single_actions_only" in kwargs:
+        kwargs["single_actions_only"] = kwargs.pop("use_single_actions_only")
+    return ModelChecker(automaton, predicates, **kwargs).run()
+
+
+def _summaries(report):
+    return tuple(getattr(report, field) for field in REPORT_FIELDS)
+
+
+@pytest.fixture(params=["bad_chain", "diamond", "bad_grid", "good_chain", "worst_chain"])
+def seed_graph(request):
+    """Every canonical seed instance from conftest, one at a time."""
+    return request.getfixturevalue(request.param)
+
+
+class TestReportEquivalence:
+    @pytest.mark.parametrize("automaton_class", ALGORITHM_CLASSES)
+    def test_counts_depth_and_quiescence_match(self, automaton_class, seed_graph):
+        legacy = _legacy(automaton_class(seed_graph))
+        frontier = _frontier(automaton_class(seed_graph))
+        assert _summaries(frontier) == _summaries(legacy)
+
+    @pytest.mark.parametrize("automaton_class", (PartialReversal,))
+    def test_single_action_mode_matches(self, automaton_class, seed_graph):
+        legacy = _legacy(automaton_class(seed_graph), use_single_actions_only=True)
+        frontier = _frontier(automaton_class(seed_graph), use_single_actions_only=True)
+        assert _summaries(frontier) == _summaries(legacy)
+
+    @pytest.mark.parametrize("max_states", [1, 3, 10])
+    def test_truncation_behaviour_matches(self, max_states, bad_grid):
+        for automaton_class in ALGORITHM_CLASSES:
+            legacy = _legacy(automaton_class(bad_grid), max_states=max_states)
+            frontier = _frontier(automaton_class(bad_grid), max_states=max_states)
+            assert _summaries(frontier) == _summaries(legacy)
+            assert frontier.truncated
+
+    def test_sharded_matches_legacy_too(self, bad_grid):
+        for automaton_class in ALGORITHM_CLASSES:
+            legacy = _legacy(automaton_class(bad_grid))
+            sharded = _frontier(automaton_class(bad_grid), workers=2)
+            assert _summaries(sharded) == _summaries(legacy)
+
+
+class TestPredicateFailureEquivalence:
+    def _planted(self, automaton):
+        initial_signature = automaton.initial_state().signature()
+        return {
+            "is-initial": lambda s: s.signature() == initial_signature,
+            "at-most-two-reversals": lambda s: bin(s.graph_signature()).count("1") <= 2,
+        }
+
+    @pytest.mark.parametrize("automaton_class", ALGORITHM_CLASSES)
+    def test_failures_and_paths_match_exactly(self, automaton_class, seed_graph):
+        legacy = _legacy(
+            automaton_class(seed_graph), self._planted(automaton_class(seed_graph))
+        )
+        frontier = _frontier(
+            automaton_class(seed_graph), self._planted(automaton_class(seed_graph))
+        )
+        assert len(frontier.failures) == len(legacy.failures)
+        # same discovery order, same predicate names, same action paths
+        assert [
+            (f.predicate_name, f.path) for f in frontier.failures
+        ] == [(f.predicate_name, f.path) for f in legacy.failures]
+
+    def test_invariant_bundles_clean_on_both(self, seed_graph):
+        for automaton_class, predicates in (
+            (PartialReversal, pr_invariant_checks()),
+            (OneStepPartialReversal, pr_invariant_checks()),
+            (NewPartialReversal, newpr_invariant_checks()),
+            (FullReversal, {"acyclic": is_acyclic}),
+        ):
+            legacy = _legacy(automaton_class(seed_graph), dict(predicates))
+            frontier = _frontier(automaton_class(seed_graph), dict(predicates))
+            assert legacy.all_predicates_hold
+            assert frontier.all_predicates_hold
+            assert _summaries(frontier) == _summaries(legacy)
