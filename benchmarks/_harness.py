@@ -62,7 +62,13 @@ def _baseline_workloads():
 
 
 def measure_baseline(repeats: int = 3) -> dict:
-    """Time every tracked workload (best of ``repeats``) and return seconds."""
+    """Time every tracked workload (best of ``repeats``) and return seconds.
+
+    Rounded to microseconds: the kernel-engine workloads run in fractions of
+    a millisecond, where the old 4-decimal rounding quantum (0.1 ms) was a
+    double-digit percentage of the measurement and made the CI regression
+    gate flap on quantisation alone.
+    """
     timings = {}
     for name, workload in _baseline_workloads().items():
         best = float("inf")
@@ -70,7 +76,7 @@ def measure_baseline(repeats: int = 3) -> dict:
             start = time.perf_counter()
             workload()
             best = min(best, time.perf_counter() - start)
-        timings[name] = round(best, 4)
+        timings[name] = round(best, 6)
     return timings
 
 

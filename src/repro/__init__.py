@@ -9,6 +9,9 @@ paper's new parity-based variant ``NewPR``, and the Full Reversal baseline
   paper does (:mod:`repro.automata`);
 * verification machinery for the paper's invariants, the acyclicity theorems
   and the simulation relations R' and R (:mod:`repro.verification`);
+* compiled int-signature kernels — the shared fast-path substrate of the
+  exhaustive model checker and the scenario simulation engine
+  (:mod:`repro.kernels`);
 * a bounded model checker that exhaustively explores reachable states of any
   automaton on small instances (:mod:`repro.exploration`);
 * schedulers / adversaries, work-counting and game-theoretic analysis

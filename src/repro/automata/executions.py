@@ -219,6 +219,10 @@ def run(
     execution = Execution(automaton, state)
     scheduler.reset(automaton)
 
+    # hoisted so the hot loop never iterates an empty dispatch list: a run
+    # without observers pays no per-step dispatch cost at all
+    dispatch_observers = bool(observers)
+
     steps = 0
     converged = False
     while steps < max_steps:
@@ -231,8 +235,9 @@ def run(
                 f"scheduler {scheduler!r} selected disabled action {action!r}"
             )
         next_state = automaton.apply(state, action)
-        for observer in observers:
-            observer(steps, state, action, next_state)
+        if dispatch_observers:
+            for observer in observers:
+                observer(steps, state, action, next_state)
         if record_states:
             execution.append(action, next_state)
         else:

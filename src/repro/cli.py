@@ -50,7 +50,7 @@ from repro.analysis.game_theory import (
     partial_reversal_profile,
 )
 from repro.analysis.statistics import quadratic_fit_r2
-from repro.analysis.work import count_reversals, worst_case_sweep
+from repro.analysis.work import count_reversals, kernel_count_reversals, worst_case_sweep
 from repro.core.full_reversal import FullReversal
 from repro.core.graph import LinkReversalInstance
 from repro.core.new_pr import NewPartialReversal
@@ -60,6 +60,7 @@ from repro.distributed.network import AsyncLinkReversalNetwork
 from repro.distributed.protocol import ReversalMode
 from repro.experiments.aggregate import build_report
 from repro.experiments.executor import run_campaign
+from repro.experiments.runner import ENGINE_CHOICES, ENGINE_KERNEL, ENGINE_LEGACY
 from repro.experiments.spec import ALGORITHM_FACTORIES, FAILURE_MODELS, CampaignSpec, derive_seed
 from repro.experiments.store import ResultStore
 from repro.exploration.checker import ModelChecker
@@ -91,11 +92,27 @@ build_topology = build_family
 def cmd_run(args: argparse.Namespace) -> int:
     instance = build_topology(args.topology, args.nodes, args.seed)
     automaton = ALGORITHMS[args.algorithm](instance)
-    scheduler = SCHEDULERS[args.scheduler](args.seed)
-    summary = count_reversals(automaton, scheduler, max_steps=args.max_steps)
+    # the compiled-kernel fast path and the object path are differentially
+    # tested to produce identical summaries, so --engine only changes speed
+    summary = None
+    engine_used = ENGINE_LEGACY
+    if args.engine != ENGINE_LEGACY:
+        summary = kernel_count_reversals(
+            automaton, args.scheduler, seed=args.seed, max_steps=args.max_steps
+        )
+        if summary is not None:
+            engine_used = ENGINE_KERNEL
+        elif args.engine == ENGINE_KERNEL:
+            print(f"error: no kernel fast path for algorithm {args.algorithm!r}; "
+                  f"use --engine legacy", file=sys.stderr)
+            return 2
+    if summary is None:
+        scheduler = SCHEDULERS[args.scheduler](args.seed)
+        summary = count_reversals(automaton, scheduler, max_steps=args.max_steps)
     if args.json:
         payload = summary.to_dict()
         payload.update(
+            engine=engine_used,
             topology=args.topology,
             nodes=instance.node_count,
             edges=instance.edge_count,
@@ -108,6 +125,7 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"{instance.edge_count} edges, {len(instance.bad_nodes())} bad)")
         print(f"algorithm     : {summary.algorithm}")
         print(f"scheduler     : {summary.scheduler}")
+        print(f"engine        : {engine_used}")
         print(f"node steps    : {summary.node_steps}")
         print(f"edge reversals: {summary.edge_reversals}")
         print(f"dummy steps   : {summary.dummy_steps}")
@@ -403,15 +421,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         resume=not args.no_resume,
         progress=progress,
+        engine=args.engine,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
+        engines = ", ".join(f"{k}={v}" for k, v in sorted(report.engines.items())) or "-"
+        cache = ", ".join(f"{k}={v}" for k, v in sorted(report.kernel_cache.items())) or "-"
         print(f"campaign      : {campaign.name} ({report.total} runs)")
         print(f"store         : {store.root}")
         print(f"skipped       : {report.skipped} (already stored)")
         print(f"executed      : {report.executed} with {report.workers} worker(s)")
         print(f"ok/err/timeout/crash: {report.ok}/{report.errors}/{report.timeouts}/{report.crashed}")
+        print(f"engines       : {engines}")
+        print(f"kernel cache  : {cache}")
         print(f"wall time     : {report.wall_time_s:.2f}s "
               f"({report.runs_per_second:.1f} runs/s)")
     return 0 if report.errors == 0 and report.crashed == 0 else 1
@@ -431,6 +454,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     print(f"store    : {data['store']}")
     print(f"statuses : {data['status_counts']}")
+    print(f"engines  : {data['engine_counts']}")
     invariants = data["invariants"]
     print(f"invariants: {invariants['runs']} ok runs, "
           f"{invariants['acyclic_final']} acyclic, "
@@ -479,6 +503,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--nodes", type=int, default=20)
     run_parser.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="greedy")
     run_parser.add_argument("--max-steps", type=int, default=None)
+    run_parser.add_argument("--engine", choices=ENGINE_CHOICES, default="auto",
+                            help="execution engine: compiled int kernels (auto/kernel) "
+                                 "or the object-level oracle (legacy)")
     run_parser.add_argument("--dot", help="write the final orientation to this DOT file")
     run_parser.add_argument("--json", action="store_true",
                             help="print the work summary as JSON")
@@ -576,6 +603,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="failures / mobility steps per run")
     sweep_parser.add_argument("--max-steps", type=int, default=None,
                               help="per-run step bound")
+    sweep_parser.add_argument("--engine", choices=ENGINE_CHOICES, default="auto",
+                              help="execution engine for every run: auto picks the "
+                                   "compiled kernel fast path whenever the algorithm "
+                                   "has one; legacy forces the object-path oracle")
     sweep_parser.add_argument("--store", required=True,
                               help="result store directory (created if missing)")
     sweep_parser.add_argument("--workers", type=int, default=1,

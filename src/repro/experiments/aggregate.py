@@ -178,6 +178,7 @@ def build_report(
         "store": str(store.root),
         "campaign": store.load_campaign(),
         "status_counts": status_counts(store),
+        "engine_counts": store.engine_counts(),
         "invariants": invariant_outcomes(records),
         "group_by": list(by),
         "metric": metric,

@@ -31,11 +31,11 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro._mp import fork_preferring_context
-from repro.experiments.runner import run_scenarios
+from repro.experiments.runner import ENGINE_AUTO, kernel_cache_stats, run_scenarios
 from repro.experiments.spec import CRASH_SENTINEL, CampaignSpec
 from repro.experiments.store import ResultStore
 
@@ -54,6 +54,11 @@ class CampaignReport:
     workers: int = 1
     wall_time_s: float = 0.0
     shard: Optional[str] = None
+    #: Executed runs per engine (``kernel`` / ``legacy`` / ``none`` for runs
+    #: that failed before an engine was selected).
+    engines: Dict[str, int] = field(default_factory=dict)
+    #: Summed kernel-cache counters across every worker that ran a chunk.
+    kernel_cache: Dict[str, int] = field(default_factory=dict)
 
     @property
     def runs_per_second(self) -> float:
@@ -76,15 +81,42 @@ class CampaignReport:
             "wall_time_s": round(self.wall_time_s, 4),
             "runs_per_second": round(self.runs_per_second, 2),
             "shard": self.shard,
+            "engines": dict(sorted(self.engines.items())),
+            "kernel_cache": dict(sorted(self.kernel_cache.items())),
         }
 
 
-def _execute_chunk(chunk: List[Dict[str, Any]], timeout_s: Optional[float]) -> List[Dict[str, Any]]:
-    """Worker entry point: run one chunk of scenario dicts."""
+def _run_chunk_with_stats(
+    chunk: List[Dict[str, Any]], timeout_s: Optional[float], engine: str
+) -> Dict[str, Any]:
+    """Run one chunk and report the kernel-cache counter *delta* alongside.
+
+    The cache is process-global and chunks from other campaigns may have
+    warmed it, so only the delta is attributable to this chunk.
+    """
+    before = kernel_cache_stats()
+    records = run_scenarios(chunk, timeout_s=timeout_s, engine=engine)
+    after = kernel_cache_stats()
+    return {
+        "records": records,
+        "kernel_cache": {name: after[name] - before[name] for name in after},
+    }
+
+
+def _execute_chunk(
+    chunk: List[Dict[str, Any]], timeout_s: Optional[float], engine: str = ENGINE_AUTO
+) -> Dict[str, Any]:
+    """*Worker* entry point: run one chunk of scenario dicts.
+
+    The crash sentinel hard-exits here by design — it must only ever run in
+    a pooled worker process; the inline (``workers <= 1``) path calls
+    :func:`_run_chunk_with_stats` directly so a sentinel spec is executed
+    in-process and recorded as an error instead of killing the campaign.
+    """
     for spec in chunk:
         if spec.get("algorithm") == CRASH_SENTINEL:
             os._exit(43)
-    return run_scenarios(chunk, timeout_s=timeout_s)
+    return _run_chunk_with_stats(chunk, timeout_s, engine)
 
 
 def _crashed_records(chunk: Sequence[Dict[str, Any]], detail: str) -> List[Dict[str, Any]]:
@@ -93,7 +125,7 @@ def _crashed_records(chunk: Sequence[Dict[str, Any]], detail: str) -> List[Dict[
     for spec in chunk:
         record = dict(spec)
         record.update(
-            status="crashed", error=detail,
+            status="crashed", error=detail, engine=None,
             node_steps=0, edge_reversals=0, dummy_steps=0, rounds=0, steps_taken=0,
             converged=False, destination_oriented=False, acyclic_final=False,
             failures_applied=0, partition_skips=0, reorientations=0,
@@ -127,6 +159,7 @@ def run_campaign(
     timeout_s: Optional[float] = None,
     resume: bool = True,
     progress: Optional[Callable[[int, int], None]] = None,
+    engine: str = ENGINE_AUTO,
 ) -> CampaignReport:
     """Execute (the missing part of) a campaign and persist every record.
 
@@ -145,6 +178,11 @@ def run_campaign(
         with ``status="timeout"``.
     progress:
         Optional ``callback(done, pending_total)`` invoked after every chunk.
+    engine:
+        Execution engine for every run (see
+        :func:`repro.experiments.runner.execute_scenario`): ``"auto"``
+        (default — compiled kernels whenever the spec supports them),
+        ``"kernel"`` or ``"legacy"``.
     """
     start = time.perf_counter()
     specs = [spec.to_dict() for spec in campaign.expand()]
@@ -184,14 +222,21 @@ def run_campaign(
                 report.crashed += 1
             else:
                 report.errors += 1
+            engine_used = record.get("engine") or "none"
+            report.engines[engine_used] = report.engines.get(engine_used, 0) + 1
         if progress is not None:
             progress(done, len(pending))
 
+    def _absorb_chunk_result(result: Dict[str, Any]) -> None:
+        for name, value in result.get("kernel_cache", {}).items():
+            report.kernel_cache[name] = report.kernel_cache.get(name, 0) + value
+        _absorb(result["records"])
+
     if workers <= 1:
         for chunk in chunks:
-            _absorb(run_scenarios(chunk, timeout_s=timeout_s))
+            _absorb_chunk_result(_run_chunk_with_stats(chunk, timeout_s, engine))
     else:
-        _run_pooled(chunks, workers, timeout_s, _absorb)
+        _run_pooled(chunks, workers, timeout_s, engine, _absorb, _absorb_chunk_result)
 
     report.wall_time_s = time.perf_counter() - start
     return report
@@ -201,7 +246,9 @@ def _run_pooled(
     chunks: List[List[Dict[str, Any]]],
     workers: int,
     timeout_s: Optional[float],
+    engine: str,
     absorb: Callable[[List[Dict[str, Any]]], None],
+    absorb_chunk_result: Callable[[Dict[str, Any]], None],
 ) -> None:
     """Dispatch chunks over a process pool, surviving worker crashes.
 
@@ -217,7 +264,7 @@ def _run_pooled(
     pool_broke = False
     with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
         futures = {
-            pool.submit(_execute_chunk, chunk, timeout_s): index
+            pool.submit(_execute_chunk, chunk, timeout_s, engine): index
             for index, chunk in remaining.items()
         }
         not_done = set(futures)
@@ -226,7 +273,7 @@ def _run_pooled(
             for future in finished:
                 index = futures[future]
                 try:
-                    records = future.result()
+                    result = future.result()
                 except BrokenProcessPool:
                     pool_broke = True
                     continue  # stays in `remaining` for quarantine
@@ -235,7 +282,7 @@ def _run_pooled(
                         remaining.pop(index), f"{type(exc).__name__}: {exc}"
                     ))
                     continue
-                absorb(records)
+                absorb_chunk_result(result)
                 remaining.pop(index)
             if pool_broke:
                 break
@@ -248,8 +295,8 @@ def _run_pooled(
         chunk = remaining[index]
         try:
             with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
-                records = pool.submit(_execute_chunk, chunk, timeout_s).result()
+                result = pool.submit(_execute_chunk, chunk, timeout_s, engine).result()
         except Exception as exc:  # noqa: BLE001 — BrokenProcessPool included
             absorb(_crashed_records(chunk, f"worker process died: {type(exc).__name__}: {exc}"))
             continue
-        absorb(records)
+        absorb_chunk_result(result)

@@ -3,8 +3,29 @@
 :func:`execute_scenario` is the function the sharded executor ships to its
 worker pool.  It takes a :class:`~repro.experiments.spec.ScenarioSpec` (or its
 plain-dict form — the only thing that actually crosses the process boundary),
-rebuilds the instance / automaton / scheduler locally, runs to quiescence and
-returns a flat, JSON-compatible result record.
+rebuilds the instance locally, runs the scenario to quiescence and returns a
+flat, JSON-compatible result record.
+
+Two execution engines, selected by the ``engine`` argument:
+
+``kernel`` (the fast path)
+    The scenario runs on the compiled int kernels of :mod:`repro.kernels`:
+    scheduler decisions, convergence detection, work/round accounting and
+    the churn phases all operate on int signatures — no automaton state is
+    ever materialised.  Available when the algorithm has a compiled kernel
+    (PR, OneStepPR, NewPR, FR) *and* the scheduler has a mask-level twin
+    (every registry scheduler does).
+``legacy`` (the oracle and fallback)
+    The original object path: :func:`repro.automata.executions.run` over the
+    I/O automaton with per-step observers.  BLL (and any future automaton
+    without a kernel) always runs here.  The differential test suite pins
+    the two engines to field-for-field identical records, which is what
+    makes the kernel path trustworthy.
+
+``engine="auto"`` (the default) picks ``kernel`` whenever the spec supports
+it.  Per-process :class:`~repro.kernels.simulator.KernelCache` amortises
+topology construction and kernel compilation across the scenarios of a
+worker chunk (campaign cells share paired topology seeds by design).
 
 Three execution modes, selected by ``spec.failure_model``:
 
@@ -26,40 +47,158 @@ Three execution modes, selected by ``spec.failure_model``:
 
 Work counters accumulate across the convergence and every repair phase, so
 ``node_steps`` is the total work of the whole scenario.  A cooperative
-per-run timeout is enforced by an observer that checks the wall clock at
-every automaton step and aborts the run with status ``"timeout"``.
+per-run timeout is enforced by checking the wall clock every
+:data:`~repro.kernels.simulator.DEADLINE_CHECK_STRIDE` automaton steps
+(always including the first, so an already-expired budget aborts
+immediately) and recording the run with status ``"timeout"``.
 """
 
 from __future__ import annotations
 
 import random
 import time
-from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.work import WorkObserver
 from repro.automata.executions import run
-from repro.core.graph import LinkReversalInstance
+from repro.core.full_reversal import FullReversal
+from repro.core.graph import DirectedEdge, LinkReversalInstance
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal
 from repro.experiments.spec import ALGORITHM_FACTORIES, ScenarioSpec, derive_seed
+from repro.kernels import (
+    MASK_SCHEDULER_FACTORIES,
+    KernelCache,
+    RoundTally,
+    SignatureSimulator,
+    WorkTally,
+    compile_expander,
+    make_mask_scheduler,
+    mask_directed_edges,
+)
+from repro.kernels.signature import mask_final_state_checks
+from repro.kernels.simulator import DEADLINE_CHECK_STRIDE, DeadlineExceeded
 from repro.schedulers import make_scheduler
 from repro.topology.generators import build_family
 from repro.verification.acyclicity import is_acyclic
 
 Node = Hashable
 
+#: Engine names accepted by :func:`execute_scenario` / ``repro sweep --engine``.
+ENGINE_AUTO = "auto"
+ENGINE_KERNEL = "kernel"
+ENGINE_LEGACY = "legacy"
+ENGINE_CHOICES = (ENGINE_AUTO, ENGINE_KERNEL, ENGINE_LEGACY)
 
-class ScenarioTimeout(Exception):
+#: Automata with a compiled signature kernel (mirrors ``compile_expander``).
+_KERNEL_AUTOMATA = (
+    PartialReversal,
+    OneStepPartialReversal,
+    NewPartialReversal,
+    FullReversal,
+)
+
+#: Per-process cache of instances and compiled kernels (see KernelCache).
+#: Sized to hold a full campaign axis sweep's worth of topologies (families ×
+#: sizes × replicates regularly reaches several dozen distinct instances).
+_KERNEL_CACHE = KernelCache(capacity=64)
+
+#: Per-topology bad-node counts (instance-level, so shared across every
+#: algorithm/scheduler cell of a replicate), keyed like the kernel cache.
+_BAD_NODES_MEMO: Dict[Tuple[str, int, int], int] = {}
+
+
+def _bad_node_count(cache_key: Tuple[str, int, int], instance) -> int:
+    count = _BAD_NODES_MEMO.get(cache_key)
+    if count is None:
+        count = len(instance.bad_nodes())
+        if len(_BAD_NODES_MEMO) >= 64:
+            _BAD_NODES_MEMO.clear()
+        _BAD_NODES_MEMO[cache_key] = count
+    return count
+
+
+#: Final-state verdicts per (topology key, final mask) — a pure function of
+#: the two, and by confluence every scheduler drives an algorithm on one
+#: topology to the same final orientation, so campaign cells hit constantly.
+_FINAL_CHECK_MEMO: Dict[Tuple[Tuple[str, int, int], int], Tuple[bool, bool]] = {}
+
+
+def _final_state_checks(cache_key, instance, mask: int) -> Tuple[bool, bool]:
+    memo_key = (cache_key, mask)
+    verdict = _FINAL_CHECK_MEMO.get(memo_key)
+    if verdict is None:
+        verdict = mask_final_state_checks(instance, mask)
+        if len(_FINAL_CHECK_MEMO) >= 256:
+            _FINAL_CHECK_MEMO.clear()
+        _FINAL_CHECK_MEMO[memo_key] = verdict
+    return verdict
+
+
+def kernel_cache_stats() -> Dict[str, int]:
+    """Cumulative cache counters of this process's kernel cache."""
+    return _KERNEL_CACHE.stats()
+
+
+def algorithm_has_kernel(algorithm: str) -> bool:
+    """Whether the named algorithm compiles to a signature kernel."""
+    factory = ALGORITHM_FACTORIES.get(algorithm)
+    return isinstance(factory, type) and issubclass(factory, _KERNEL_AUTOMATA)
+
+
+def resolve_engine(engine: str, spec: ScenarioSpec) -> str:
+    """The engine a spec will actually run on (``"kernel"`` or ``"legacy"``).
+
+    ``"auto"`` degrades gracefully to the legacy path; an explicit
+    ``"kernel"`` request on an unsupported spec raises instead of silently
+    changing semantics.
+    """
+    if engine not in ENGINE_CHOICES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {', '.join(ENGINE_CHOICES)}"
+        )
+    supported = (
+        algorithm_has_kernel(spec.algorithm)
+        and spec.scheduler in MASK_SCHEDULER_FACTORIES
+    )
+    if engine == ENGINE_LEGACY:
+        return ENGINE_LEGACY
+    if engine == ENGINE_KERNEL:
+        if not supported:
+            raise ValueError(
+                f"no kernel fast path for algorithm {spec.algorithm!r} "
+                f"with scheduler {spec.scheduler!r}; use engine='legacy'"
+            )
+        return ENGINE_KERNEL
+    return ENGINE_KERNEL if supported else ENGINE_LEGACY
+
+
+class ScenarioTimeout(DeadlineExceeded):
     """Raised by the deadline observer when a run exceeds its time budget."""
 
 
 class _DeadlineObserver:
-    """Aborts a run when the wall clock passes ``deadline`` (cooperative)."""
+    """Aborts a run when the wall clock passes ``deadline`` (cooperative).
 
-    def __init__(self, deadline: Optional[float]):
+    The clock is read every ``stride`` steps — always including the first
+    observed step, so an already-expired deadline aborts immediately — not
+    every step: ``time.perf_counter()`` per step used to dominate short
+    automaton steps.  A run may overshoot its budget by at most
+    ``stride - 1`` steps.
+    """
+
+    def __init__(self, deadline: float, stride: int = DEADLINE_CHECK_STRIDE):
         self.deadline = deadline
+        self.stride = stride
+        self._countdown = 0
 
     def __call__(self, step_index, pre_state, action, post_state) -> None:
-        if self.deadline is not None and time.perf_counter() > self.deadline:
-            raise ScenarioTimeout(f"deadline exceeded at step {step_index}")
+        self._countdown -= 1
+        if self._countdown < 0:
+            self._countdown = self.stride - 1
+            if time.perf_counter() > self.deadline:
+                raise ScenarioTimeout(f"deadline exceeded at step {step_index}")
 
 
 class _RoundObserver:
@@ -68,7 +207,8 @@ class _RoundObserver:
     This gives a scheduler-independent notion of "rounds" — the minimum number
     of synchronous phases the observed step sequence could be folded into,
     counting a new phase whenever a node takes its second step since the
-    phase began.
+    phase began.  (:class:`repro.kernels.simulator.RoundTally` is the
+    mask-level twin of this rule.)
     """
 
     def __init__(self) -> None:
@@ -86,17 +226,43 @@ class _RoundObserver:
             self._seen.update(actors)
 
 
-def _surviving_instance(
-    instance: LinkReversalInstance, orientation, dropped_link: Tuple[Node, Node]
+def _surviving_instance_from_edges(
+    instance: LinkReversalInstance,
+    directed_edges: Sequence[DirectedEdge],
+    dropped_link: Tuple[Node, Node],
 ) -> LinkReversalInstance:
     """The instance left after removing one undirected link, keeping orientations."""
     dropped = frozenset(dropped_link)
     surviving = tuple(
         (tail, head)
-        for tail, head in orientation.directed_edges()
+        for tail, head in directed_edges
         if frozenset((tail, head)) != dropped
     )
     return LinkReversalInstance(instance.nodes, instance.destination, surviving)
+
+
+def _carried_over_instance(
+    fresh: LinkReversalInstance, directed_edges: Sequence[DirectedEdge]
+) -> Tuple[LinkReversalInstance, bool]:
+    """Re-pack a churned instance, carrying surviving edge orientations over.
+
+    Surviving links keep their current direction; new links take ``fresh``'s
+    (distance-towards-destination) direction.  When the carried orientation
+    would contain a cycle the fresh instance is used instead; the second
+    return value flags that reorientation.
+    """
+    surviving = {
+        frozenset(edge): edge
+        for edge in directed_edges
+        if frozenset(edge) in fresh.undirected_edges
+    }
+    edges = tuple(
+        surviving.get(frozenset(edge), edge) for edge in fresh.initial_edges
+    )
+    candidate = LinkReversalInstance(fresh.nodes, fresh.destination, edges)
+    if candidate.is_initially_acyclic():
+        return candidate, False
+    return fresh, True
 
 
 def _converge(automaton_factory, instance, scheduler, observers, max_steps):
@@ -110,19 +276,27 @@ def _converge(automaton_factory, instance, scheduler, observers, max_steps):
 def execute_scenario(
     spec: Union[ScenarioSpec, Dict[str, Any]],
     timeout_s: Optional[float] = None,
+    engine: str = ENGINE_AUTO,
 ) -> Dict[str, Any]:
     """Execute one scenario and return its flat result record.
 
     Never raises for per-run problems: failures are reported through the
     record's ``status`` field (``ok`` / ``timeout`` / ``error``) so one bad
-    run cannot take down a whole campaign shard.
+    run cannot take down a whole campaign shard.  The record's ``engine``
+    field says which execution path produced it (``None`` when the run
+    failed before an engine was selected).
     """
     if isinstance(spec, dict):
+        # an executor-shipped dict is exactly spec.to_dict() output: reuse it
+        # instead of re-deriving the content-hash run_id per run
+        record: Dict[str, Any] = (
+            dict(spec) if "run_id" in spec else ScenarioSpec.from_dict(spec).to_dict()
+        )
         spec = ScenarioSpec.from_dict(spec)
-
-    record: Dict[str, Any] = spec.to_dict()
+    else:
+        record = spec.to_dict()
     record.update(
-        status="ok", error=None,
+        status="ok", error=None, engine=None,
         nodes=None, edges=None, bad_nodes=None,
         node_steps=0, edge_reversals=0, dummy_steps=0, rounds=0, steps_taken=0,
         converged=False, destination_oriented=False, acyclic_final=False,
@@ -132,41 +306,20 @@ def execute_scenario(
 
     start = time.perf_counter()
     deadline = None if timeout_s is None else start + timeout_s
-    work = WorkObserver()
-    rounds = _RoundObserver()
-    observers = (work, rounds, _DeadlineObserver(deadline))
+    work: Any = WorkTally()
+    rounds: Any = RoundTally()
 
     try:
         spec.validate()
-        instance = build_family(spec.family, spec.size, spec.topology_seed)
-        record.update(
-            nodes=instance.node_count,
-            edges=instance.edge_count,
-            bad_nodes=len(instance.bad_nodes()),
-        )
-        automaton_factory = ALGORITHM_FACTORIES[spec.algorithm]
-        scheduler = make_scheduler(spec.scheduler, spec.scheduler_seed)
-
-        result = _converge(automaton_factory, instance, scheduler, observers, spec.max_steps)
-        record["steps_taken"] += result.steps_taken
-        final_state = result.final_state
-        converged = result.converged
-
-        if spec.failure_model == "link-failures" and spec.failure_count > 0:
-            instance, final_state, converged = _run_link_failures(
-                spec, instance, final_state, converged, automaton_factory, observers, record
-            )
-        elif spec.failure_model == "mobility" and spec.failure_count > 0:
-            instance, final_state, converged = _run_mobility(
-                spec, automaton_factory, observers, record, final_state, converged
-            )
-
-        record.update(
-            converged=converged,
-            destination_oriented=bool(final_state.is_destination_oriented()),
-            acyclic_final=bool(is_acyclic(final_state)),
-        )
-    except ScenarioTimeout as exc:
+        chosen = resolve_engine(engine, spec)
+        record["engine"] = chosen
+        if chosen == ENGINE_KERNEL:
+            _execute_kernel_scenario(spec, record, work, rounds, deadline)
+        else:
+            work = WorkObserver()
+            rounds = _RoundObserver()
+            _execute_legacy_scenario(spec, record, work, rounds, deadline)
+    except DeadlineExceeded as exc:
         record.update(status="timeout", error=str(exc))
     except Exception as exc:  # noqa: BLE001 — crash isolation is the contract
         record.update(status="error", error=f"{type(exc).__name__}: {exc}")
@@ -179,6 +332,189 @@ def execute_scenario(
         wall_time_s=round(time.perf_counter() - start, 6),
     )
     return record
+
+
+# ----------------------------------------------------------------------
+# kernel engine (the fast path)
+# ----------------------------------------------------------------------
+def _compiled_simulator(automaton_factory, instance) -> SignatureSimulator:
+    """A fresh simulator over a just-compiled kernel (churn-phase instances)."""
+    kernel = compile_expander(automaton_factory(instance))
+    if kernel is None:  # pragma: no cover — guarded by resolve_engine
+        raise ValueError(f"automaton {automaton_factory!r} has no kernel")
+    return SignatureSimulator(kernel)
+
+
+def _execute_kernel_scenario(spec, record, work, rounds, deadline) -> None:
+    """Run one scenario entirely on the compiled int kernels."""
+    cache_key = (spec.family, spec.size, spec.topology_seed)
+    instance = _KERNEL_CACHE.instance(
+        cache_key, lambda: build_family(spec.family, spec.size, spec.topology_seed)
+    )
+    record.update(
+        nodes=instance.node_count,
+        edges=instance.edge_count,
+        bad_nodes=_bad_node_count(cache_key, instance),
+    )
+    automaton_factory = ALGORITHM_FACTORIES[spec.algorithm]
+    # the cache holds whole simulators: their id tables are per-instance
+    # setup just like the kernel tables, and they carry no run state
+    simulator = _KERNEL_CACHE.kernel(
+        cache_key,
+        spec.algorithm,
+        lambda: SignatureSimulator(compile_expander(automaton_factory(instance))),
+    )
+    kernel = simulator.kernel
+    cached_instance = instance
+    scheduler = make_mask_scheduler(spec.scheduler, spec.scheduler_seed)
+    outcome = simulator.run_phase(
+        scheduler, max_steps=spec.max_steps, work=work, rounds=rounds, deadline=deadline
+    )
+    record["steps_taken"] += outcome.steps
+    converged = outcome.converged
+    mask = kernel.orientation_mask(outcome.signature)
+
+    if spec.failure_model == "link-failures" and spec.failure_count > 0:
+        instance, mask, converged = _kernel_link_failures(
+            spec, instance, mask, converged, automaton_factory,
+            work, rounds, deadline, record,
+        )
+    elif spec.failure_model == "mobility" and spec.failure_count > 0:
+        instance, mask, converged = _kernel_mobility(
+            spec, mask, converged, automaton_factory, work, rounds, deadline, record
+        )
+
+    if instance is cached_instance:
+        # the memo key describes the cached topology only, not churn products
+        acyclic, destination_oriented = _final_state_checks(cache_key, instance, mask)
+    else:
+        acyclic, destination_oriented = mask_final_state_checks(instance, mask)
+    record.update(
+        converged=converged,
+        destination_oriented=destination_oriented,
+        acyclic_final=acyclic,
+    )
+
+
+def _kernel_repair_phase(
+    spec, automaton_factory, candidate, phase_seed, work, rounds, deadline
+):
+    """One churn repair phase on a freshly packed instance; returns (mask, converged, steps)."""
+    simulator = _compiled_simulator(automaton_factory, candidate)
+    scheduler = make_mask_scheduler(spec.scheduler, phase_seed)
+    outcome = simulator.run_phase(
+        scheduler, max_steps=spec.max_steps, work=work, rounds=rounds, deadline=deadline
+    )
+    mask = simulator.kernel.orientation_mask(outcome.signature)
+    return mask, outcome.converged, outcome.steps
+
+
+def _kernel_link_failures(
+    spec, instance, mask, converged, automaton_factory, work, rounds, deadline, record
+):
+    """Mask-level twin of :func:`_run_link_failures` (same RNG consumption)."""
+    rng = random.Random(derive_seed(spec.scheduler_seed, "failures"))
+    for index in range(spec.failure_count):
+        candidates = sorted(instance.initial_edges)
+        if not candidates:
+            break
+        dropped = candidates[rng.randrange(len(candidates))]
+        candidate = _surviving_instance_from_edges(
+            instance, mask_directed_edges(instance, mask), dropped
+        )
+        if not candidate.is_connected():
+            record["partition_skips"] += 1
+            continue
+        mask, phase_converged, steps = _kernel_repair_phase(
+            spec, automaton_factory, candidate,
+            derive_seed(spec.scheduler_seed, "repair", index),
+            work, rounds, deadline,
+        )
+        record["failures_applied"] += 1
+        record["steps_taken"] += steps
+        instance = candidate
+        converged = converged and phase_converged
+    return instance, mask, converged
+
+
+def _kernel_mobility(
+    spec, mask, converged, automaton_factory, work, rounds, deadline, record
+):
+    """Mask-level twin of :func:`_run_mobility` (same churn decisions)."""
+    from repro.topology.manet import random_geometric_instance
+    from repro.topology.mobility import RandomWaypointMobility
+
+    instance, network = random_geometric_instance(
+        spec.size, radius=0.4, seed=spec.topology_seed
+    )
+    mobility = RandomWaypointMobility(
+        network, seed=derive_seed(spec.topology_seed, "mobility")
+    )
+    for index in range(spec.failure_count):
+        change = mobility.step()
+        if change.is_empty:
+            continue
+        fresh = mobility.network.to_instance()
+        if not fresh.is_connected():
+            record["partition_skips"] += 1
+            continue
+        candidate, reoriented = _carried_over_instance(
+            fresh, mask_directed_edges(instance, mask)
+        )
+        if reoriented:
+            record["reorientations"] += 1
+        mask, phase_converged, steps = _kernel_repair_phase(
+            spec, automaton_factory, candidate,
+            derive_seed(spec.scheduler_seed, "churn", index),
+            work, rounds, deadline,
+        )
+        record["failures_applied"] += 1
+        record["steps_taken"] += steps
+        instance = candidate
+        converged = converged and phase_converged
+    return instance, mask, converged
+
+
+# ----------------------------------------------------------------------
+# legacy engine (the object-path oracle and BLL fallback)
+# ----------------------------------------------------------------------
+def _execute_legacy_scenario(spec, record, work, rounds, deadline) -> None:
+    """Run one scenario through the object-level automaton path."""
+    observers: Tuple[Any, ...] = (work, rounds)
+    if deadline is not None:
+        observers = observers + (_DeadlineObserver(deadline),)
+
+    cache_key = (spec.family, spec.size, spec.topology_seed)
+    instance = _KERNEL_CACHE.instance(
+        cache_key, lambda: build_family(spec.family, spec.size, spec.topology_seed)
+    )
+    record.update(
+        nodes=instance.node_count,
+        edges=instance.edge_count,
+        bad_nodes=_bad_node_count(cache_key, instance),
+    )
+    automaton_factory = ALGORITHM_FACTORIES[spec.algorithm]
+    scheduler = make_scheduler(spec.scheduler, spec.scheduler_seed)
+
+    result = _converge(automaton_factory, instance, scheduler, observers, spec.max_steps)
+    record["steps_taken"] += result.steps_taken
+    final_state = result.final_state
+    converged = result.converged
+
+    if spec.failure_model == "link-failures" and spec.failure_count > 0:
+        instance, final_state, converged = _run_link_failures(
+            spec, instance, final_state, converged, automaton_factory, observers, record
+        )
+    elif spec.failure_model == "mobility" and spec.failure_count > 0:
+        instance, final_state, converged = _run_mobility(
+            spec, automaton_factory, observers, record, final_state, converged
+        )
+
+    record.update(
+        converged=converged,
+        destination_oriented=bool(final_state.is_destination_oriented()),
+        acyclic_final=bool(is_acyclic(final_state)),
+    )
 
 
 def _run_link_failures(spec, instance, final_state, converged, automaton_factory, observers, record):
@@ -195,7 +531,9 @@ def _run_link_failures(spec, instance, final_state, converged, automaton_factory
         if not candidates:
             break
         dropped = candidates[rng.randrange(len(candidates))]
-        candidate = _surviving_instance(instance, orientation, dropped)
+        candidate = _surviving_instance_from_edges(
+            instance, orientation.directed_edges(), dropped
+        )
         if not candidate.is_connected():
             record["partition_skips"] += 1
             continue
@@ -238,17 +576,10 @@ def _run_mobility(spec, automaton_factory, observers, record, final_state, conve
             continue
         # carry surviving orientations over; new links take the fresh
         # (distance-towards-destination) direction
-        surviving = {
-            frozenset(edge): edge
-            for edge in orientation.directed_edges()
-            if frozenset(edge) in fresh.undirected_edges
-        }
-        edges = tuple(
-            surviving.get(frozenset(edge), edge) for edge in fresh.initial_edges
+        candidate, reoriented = _carried_over_instance(
+            fresh, orientation.directed_edges()
         )
-        candidate = LinkReversalInstance(fresh.nodes, fresh.destination, edges)
-        if not candidate.is_initially_acyclic():
-            candidate = fresh
+        if reoriented:
             record["reorientations"] += 1
         scheduler = make_scheduler(
             spec.scheduler, derive_seed(spec.scheduler_seed, "churn", index)
@@ -256,6 +587,7 @@ def _run_mobility(spec, automaton_factory, observers, record, final_state, conve
         result = _converge(automaton_factory, candidate, scheduler, observers, spec.max_steps)
         record["failures_applied"] += 1
         record["steps_taken"] += result.steps_taken
+        instance = candidate
         final_state = result.final_state
         orientation = _orientation_of(final_state)
         converged = converged and result.converged
@@ -271,7 +603,9 @@ def _orientation_of(state):
 
 
 def run_scenarios(
-    specs: List[Dict[str, Any]], timeout_s: Optional[float] = None
+    specs: List[Dict[str, Any]],
+    timeout_s: Optional[float] = None,
+    engine: str = ENGINE_AUTO,
 ) -> List[Dict[str, Any]]:
     """Execute a chunk of scenario dicts sequentially (the worker entry point)."""
-    return [execute_scenario(spec, timeout_s=timeout_s) for spec in specs]
+    return [execute_scenario(spec, timeout_s=timeout_s, engine=engine) for spec in specs]

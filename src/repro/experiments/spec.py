@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bll import BinaryLinkLabels
@@ -125,10 +125,26 @@ class ScenarioSpec:
         return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-data form (what is sent to worker processes and stored)."""
-        data = asdict(self)
-        data["run_id"] = self.run_id
-        return data
+        """Plain-data form (what is sent to worker processes and stored).
+
+        Built by hand rather than with :func:`dataclasses.asdict` — the
+        latter deep-copies every field and dominated the campaign engine's
+        per-run dispatch overhead (every field here is already plain data).
+        """
+        return {
+            "family": self.family,
+            "size": self.size,
+            "algorithm": self.algorithm,
+            "scheduler": self.scheduler,
+            "topology_seed": self.topology_seed,
+            "scheduler_seed": self.scheduler_seed,
+            "replicate": self.replicate,
+            "failure_model": self.failure_model,
+            "failure_count": self.failure_count,
+            "max_steps": self.max_steps,
+            "campaign": self.campaign,
+            "run_id": self.run_id,
+        }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":

@@ -39,6 +39,7 @@ _COLUMNS = (
     ("failure_model", "TEXT"),
     ("failure_count", "INTEGER"),
     ("status", "TEXT"),
+    ("engine", "TEXT"),
     ("node_steps", "INTEGER"),
     ("edge_reversals", "INTEGER"),
     ("dummy_steps", "INTEGER"),
@@ -73,7 +74,24 @@ class ResultStore:
     def _connect(self) -> sqlite3.Connection:
         if self._connection is None:
             self._connection = sqlite3.connect(self.index_path)
+            # the index is *derived* data, always rebuildable from the JSONL
+            # shards (the source of truth), so durability pragmas are waived
+            # for write throughput: a torn index after a crash is repaired by
+            # consolidate(), never a data loss
+            self._connection.execute("PRAGMA journal_mode=MEMORY")
+            self._connection.execute("PRAGMA synchronous=OFF")
             self._connection.execute(_SCHEMA)
+            # migrate indexes written before a column existed (the JSONL
+            # shards are authoritative, so adding a NULL column is safe; a
+            # consolidate() backfills it from the records)
+            existing = {
+                row[1] for row in self._connection.execute("PRAGMA table_info(runs)")
+            }
+            for name, kind in _COLUMNS:
+                if name not in existing:
+                    self._connection.execute(
+                        f"ALTER TABLE runs ADD COLUMN {name} {kind.replace(' PRIMARY KEY', '')}"
+                    )
             self._connection.commit()
         return self._connection
 
@@ -106,24 +124,33 @@ class ResultStore:
     def append(self, records: Sequence[Dict[str, Any]], shard: Union[str, Path, None] = None) -> Path:
         """Append records to a shard and index them; returns the shard path."""
         shard_path = Path(shard) if shard is not None else self.new_shard()
+        # serialise each record once; the same JSON goes into the shard line
+        # and the index's record column
+        dumped = [json.dumps(record, sort_keys=True) for record in records]
         with shard_path.open("a", encoding="utf-8") as handle:
-            for record in records:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._index(records)
+            for line in dumped:
+                handle.write(line + "\n")
+        self._index(records, dumped)
         return shard_path
 
-    def _index(self, records: Sequence[Dict[str, Any]]) -> None:
+    def _index(
+        self,
+        records: Sequence[Dict[str, Any]],
+        dumped: Optional[Sequence[str]] = None,
+    ) -> None:
         connection = self._connect()
         names = [name for name, _ in _COLUMNS]
         placeholders = ", ".join("?" for _ in range(len(names) + 1))
         sql = f"INSERT OR REPLACE INTO runs ({', '.join(names)}, record) VALUES ({placeholders})"
+        if dumped is None:
+            dumped = [json.dumps(record, sort_keys=True) for record in records]
         rows = []
-        for record in records:
+        for record, line in zip(records, dumped):
             values = [record.get(name) for name in names]
             for i, (name, kind) in enumerate(_COLUMNS):
                 if kind == "INTEGER" and isinstance(values[i], bool):
                     values[i] = int(values[i])
-            rows.append((*values, json.dumps(record, sort_keys=True)))
+            rows.append((*values, line))
         connection.executemany(sql, rows)
         connection.commit()
 
@@ -189,6 +216,20 @@ class ResultStore:
         return dict(
             connection.execute("SELECT status, COUNT(*) FROM runs GROUP BY status")
         )
+
+    def engine_counts(self) -> Dict[str, int]:
+        """Stored runs per execution engine (``kernel`` / ``legacy`` / ``none``).
+
+        ``none`` aggregates runs with no recorded engine: failures before an
+        engine was selected, crashed placeholders and pre-engine records.
+        """
+        connection = self._connect()
+        return {
+            engine if engine is not None else "none": count
+            for engine, count in connection.execute(
+                "SELECT engine, COUNT(*) FROM runs GROUP BY engine"
+            )
+        }
 
     def records(self, **filters: Any) -> List[Dict[str, Any]]:
         """Full records matching equality filters on the indexed columns.

@@ -17,6 +17,11 @@ facts at the largest instance sizes the hardware allows:
 * :mod:`repro.exploration.enumerate_graphs` — enumeration of all small DAG
   instances so the exhaustive check can quantify over *graphs* as well as
   over states.
+
+The compiled signature kernels the checker explores with now live in
+:mod:`repro.kernels` (they are shared with the scenario simulation engine);
+the historical names are still re-exported here and from
+:mod:`repro.exploration.frontier`.
 """
 
 from repro.exploration.checker import CheckReport, ModelChecker, check_exhaustively

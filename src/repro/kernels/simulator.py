@@ -1,0 +1,326 @@
+"""The mask-level scenario simulator: whole executions as pure int ops.
+
+:class:`SignatureSimulator` drives a compiled
+:class:`~repro.kernels.signature.SignatureExpander` through an entire
+convergence phase — scheduler decisions, work and round accounting,
+convergence detection and the cooperative deadline — without materialising a
+single :class:`~repro.core.graph.Orientation` or automaton state:
+
+* the **sink set is maintained incrementally**: a step by node ``i`` can
+  only change the sink status of ``i`` itself and of the neighbours whose
+  edge it flipped, so each step updates ``O(deg(i))`` candidates via one
+  XOR/AND membership test each instead of rescanning the graph;
+* **work accounting is signature-XOR**: ``edge_reversals`` is the popcount
+  of ``pre ^ post`` over the edge bits, and an actor's step is a dummy step
+  iff the XOR misses its incident-edge mask — the same arithmetic
+  :class:`repro.analysis.work.WorkObserver` uses, minus the state objects;
+* **rounds** replicate the experiment runner's scheduler-independent round
+  rule (a new round starts whenever an actor takes its second step since
+  the round began), tracking actor *nodes* so the count keeps accumulating
+  across churn phases whose instances re-index the ids;
+* the **deadline** is checked every :data:`DEADLINE_CHECK_STRIDE` steps
+  (always including the first), mirroring the legacy observer's stride.
+
+The object-level execution engine (:func:`repro.automata.executions.run`)
+remains the documented oracle; the experiment runner's differential tests
+pin the two paths to field-for-field identical results.
+
+:class:`KernelCache` is the per-process amortiser: campaign workers execute
+chunks of scenarios that mostly share ``(family, size, topology_seed)``
+topologies, so instances and compiled kernels are LRU-cached with hit/miss
+counters that surface in ``repro sweep --json``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.graph import LinkReversalInstance
+from repro.kernels.schedulers import MaskScheduler
+from repro.kernels.signature import PartialReversalExpander, SignatureExpander
+
+#: Steps between wall-clock reads of a cooperative deadline.  The first step
+#: of every phase is always checked, so an already-expired budget aborts
+#: immediately (exact-timeout semantics); past that, a run may overshoot its
+#: deadline by at most ``stride - 1`` steps.
+DEADLINE_CHECK_STRIDE = 64
+
+
+class DeadlineExceeded(Exception):
+    """Raised by the hot loop when a phase passes its wall-clock deadline."""
+
+
+class WorkTally:
+    """Accumulated work counters of one scenario (across all its phases)."""
+
+    __slots__ = ("node_steps", "edge_reversals", "dummy_steps")
+
+    def __init__(self) -> None:
+        self.node_steps = 0
+        self.edge_reversals = 0
+        self.dummy_steps = 0
+
+
+class RoundTally:
+    """Scheduler-independent round counter (the ``_RoundObserver`` rule).
+
+    A round ends when an actor takes its second step since the round began.
+    Actors are tracked as *nodes*, not ids, so the tally keeps accumulating
+    across churn phases that rebuild the instance (ids may be re-assigned,
+    node identities are stable).
+    """
+
+    __slots__ = ("rounds", "_seen")
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        self._seen: Set[Hashable] = set()
+
+    def observe(self, actor_ids: Tuple[int, ...], nodes: Tuple[Hashable, ...]) -> None:
+        """Record one action by the nodes with the given ids."""
+        if self.rounds == 0:
+            self.rounds = 1
+        seen = self._seen
+        if len(actor_ids) == 1:  # the overwhelmingly common single-node action
+            node = nodes[actor_ids[0]]
+            if node in seen:
+                self.rounds += 1
+                self._seen = {node}
+            else:
+                seen.add(node)
+            return
+        for i in actor_ids:
+            if nodes[i] in seen:
+                self.rounds += 1
+                self._seen = {nodes[j] for j in actor_ids}
+                return
+        for i in actor_ids:
+            seen.add(nodes[i])
+
+
+@dataclass
+class PhaseOutcome:
+    """Result of one convergence phase of the simulator.
+
+    ``signature`` is the kernel-encoded final signature (mask plus packed
+    bookkeeping); ``converged`` is ``True`` iff the phase reached quiescence
+    rather than the step bound.
+    """
+
+    signature: int
+    steps: int
+    converged: bool
+
+
+class SignatureSimulator:
+    """Executes convergence phases of one kernel entirely on int signatures."""
+
+    def __init__(self, kernel: SignatureExpander):
+        self.kernel = kernel
+        self.instance: LinkReversalInstance = kernel.instance
+        instance = self.instance
+        node_id = instance._node_id
+        #: per node id: incident neighbours as ids, aligned with the CSR lists
+        self.neighbour_ids: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(node_id[v] for v in row) for row in instance._incident_nbrs
+        )
+        # per node id: (edge bit, neighbour id) pairs for the sink updates
+        self._incident: Tuple[Tuple[Tuple[int, int], ...], ...] = tuple(
+            tuple(
+                (1 << e, j)
+                for e, j in zip(instance._incident_eids[i], self.neighbour_ids[i])
+            )
+            for i in range(instance.node_count)
+        )
+        self._can_sink = [False] * instance.node_count
+        for i in kernel._sink_candidates:
+            self._can_sink[i] = True
+        #: whether the kernel accepts multi-id actions (PR's ``reverse(S)``);
+        #: a plain attribute — schedulers read it on every select call
+        self.supports_subsets = isinstance(kernel, PartialReversalExpander)
+
+    def initial_signature(self) -> int:
+        """The kernel's initial signature (fresh bookkeeping, initial mask)."""
+        return self.kernel.initial_signature()
+
+    def sink_id_set(self, sig: int) -> Set[int]:
+        """The non-destination sink ids of ``sig`` as a mutable set."""
+        return set(self.kernel.sink_ids(sig))
+
+    def run_phase(
+        self,
+        scheduler: MaskScheduler,
+        *,
+        max_steps: Optional[int] = None,
+        work: Optional[WorkTally] = None,
+        rounds: Optional[RoundTally] = None,
+        deadline: Optional[float] = None,
+        deadline_stride: int = DEADLINE_CHECK_STRIDE,
+        trace: Optional[List[Tuple[int, ...]]] = None,
+        initial_signature: Optional[int] = None,
+    ) -> PhaseOutcome:
+        """Run one phase to quiescence, a step bound or the deadline.
+
+        ``work`` and ``rounds`` tallies are updated in place (pass the same
+        objects across the phases of a scenario to accumulate, as the object
+        path shares its observers across phases).  ``trace``, when given,
+        receives the actor-id tuple of every action taken.  A blown
+        ``deadline`` raises :class:`DeadlineExceeded` *after* the current
+        step's tallies are recorded, matching the legacy observer order.
+        """
+        if max_steps is None:
+            from repro.automata.executions import DEFAULT_MAX_STEPS
+
+            max_steps = DEFAULT_MAX_STEPS
+        kernel = self.kernel
+        sig = (
+            kernel.initial_signature()
+            if initial_signature is None
+            else initial_signature
+        )
+        scheduler.bind(self)
+        sinks = self.sink_id_set(sig)
+
+        edge_mask = kernel._edge_mask
+        inc = kernel._inc
+        tail = kernel._tail
+        incident = self._incident
+        can_sink = self._can_sink
+        nodes = self.instance.nodes
+        step = kernel.step
+        select = scheduler.select
+
+        steps = 0
+        converged = False
+        deadline_countdown = 0
+        while steps < max_steps:
+            actors = select(self, sig, sinks)
+            if actors is None:
+                converged = True
+                break
+            if trace is not None:
+                trace.append(actors)
+            new_sig = sig
+            for i in actors:
+                new_sig = step(new_sig, i)
+            xor = (sig ^ new_sig) & edge_mask
+            mask = new_sig & edge_mask
+            if work is not None:
+                work.node_steps += len(actors)
+                work.edge_reversals += xor.bit_count()
+            for i in actors:
+                if xor & inc[i]:
+                    sinks.discard(i)
+                    for edge_bit, j in incident[i]:
+                        # a flipped edge now points at j: j may have become a
+                        # sink (it cannot have stopped being one)
+                        if (
+                            xor & edge_bit
+                            and can_sink[j]
+                            and not ((mask ^ tail[j]) & inc[j])
+                        ):
+                            sinks.add(j)
+                elif work is not None:
+                    work.dummy_steps += 1
+            if rounds is not None:
+                rounds.observe(actors, nodes)
+            if deadline is not None:
+                deadline_countdown -= 1
+                if deadline_countdown < 0:
+                    deadline_countdown = deadline_stride - 1
+                    if time.perf_counter() > deadline:
+                        raise DeadlineExceeded(f"deadline exceeded at step {steps}")
+            sig = new_sig
+            steps += 1
+        else:
+            # step bound reached without the scheduler declaring quiescence
+            converged = not sinks
+
+        return PhaseOutcome(signature=sig, steps=steps, converged=converged)
+
+
+class KernelCache:
+    """LRU cache of instances and compiled kernels with hit/miss counters.
+
+    Campaign chunks execute many scenarios over few distinct topologies
+    (every algorithm × scheduler × failure-model cell of one replicate shares
+    a ``(family, size, topology_seed)`` instance), so a small per-process
+    cache amortises both topology construction and kernel compilation.
+    Instances are immutable and kernels hold no run state, so sharing them
+    across scenarios is safe.  Stats are cumulative; callers snapshot
+    :meth:`stats` around a chunk to report deltas.
+    """
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._instances: "OrderedDict[Hashable, LinkReversalInstance]" = OrderedDict()
+        # values are whatever the caller compiles: a bare SignatureExpander
+        # or a wrapper built on one (the runner caches whole simulators)
+        self._kernels: "OrderedDict[Tuple[Hashable, str], object]" = OrderedDict()
+        self.instance_hits = 0
+        self.instance_builds = 0
+        self.kernel_hits = 0
+        self.kernel_compiles = 0
+
+    def instance(
+        self, key: Hashable, build: Callable[[], LinkReversalInstance]
+    ) -> LinkReversalInstance:
+        """The cached instance for ``key``, building (and caching) on a miss."""
+        cached = self._instances.get(key)
+        if cached is not None:
+            self._instances.move_to_end(key)
+            self.instance_hits += 1
+            return cached
+        self.instance_builds += 1
+        instance = build()
+        self._instances[key] = instance
+        if len(self._instances) > self.capacity:
+            evicted, _ = self._instances.popitem(last=False)
+            for kernel_key in [k for k in self._kernels if k[0] == evicted]:
+                del self._kernels[kernel_key]
+        return instance
+
+    def kernel(
+        self,
+        key: Hashable,
+        algorithm: str,
+        compile_kernel: Callable[[], Optional[object]],
+    ) -> Optional[object]:
+        """The cached compiled object for ``(key, algorithm)``.
+
+        The value is whatever ``compile_kernel`` builds — a
+        :class:`~repro.kernels.signature.SignatureExpander` or a wrapper on
+        one (e.g. a :class:`SignatureSimulator`).  A ``None`` result (no
+        kernel for this automaton) is not cached — those callers fall back
+        to the object path anyway.
+        """
+        kernel_key = (key, algorithm)
+        cached = self._kernels.get(kernel_key)
+        if cached is not None:
+            self._kernels.move_to_end(kernel_key)
+            self.kernel_hits += 1
+            return cached
+        self.kernel_compiles += 1
+        kernel = compile_kernel()
+        if kernel is not None:
+            self._kernels[kernel_key] = kernel
+        return kernel
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative cache counters (JSON-compatible)."""
+        return {
+            "instance_hits": self.instance_hits,
+            "instance_builds": self.instance_builds,
+            "kernel_hits": self.kernel_hits,
+            "kernel_compiles": self.kernel_compiles,
+        }
+
+    def clear(self) -> None:
+        """Drop every cached object (counters are kept — they are cumulative)."""
+        self._instances.clear()
+        self._kernels.clear()

@@ -285,3 +285,193 @@ def check_full_simulation_chain(pr_execution: Execution) -> SimulationChainResul
         raise RuntimeError("R' check did not produce a corresponding execution")
     r_result = check_onestep_to_newpr_simulation(onestep_execution)
     return SimulationChainResult(r_prime=r_prime_result, r=r_result)
+
+
+# ----------------------------------------------------------------------
+# mask-level fast path: the same chain on compiled int kernels
+# ----------------------------------------------------------------------
+@dataclass
+class MaskSimulationChainReport:
+    """Result of the mask-level R′-then-R chain check along a PR actor trace.
+
+    The counters mirror :class:`SimulationChainResult`: for a failure-free
+    trace, ``r_prime_points == len(trace) + 1``, ``onestep_steps`` is the
+    length of the constructed OneStepPR execution, ``r_points`` is
+    ``onestep_steps + 1`` and ``newpr_steps`` the length of the constructed
+    NewPR execution (dummy steps included).  ``failures`` records the first
+    detection of each violation (the object checkers re-report a persisting
+    violation at every subsequent point; the *verdicts* agree).  The
+    object-level checkers above remain the oracle; the differential tests
+    pin the two implementations to identical verdicts and counts.
+    """
+
+    r_prime_holds: bool
+    r_holds: bool
+    r_prime_points: int
+    r_points: int
+    pr_actions: int
+    onestep_steps: int
+    newpr_steps: int
+    failures: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        """Whether both relations held at every correspondence point."""
+        return self.r_prime_holds and self.r_holds
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+class MaskSimulationChain:
+    """Reusable mask-level checker of Theorem 5.5's simulation chain.
+
+    Compiles the OneStepPR and NewPR kernels for one instance once; every
+    :meth:`check` call then runs a single fused pass over a PR actor-id
+    trace, entirely on int signatures:
+
+    * **R′** — the PR and OneStepPR kernels share one signature layout *and*
+      one single-step function (PR's ``reverse(S)`` kernel effect is by
+      construction the composition of the members' OneStepPR steps — the
+      object-level equivalence of that composition with Algorithm 1's
+      simultaneous effect is pinned by the kernel differential tests), so
+      condition 1 (same directed graph) and condition 2 (same lists) hold
+      identically whenever the corresponding execution *exists*.  What the
+      pass verifies is exactly Lemma 5.1's remaining content: every
+      fragment action ``reverse(u)``, ``u ∈ S``, is enabled where the
+      construction needs it.
+    * **R** — per OneStepPR step the Lemma 5.3 fragment (two NewPR steps
+      when ``list[w] = nbrs(w)``, one otherwise) is applied to the NewPR
+      signature, and the relation is re-checked *incrementally*: a node's
+      (row, parity) pair only changes when the step touches it, so only the
+      actor and the partners whose row gained a bit are re-tested — the
+      parity conditions are subset tests of the ``list[u]`` row against a
+      precomputed allowed-position mask (initial out-neighbour positions
+      for even parity, in-neighbour positions for odd).
+    """
+
+    def __init__(self, instance: LinkReversalInstance):
+        from repro.kernels.signature import NewPRExpander, OneStepPRExpander
+
+        self.instance = instance
+        self._os_kernel = OneStepPRExpander(OneStepPartialReversal(instance))
+        self._npr_kernel = NewPRExpander(NewPartialReversal(instance))
+        self._edge_mask = (1 << instance.edge_count) - 1
+        self._inc = instance._incident_mask
+        self._tail = instance._tail_sel
+        n = instance.node_count
+        # per node: allowed list-row positions under even parity = positions
+        # of the initial out-neighbours (the edges the node initially tails)
+        even_allowed = []
+        for i in range(n):
+            allowed = 0
+            for k, e in enumerate(instance._incident_eids[i]):
+                if (self._tail[i] >> e) & 1:
+                    allowed |= 1 << k
+            even_allowed.append(allowed)
+        self._even_allowed = tuple(even_allowed)
+        self._odd_allowed = tuple(
+            self._os_kernel._row_mask[i] ^ even_allowed[i] for i in range(n)
+        )
+        # per node: incident neighbour ids aligned with the CSR rows
+        node_id = instance._node_id
+        self._nbr_ids = tuple(
+            tuple(node_id[v] for v in row) for row in instance._incident_nbrs
+        )
+        self._dest = instance._dest_id
+        self._degree = instance._degree
+
+    def check(self, pr_trace: Sequence[Tuple[int, ...]]) -> MaskSimulationChainReport:
+        """Check the chain along one PR execution given as actor-id tuples.
+
+        ``pr_trace`` is one tuple per ``reverse(S)`` action (e.g. recorded
+        by :meth:`repro.kernels.simulator.SignatureSimulator.run_phase`).
+        """
+        os_kernel = self._os_kernel
+        npr_kernel = self._npr_kernel
+        os_step = os_kernel.step
+        npr_step = npr_kernel.step
+        row_shift = os_kernel._row_shift
+        row_mask = os_kernel._row_mask
+        npr_shift = npr_kernel._shift
+        even_allowed = self._even_allowed
+        odd_allowed = self._odd_allowed
+        nbr_ids = self._nbr_ids
+        edge_mask = self._edge_mask
+
+        inc = self._inc
+        tail = self._tail
+        failures: List[Tuple[int, str]] = []
+        r_failures: List[Tuple[int, str]] = []
+        os_sig = os_kernel.initial_signature()
+        npr_sig = npr_kernel.initial_signature()
+        onestep_steps = 0
+        newpr_steps = 0
+        r_points = 1  # the initial correspondence point (empty rows: holds)
+
+        for index, token in enumerate(pr_trace):
+            for w in token:
+                # Lemma 5.1: the OneStepPR fragment action must be enabled
+                # (sink test inlined — this loop dominates the whole check)
+                if ((os_sig ^ tail[w]) & inc[w]) or not self._degree[w] or w == self._dest:
+                    failures.append(
+                        (index, f"corresponding OneStepPR action for id {w} not enabled")
+                    )
+                    break
+                pre_row = (os_sig >> row_shift[w]) & row_mask[w]
+                os_sig = os_step(os_sig, w)
+                onestep_steps += 1
+                # Lemma 5.3: a dummy-plus-real NewPR pair when the list was full
+                repetitions = 2 if pre_row == row_mask[w] else 1
+                fragment_ok = True
+                for _ in range(repetitions):
+                    if (npr_sig ^ tail[w]) & inc[w]:
+                        r_failures.append(
+                            (onestep_steps - 1,
+                             f"corresponding NewPR action for id {w} not enabled")
+                        )
+                        fragment_ok = False
+                        break
+                    npr_sig = npr_step(npr_sig, w)
+                    newpr_steps += 1
+                r_points += 1
+                if fragment_ok:
+                    if (os_sig ^ npr_sig) & edge_mask:
+                        r_failures.append(
+                            (onestep_steps - 1, "directed graphs differ (R)")
+                        )
+                    # only the actor's parity and its partners' rows changed;
+                    # w's own row was just cleared, so only partners matter
+                    for j in nbr_ids[w]:
+                        row = (os_sig >> row_shift[j]) & row_mask[j]
+                        if not row:
+                            continue
+                        allowed = (
+                            odd_allowed[j]
+                            if (npr_sig >> npr_shift[j]) & 1
+                            else even_allowed[j]
+                        )
+                        if row & ~allowed:
+                            r_failures.append(
+                                (onestep_steps - 1,
+                                 f"list row of id {j} escapes its parity set (R)")
+                            )
+
+        return MaskSimulationChainReport(
+            r_prime_holds=not failures,
+            r_holds=not r_failures,
+            r_prime_points=len(pr_trace) + 1,
+            r_points=r_points,
+            pr_actions=len(pr_trace),
+            onestep_steps=onestep_steps,
+            newpr_steps=newpr_steps,
+            failures=failures + r_failures,
+        )
+
+
+def check_full_simulation_chain_masks(
+    instance: LinkReversalInstance,
+    pr_trace: Sequence[Tuple[int, ...]],
+) -> MaskSimulationChainReport:
+    """One-shot convenience wrapper around :class:`MaskSimulationChain`."""
+    return MaskSimulationChain(instance).check(pr_trace)

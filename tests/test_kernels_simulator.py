@@ -1,0 +1,246 @@
+"""Unit tests for the signature-kernel simulation engine (repro.kernels)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.work import WorkObserver, count_reversals, kernel_count_reversals
+from repro.automata.executions import run
+from repro.core.bll import BinaryLinkLabels
+from repro.core.full_reversal import FullReversal
+from repro.core.graph import Orientation
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal
+from repro.kernels import (
+    MASK_SCHEDULER_FACTORIES,
+    KernelCache,
+    RoundTally,
+    SignatureSimulator,
+    WorkTally,
+    compile_expander,
+    make_mask_scheduler,
+    mask_directed_edges,
+    mask_final_state_checks,
+    mask_is_acyclic,
+    mask_is_destination_oriented,
+)
+from repro.kernels.simulator import DeadlineExceeded
+from repro.schedulers import SCHEDULER_FACTORIES, make_scheduler
+from repro.topology.generators import (
+    grid_instance,
+    random_dag_instance,
+    worst_case_chain_instance,
+)
+
+ALGORITHMS = {
+    "pr": PartialReversal,
+    "onestep-pr": OneStepPartialReversal,
+    "new-pr": NewPartialReversal,
+    "fr": FullReversal,
+}
+
+
+def _simulator(algorithm: str, instance) -> SignatureSimulator:
+    return SignatureSimulator(compile_expander(ALGORITHMS[algorithm](instance)))
+
+
+@pytest.fixture
+def instance():
+    return random_dag_instance(14, edge_probability=0.3, seed=5)
+
+
+class TestRegistryAlignment:
+    def test_every_object_scheduler_has_a_mask_twin(self):
+        assert set(MASK_SCHEDULER_FACTORIES) == set(SCHEDULER_FACTORIES)
+
+    def test_unknown_mask_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="no mask-level scheduler"):
+            make_mask_scheduler("frobnicate")
+
+    def test_subset_probability_validated(self):
+        from repro.kernels.schedulers import MaskRandomScheduler
+
+        with pytest.raises(ValueError):
+            MaskRandomScheduler(seed=1, subset_probability=1.5)
+
+
+class TestRunPhaseAgainstObjectOracle:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("scheduler", sorted(SCHEDULER_FACTORIES))
+    def test_final_graph_and_work_match_object_run(self, instance, algorithm, scheduler):
+        simulator = _simulator(algorithm, instance)
+        work, rounds = WorkTally(), RoundTally()
+        outcome = simulator.run_phase(
+            make_mask_scheduler(scheduler, seed=7), work=work, rounds=rounds
+        )
+
+        automaton = ALGORITHMS[algorithm](instance)
+        observer = WorkObserver()
+        result = run(
+            automaton, make_scheduler(scheduler, seed=7),
+            observers=(observer,), record_states=False,
+        )
+        assert outcome.converged == result.converged
+        assert outcome.steps == result.steps_taken
+        mask = simulator.kernel.orientation_mask(outcome.signature)
+        assert mask == result.final_state.graph_signature()
+        assert work.node_steps == observer.node_steps
+        assert work.edge_reversals == observer.edge_reversals
+        assert work.dummy_steps == observer.dummy_steps
+
+    def test_sink_set_empty_exactly_on_convergence(self, instance):
+        simulator = _simulator("fr", instance)
+        outcome = simulator.run_phase(make_mask_scheduler("sequential"))
+        assert outcome.converged
+        assert simulator.sink_id_set(outcome.signature) == set()
+
+    def test_trace_replays_to_final_signature(self, instance):
+        simulator = _simulator("pr", instance)
+        trace = []
+        outcome = simulator.run_phase(make_mask_scheduler("greedy"), trace=trace)
+        sig = simulator.initial_signature()
+        for token in trace:
+            for i in token:
+                sig = simulator.kernel.step(sig, i)
+        assert sig == outcome.signature
+
+    def test_step_bound_truncates_without_convergence(self):
+        instance = worst_case_chain_instance(8)
+        simulator = _simulator("fr", instance)
+        outcome = simulator.run_phase(make_mask_scheduler("sequential"), max_steps=3)
+        assert outcome.steps == 3
+        assert not outcome.converged
+
+
+class TestDeadlines:
+    def test_expired_deadline_aborts_on_first_step(self):
+        simulator = _simulator("fr", worst_case_chain_instance(10))
+        with pytest.raises(DeadlineExceeded, match="step 0"):
+            simulator.run_phase(
+                make_mask_scheduler("sequential"), deadline=time.perf_counter() - 1.0
+            )
+
+    def test_clock_read_once_per_stride(self, monkeypatch):
+        simulator = _simulator("fr", worst_case_chain_instance(10))
+        reads = []
+        real = time.perf_counter
+        monkeypatch.setattr(time, "perf_counter", lambda: reads.append(1) or real())
+        outcome = simulator.run_phase(
+            make_mask_scheduler("sequential"),
+            deadline=real() + 60.0,
+            deadline_stride=7,
+        )
+        assert outcome.converged
+        # one read at step 0, then one per completed stride of 7 steps
+        assert len(reads) == 1 + (outcome.steps - 1) // 7
+
+    def test_runner_deadline_observer_stride_and_exactness(self, monkeypatch):
+        from repro.experiments.runner import ScenarioTimeout, _DeadlineObserver
+
+        expired = _DeadlineObserver(deadline=time.perf_counter() - 1.0, stride=50)
+        with pytest.raises(ScenarioTimeout, match="step 0"):
+            expired(0, None, None, None)
+
+        reads = []
+        real = time.perf_counter
+        monkeypatch.setattr(time, "perf_counter", lambda: reads.append(1) or real())
+        patient = _DeadlineObserver(deadline=real() + 60.0, stride=10)
+        for step in range(25):
+            patient(step, None, None, None)
+        assert len(reads) == 3  # steps 0, 10 and 20
+
+
+class TestMaskHelpers:
+    def test_directed_edges_match_orientation(self, instance):
+        for mask in (0, 5, (1 << instance.edge_count) - 1):
+            assert mask_directed_edges(instance, mask) == Orientation(
+                instance, mask
+            ).directed_edges()
+
+    def test_final_state_checks_match_individual_checks(self, instance):
+        for mask in range(0, 1 << min(instance.edge_count, 6)):
+            assert mask_final_state_checks(instance, mask) == (
+                mask_is_acyclic(instance, mask),
+                mask_is_destination_oriented(instance, mask),
+            )
+
+
+class TestKernelCache:
+    def test_instance_and_kernel_hit_counting(self, instance):
+        cache = KernelCache(capacity=4)
+        built = []
+
+        def build():
+            built.append(1)
+            return instance
+
+        assert cache.instance("k", build) is instance
+        assert cache.instance("k", build) is instance
+        assert len(built) == 1
+        kernel = cache.kernel("k", "fr", lambda: compile_expander(FullReversal(instance)))
+        assert cache.kernel("k", "fr", lambda: None) is kernel
+        stats = cache.stats()
+        assert stats["instance_builds"] == 1 and stats["instance_hits"] == 1
+        assert stats["kernel_compiles"] == 1 and stats["kernel_hits"] == 1
+
+    def test_eviction_drops_dependent_kernels(self):
+        cache = KernelCache(capacity=1)
+        first = worst_case_chain_instance(3)
+        second = worst_case_chain_instance(4)
+        cache.instance("a", lambda: first)
+        cache.kernel("a", "fr", lambda: compile_expander(FullReversal(first)))
+        cache.instance("b", lambda: second)  # evicts "a" and its kernels
+        compiled = []
+        cache.kernel("a", "fr", lambda: compiled.append(1) or compile_expander(FullReversal(first)))
+        assert compiled == [1]
+
+    def test_uncompilable_kernel_not_cached(self):
+        cache = KernelCache()
+        instance = worst_case_chain_instance(3)
+        cache.instance("k", lambda: instance)
+        assert cache.kernel("k", "bll", lambda: compile_expander(BinaryLinkLabels(instance))) is None
+        assert cache.kernel("k", "bll", lambda: None) is None
+        assert cache.stats()["kernel_compiles"] == 2  # None results re-compile
+
+
+class TestKernelCountReversals:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_matches_object_summary(self, instance, algorithm):
+        automaton = ALGORITHMS[algorithm](instance)
+        fast = kernel_count_reversals(automaton, "greedy", seed=3)
+        slow = count_reversals(
+            ALGORITHMS[algorithm](instance), make_scheduler("greedy", 3)
+        )
+        assert fast is not None
+        assert fast.to_dict() == slow.to_dict()
+
+    def test_returns_none_without_kernel(self, instance):
+        assert kernel_count_reversals(BinaryLinkLabels(instance), "greedy") is None
+
+
+class TestGridSubsetActions:
+    def test_pr_random_subsets_match_object_path(self):
+        from repro.kernels.schedulers import MaskRandomScheduler
+        from repro.schedulers.random_scheduler import RandomScheduler
+
+        instance = grid_instance(4, 4, oriented_towards_destination=False)
+        simulator = _simulator("pr", instance)
+        work = WorkTally()
+        outcome = simulator.run_phase(
+            MaskRandomScheduler(seed=11, subset_probability=0.6), work=work
+        )
+        observer = WorkObserver()
+        result = run(
+            PartialReversal(instance),
+            RandomScheduler(seed=11, subset_probability=0.6),
+            observers=(observer,), record_states=False,
+        )
+        assert outcome.steps == result.steps_taken
+        assert simulator.kernel.orientation_mask(outcome.signature) == (
+            result.final_state.graph_signature()
+        )
+        assert work.node_steps == observer.node_steps
+        assert work.dummy_steps == observer.dummy_steps
