@@ -44,6 +44,7 @@ def print_table(title: str, headers, rows) -> None:
 # ----------------------------------------------------------------------
 def _baseline_workloads():
     """The timed workloads tracked across PRs, keyed by benchmark module."""
+    from benchmarks.bench_async import _measure as _measure_async
     from benchmarks.bench_dummy_steps import _measure
     from benchmarks.bench_model_check import _measure as _measure_model_check
     from benchmarks.bench_simulation import _check_all_families
@@ -58,6 +59,7 @@ def _baseline_workloads():
         "bench_sweep_1worker": _measure_1worker,
         "bench_sweep_pool": _measure_pool,
         "bench_model_check": _measure_model_check,
+        "bench_async_quiescence": _measure_async,
     }
 
 

@@ -56,11 +56,17 @@ from repro.core.graph import LinkReversalInstance
 from repro.core.new_pr import NewPartialReversal
 from repro.core.one_step_pr import OneStepPartialReversal
 from repro.core.pr import PartialReversal
-from repro.distributed.network import AsyncLinkReversalNetwork
+from repro.distributed.fast_network import FastAsyncNetwork
+from repro.distributed.network import DELAY_MODELS, AsyncLinkReversalNetwork
 from repro.distributed.protocol import ReversalMode
 from repro.experiments.aggregate import build_report
 from repro.experiments.executor import run_campaign
-from repro.experiments.runner import ENGINE_CHOICES, ENGINE_KERNEL, ENGINE_LEGACY
+from repro.experiments.runner import (
+    ENGINE_ASYNC,
+    ENGINE_CHOICES,
+    ENGINE_KERNEL,
+    ENGINE_LEGACY,
+)
 from repro.experiments.spec import ALGORITHM_FACTORIES, FAILURE_MODELS, CampaignSpec, derive_seed
 from repro.experiments.store import ResultStore
 from repro.exploration.checker import ModelChecker
@@ -374,10 +380,27 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         for key, value in summary.items():
             print(f"  {key}: {value:.2f}" if isinstance(value, float) else f"  {key}: {value}")
         return 0
-    network = AsyncLinkReversalNetwork(
-        instance, mode=mode, loss_probability=args.loss, seed=args.seed
+    min_delay, max_delay, fifo = DELAY_MODELS[args.delay_model]
+    # the two network engines are differentially pinned to identical reports,
+    # so --engine only changes speed (fast is the campaign-scale default)
+    network_class = (
+        FastAsyncNetwork if args.engine != ENGINE_LEGACY else AsyncLinkReversalNetwork
     )
-    report = network.run_to_quiescence()
+    network = network_class(
+        instance,
+        mode=mode,
+        min_delay=min_delay,
+        max_delay=max_delay,
+        loss_probability=args.loss,
+        seed=args.seed,
+        fifo=fifo,
+    )
+    if args.loss > 0:
+        # lost height updates are never retransmitted, so lossy runs recover
+        # destination orientation through anti-entropy beacon rounds
+        report = network.run_with_beacons(max_rounds=20)
+    else:
+        report = network.run_to_quiescence()
     print(report)
     return 0 if report.destination_oriented else 1
 
@@ -388,6 +411,20 @@ def _csv(text: str) -> tuple:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    delay_models = tuple(
+        None if name == "none" else name for name in _csv(args.delay_models)
+    )
+    if args.engine == ENGINE_ASYNC:
+        # an async sweep needs async cells: default the axis, drop sync cells
+        if not delay_models:
+            delay_models = ("uniform",)
+        if None in delay_models:
+            print("warning: --engine async cannot run synchronous cells; "
+                  "dropping 'none' from --delay-models", file=sys.stderr)
+            delay_models = tuple(m for m in delay_models if m is not None)
+    elif not delay_models:
+        delay_models = (None,)
+    losses = tuple(float(p) for p in _csv(args.losses)) or (0.0,)
     campaign = CampaignSpec(
         name=args.name,
         families=_csv(args.families),
@@ -398,6 +435,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         failure_models=[(args.failure_model, args.failure_count)],
         max_steps=args.max_steps,
+        delay_models=delay_models,
+        losses=losses,
     )
     if args.failure_model == "mobility":
         dropped = [f for f in campaign.families if f != "geometric"]
@@ -460,6 +499,14 @@ def cmd_report(args: argparse.Namespace) -> int:
           f"{invariants['acyclic_final']} acyclic, "
           f"{invariants['destination_oriented']} destination oriented, "
           f"{invariants['violations']} violations")
+    async_stats = data.get("async") or {}
+    if async_stats.get("runs"):
+        print(f"async    : {async_stats['runs']} runs")
+        for model, stats in async_stats["by_delay_model"].items():
+            print(f"  {model:<8} runs={stats['runs']} "
+                  f"msgs={stats['mean_messages']:.1f} lost={stats['mean_lost']:.1f} "
+                  f"sim_t={stats['mean_simulated_time']:.1f} "
+                  f"reversals={stats['mean_reversals']:.1f}")
 
     header = f"{'group (' + '/'.join(data['group_by']) + ')':<32}"
     print(f"\n{header} {'count':>6} {'mean':>10} {'p50':>8} {'p90':>8} {'max':>10}")
@@ -582,6 +629,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument(
         "--failures", type=int, default=0, help="inject this many random link failures"
     )
+    simulate_parser.add_argument("--delay-model", choices=sorted(DELAY_MODELS),
+                                 default="uniform",
+                                 help="channel delay model (zero/fixed/uniform/fifo)")
+    simulate_parser.add_argument("--engine", choices=("fast", ENGINE_LEGACY),
+                                 default="fast",
+                                 help="compiled network engine (fast) or the "
+                                      "object-level oracle (legacy); both produce "
+                                      "identical reports")
     simulate_parser.set_defaults(handler=cmd_simulate)
 
     sweep_parser = subparsers.add_parser(
@@ -601,6 +656,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--failure-model", choices=FAILURE_MODELS, default="none")
     sweep_parser.add_argument("--failure-count", type=int, default=0,
                               help="failures / mobility steps per run")
+    sweep_parser.add_argument("--delay-models", default="",
+                              help="comma-separated channel delay models "
+                                   f"({','.join(sorted(DELAY_MODELS))}, or 'none' for "
+                                   "synchronous cells); setting one routes the cells "
+                                   "to the async message-passing engine")
+    sweep_parser.add_argument("--losses", default="",
+                              help="comma-separated channel loss probabilities "
+                                   "for the async cells (default 0)")
     sweep_parser.add_argument("--max-steps", type=int, default=None,
                               help="per-run step bound")
     sweep_parser.add_argument("--engine", choices=ENGINE_CHOICES, default="auto",

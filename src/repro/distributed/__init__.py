@@ -17,7 +17,12 @@ substrate:
 * :mod:`repro.distributed.network` — glue that wires node processes, channels
   and the simulator together, injects link failures, and extracts the global
   orientation for verification (acyclicity, destination orientation —
-  experiment E17).
+  experiment E17);
+* :mod:`repro.distributed.fast_network` — the compiled twin of the network:
+  packed int heights, a flat tuple event heap with ring-buffer FIFO
+  channels, and an inlined delivery loop, differentially pinned to the
+  object network (the documented oracle) and ~10x faster on quiescence
+  workloads.  This is what campaign-scale async sweeps run on.
 
 Edge directions in the asynchronous protocol are *derived* from node heights
 (exactly as in the original Gafni–Bertsekas formulation and in TORA), so the
@@ -33,17 +38,28 @@ from repro.distributed.protocol import (
     LinkReversalNodeProcess,
     ReversalMode,
 )
-from repro.distributed.network import AsyncLinkReversalNetwork, NetworkReport
+from repro.distributed.network import (
+    DELAY_MODELS,
+    AsyncLinkReversalNetwork,
+    NetworkReport,
+    derive_channel_seed,
+)
+from repro.distributed.fast_network import FastAsyncNetwork, pack_height, unpack_height
 
 __all__ = [
     "AsyncLinkReversalNetwork",
     "Channel",
     "ChannelStats",
+    "DELAY_MODELS",
     "DiscreteEventSimulator",
+    "FastAsyncNetwork",
     "HeightValue",
     "LinkReversalNodeProcess",
     "Message",
     "NetworkReport",
     "ReversalMode",
     "ScheduledEvent",
+    "derive_channel_seed",
+    "pack_height",
+    "unpack_height",
 ]

@@ -52,7 +52,13 @@ class ChannelStats:
 
 
 class Channel:
-    """A unidirectional, delay- and loss-prone channel between two nodes."""
+    """A unidirectional, delay- and loss-prone channel between two nodes.
+
+    With ``fifo=True`` the channel additionally guarantees FIFO delivery: a
+    message's delivery time is clamped to be no earlier than the previously
+    scheduled delivery on this channel, so randomly drawn delays can no
+    longer reorder messages (the classic reliable-FIFO link abstraction).
+    """
 
     def __init__(
         self,
@@ -64,6 +70,7 @@ class Channel:
         max_delay: float = 1.0,
         loss_probability: float = 0.0,
         seed: int = 0,
+        fifo: bool = False,
     ):
         if min_delay < 0 or max_delay < min_delay:
             raise ValueError("delays must satisfy 0 <= min_delay <= max_delay")
@@ -76,6 +83,8 @@ class Channel:
         self.min_delay = min_delay
         self.max_delay = max_delay
         self.loss_probability = loss_probability
+        self.fifo = fifo
+        self._last_scheduled_delivery = 0.0
         self._rng = random.Random(seed)
         self.up = True
         self.stats = ChannelStats()
@@ -95,14 +104,22 @@ class Channel:
             delay = self._rng.uniform(self.min_delay, self.max_delay)
         else:
             delay = self.min_delay
+        delivery_time = self.simulator.now + delay
+        if self.fifo and delivery_time < self._last_scheduled_delivery:
+            delivery_time = self._last_scheduled_delivery
+        self._last_scheduled_delivery = delivery_time
 
         def deliver_event(_sim: DiscreteEventSimulator, _message=message) -> None:
             self.stats.delivered += 1
+            # delivered messages are no longer in flight: without this a later
+            # fail() would re-count them as lost_to_failure
+            self._in_flight.remove(event)
             self._deliver(_message)
 
-        event = self.simulator.schedule(delay, deliver_event, label=f"deliver {message.kind}")
+        event = self.simulator.schedule_at(
+            delivery_time, deliver_event, label=f"deliver {message.kind}"
+        )
         self._in_flight.append(event)
-        self._in_flight = [e for e in self._in_flight if not e.cancelled]
 
     # ------------------------------------------------------------------
     def fail(self) -> None:

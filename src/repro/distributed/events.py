@@ -26,19 +26,39 @@ class ScheduledEvent:
     callback: EventCallback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
+    #: Back-reference set by :meth:`DiscreteEventSimulator.schedule` so that a
+    #: cancellation can be accounted for (and trigger queue compaction)
+    #: without scanning the heap.  Cleared when the event leaves the queue,
+    #: so a late cancel() on an already-dispatched event is an inert flag set
+    #: rather than a phantom entry in the pending-event accounting.
+    _simulator: Optional["DiscreteEventSimulator"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when dequeued."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._simulator is not None:
+            self._simulator._note_cancellation()
+            self._simulator = None
 
 
 class DiscreteEventSimulator:
     """Priority-queue discrete-event simulator with deterministic tie-breaking."""
 
+    #: Cancelled events tolerated in the queue before it is compacted (and
+    #: only once they outnumber the live events) — heavy cancellation, e.g. a
+    #: lossy network failing links with thousands of in-flight messages, used
+    #: to leave the heap growing without bound.
+    COMPACTION_THRESHOLD = 64
+
     def __init__(self) -> None:
         self._queue: List[ScheduledEvent] = []
         self._sequence = itertools.count()
         self._now = 0.0
+        self._cancelled_pending = 0
         self.events_dispatched = 0
 
     # ------------------------------------------------------------------
@@ -49,28 +69,40 @@ class DiscreteEventSimulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still in the queue."""
+        return len(self._queue) - self._cancelled_pending
+
+    def _note_cancellation(self) -> None:
+        """Account for one cancelled event; compact when they dominate."""
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= self.COMPACTION_THRESHOLD
+            and self._cancelled_pending * 2 >= len(self._queue)
+        ):
+            self._queue = [event for event in self._queue if not event.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: EventCallback, label: str = "") -> ScheduledEvent:
         """Schedule ``callback`` to run ``delay`` time units from now."""
         if delay < 0:
             raise ValueError("cannot schedule an event in the past")
+        return self.schedule_at(self._now + delay, callback, label=label)
+
+    def schedule_at(self, time: float, callback: EventCallback, label: str = "") -> ScheduledEvent:
+        """Schedule ``callback`` at an exact absolute simulated time (>= now)."""
+        if time < self._now:
+            raise ValueError("cannot schedule an event in the past")
         event = ScheduledEvent(
-            time=self._now + delay,
+            time=time,
             sequence=next(self._sequence),
             callback=callback,
             label=label,
+            _simulator=self,
         )
         heapq.heappush(self._queue, event)
         return event
-
-    def schedule_at(self, time: float, callback: EventCallback, label: str = "") -> ScheduledEvent:
-        """Schedule ``callback`` at an absolute simulated time (>= now)."""
-        if time < self._now:
-            raise ValueError("cannot schedule an event in the past")
-        return self.schedule(time - self._now, callback, label=label)
 
     # ------------------------------------------------------------------
     def run(
@@ -99,7 +131,9 @@ class DiscreteEventSimulator:
             if until is not None and event.time > until:
                 break
             heapq.heappop(self._queue)
+            event._simulator = None  # out of the queue: late cancels are inert
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = event.time
             event.callback(self)

@@ -33,6 +33,67 @@ from repro.distributed.protocol import (
 Node = Hashable
 
 
+#: Named channel-delay models shared by the object network, the compiled
+#: engine and the experiment campaigns: name -> (min_delay, max_delay, fifo).
+#: ``zero`` and ``fixed`` are deterministic (and therefore FIFO by
+#: construction); ``uniform`` draws per-message delays that may reorder
+#: messages; ``fifo`` draws the same random delays but clamps delivery so the
+#: channel stays first-in-first-out.
+DELAY_MODELS: Dict[str, Tuple[float, float, bool]] = {
+    "zero": (0.0, 0.0, False),
+    "fixed": (1.0, 1.0, False),
+    "uniform": (1.0, 2.0, False),
+    "fifo": (1.0, 2.0, True),
+}
+
+
+def initial_height_levels(instance: LinkReversalInstance) -> Dict[Node, int]:
+    """Initial ``b``-levels consistent with the instance's DAG.
+
+    Longest-path levels from the sources, negated so the destination-directed
+    initial orientation is exactly the one induced by heights
+    ``(0, max_level - level[u], rank[u])``.  Shared by the object network and
+    the compiled :class:`~repro.distributed.fast_network.FastAsyncNetwork` so
+    the two engines start from identical heights.
+    """
+    from repro.core.embedding import topological_order
+
+    order = topological_order(instance)
+    level: Dict[Node, int] = {u: 0 for u in instance.nodes}
+    for u in order:
+        for v in instance.out_nbrs(u):
+            level[v] = max(level[v], level[u] + 1)
+    max_level = max(level.values(), default=0)
+    return {u: max_level - level[u] for u in instance.nodes}
+
+
+def derive_channel_seed(seed: int, sender_rank: int, receiver_rank: int) -> int:
+    """The blake2-derived RNG seed of one directed channel.
+
+    Mirrors the experiment campaigns' seed scheme
+    (:func:`repro.experiments.spec.derive_seed`): per-link streams are
+    independent of each other but fully determined by ``(seed, link)``, so an
+    async run is reproducible and two algorithms handed the same base seed see
+    *paired* channel randomness on every link.
+    """
+    from repro.experiments.spec import derive_seed
+
+    return derive_seed(seed, "channel", sender_rank, receiver_rank)
+
+
+def derive_link_up_seed(
+    seed: int, sender_rank: int, receiver_rank: int, generation: int
+) -> int:
+    """Seed of a channel created by ``add_link`` (generation-stamped).
+
+    Re-adding the same link gets a fresh stream each time, still derived from
+    the network's base seed.
+    """
+    from repro.experiments.spec import derive_seed
+
+    return derive_seed(seed, "link-up", sender_rank, receiver_rank, generation)
+
+
 @dataclass
 class NetworkReport:
     """Aggregate statistics of an asynchronous run."""
@@ -66,14 +127,21 @@ class AsyncLinkReversalNetwork:
         max_delay: float = 2.0,
         loss_probability: float = 0.0,
         seed: int = 0,
+        fifo: bool = False,
     ):
         instance.validate(require_dag=True)
         self.instance = instance
         self.mode = mode
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+        self.loss_probability = loss_probability
+        self.fifo = fifo
+        self.seed = seed
         self.simulator = DiscreteEventSimulator()
         self._rank = {u: i for i, u in enumerate(instance.nodes)}
         self._channels: Dict[Tuple[Node, Node], Channel] = {}
         self._links: set[FrozenSet[Node]] = set(instance.undirected_edges)
+        self._link_generation: Dict[FrozenSet[Node], int] = {}
         # statistics of channels removed by fail_link, so report() stays cumulative
         self._retired_sent = 0
         self._retired_delivered = 0
@@ -94,11 +162,12 @@ class AsyncLinkReversalNetwork:
                 rank=self._rank[u],
             )
 
-        channel_seed = seed
+        # per-link seeds are blake2-derived from the base seed (the campaign
+        # seed scheme), not consecutive ints: streams are independent per link
+        # and paired across algorithms handed the same base seed
         for edge in sorted(self._links, key=lambda e: tuple(sorted(self._rank[x] for x in e))):
             u, v = sorted(edge, key=self._rank.__getitem__)
             for sender, receiver in ((u, v), (v, u)):
-                channel_seed += 1
                 self._channels[(sender, receiver)] = Channel(
                     simulator=self.simulator,
                     sender=sender,
@@ -107,7 +176,10 @@ class AsyncLinkReversalNetwork:
                     min_delay=min_delay,
                     max_delay=max_delay,
                     loss_probability=loss_probability,
-                    seed=channel_seed,
+                    seed=derive_channel_seed(
+                        seed, self._rank[sender], self._rank[receiver]
+                    ),
+                    fifo=fifo,
                 )
 
         # every node announces its initial height at time zero
@@ -120,16 +192,9 @@ class AsyncLinkReversalNetwork:
     # ------------------------------------------------------------------
     def _initial_heights(self) -> Dict[Node, HeightValue]:
         """Heights consistent with the initial DAG (longest-path levels, negated)."""
-        from repro.core.embedding import topological_order
-
-        order = topological_order(self.instance)
-        level: Dict[Node, int] = {u: 0 for u in self.instance.nodes}
-        for u in order:
-            for v in self.instance.out_nbrs(u):
-                level[v] = max(level[v], level[u] + 1)
-        max_level = max(level.values(), default=0)
+        levels = initial_height_levels(self.instance)
         return {
-            u: HeightValue(a=0, b=max_level - level[u], rank=self._rank[u])
+            u: HeightValue(a=0, b=levels[u], rank=self._rank[u])
             for u in self.instance.nodes
         }
 
@@ -212,26 +277,32 @@ class AsyncLinkReversalNetwork:
         self.processes[u].on_link_down(v)
         self.processes[v].on_link_down(u)
 
-    def add_link(self, u: Node, v: Node, seed: int = 0) -> None:
-        """Add a new link ``{u, v}`` with fresh channels; endpoints are notified."""
+    def add_link(self, u: Node, v: Node) -> None:
+        """Add a new link ``{u, v}`` with fresh channels; endpoints are notified.
+
+        Channel seeds are derived from the network's base seed and a
+        per-link *generation* counter, so re-adding a link after a failure
+        gets a fresh, reproducible random stream.
+        """
         edge = frozenset((u, v))
         if edge in self._links:
             return
         self._links.add(edge)
-        template = next(iter(self._channels.values()), None)
-        min_delay = template.min_delay if template else 1.0
-        max_delay = template.max_delay if template else 2.0
-        loss = template.loss_probability if template else 0.0
-        for index, (sender, receiver) in enumerate(((u, v), (v, u))):
+        generation = self._link_generation.get(edge, 0) + 1
+        self._link_generation[edge] = generation
+        for sender, receiver in ((u, v), (v, u)):
             self._channels[(sender, receiver)] = Channel(
                 simulator=self.simulator,
                 sender=sender,
                 receiver=receiver,
                 deliver=self._make_deliverer(receiver),
-                min_delay=min_delay,
-                max_delay=max_delay,
-                loss_probability=loss,
-                seed=seed + index,
+                min_delay=self.min_delay,
+                max_delay=self.max_delay,
+                loss_probability=self.loss_probability,
+                seed=derive_link_up_seed(
+                    self.seed, self._rank[sender], self._rank[receiver], generation
+                ),
+                fifo=self.fifo,
             )
         self.processes[u].on_link_up(v)
         self.processes[v].on_link_up(u)

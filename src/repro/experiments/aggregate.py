@@ -135,6 +135,37 @@ def pr_vs_fr_ordering(
     }
 
 
+def async_summary(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Message/time statistics of the async-engine runs, per delay model.
+
+    Returns ``{"runs": n, "by_delay_model": {model: {"runs", "mean_messages",
+    "mean_lost", "mean_simulated_time", "mean_reversals"}}}`` over the
+    records that carry a ``delay_model`` (synchronous records are ignored).
+    """
+    async_records = [r for r in records if r.get("delay_model") is not None]
+    by_model: Dict[str, List[Dict[str, Any]]] = defaultdict(list)
+    for record in async_records:
+        by_model[record["delay_model"]].append(record)
+
+    def _mean(rows: List[Dict[str, Any]], field: str) -> float:
+        values = [float(r[field]) for r in rows if r.get(field) is not None]
+        return round(sum(values) / len(values), 3) if values else 0.0
+
+    return {
+        "runs": len(async_records),
+        "by_delay_model": {
+            model: {
+                "runs": len(rows),
+                "mean_messages": _mean(rows, "messages_sent"),
+                "mean_lost": _mean(rows, "messages_lost"),
+                "mean_simulated_time": _mean(rows, "simulated_time"),
+                "mean_reversals": _mean(rows, "node_steps"),
+            }
+            for model, rows in sorted(by_model.items())
+        },
+    }
+
+
 def invariant_outcomes(records: Sequence[Dict[str, Any]]) -> Dict[str, int]:
     """Counts of the per-run invariant checks across all given records."""
     outcome = {
@@ -180,6 +211,7 @@ def build_report(
         "status_counts": status_counts(store),
         "engine_counts": store.engine_counts(),
         "invariants": invariant_outcomes(records),
+        "async": async_summary(records),
         "group_by": list(by),
         "metric": metric,
         "groups": {

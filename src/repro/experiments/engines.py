@@ -1,0 +1,128 @@
+"""The execution-engine registry: every way to run a scenario, as peers.
+
+Historically the ``engine=auto|kernel|legacy`` dispatch was hardcoded in
+:mod:`repro.experiments.runner`; adding the asynchronous message-passing
+engine made that a three-way special case, so the dispatch now lives behind a
+small registry.  An :class:`ExecutionEngine` is one complete way of executing
+a :class:`~repro.experiments.spec.ScenarioSpec`:
+
+``kernel``
+    The compiled signature-kernel fast path (synchronous scheduler model;
+    PR / OneStepPR / NewPR / FR on any registry scheduler).
+``legacy``
+    The object-level I/O-automaton oracle (synchronous; every algorithm,
+    including BLL).
+``async``
+    The compiled asynchronous message-passing engine
+    (:class:`~repro.distributed.fast_network.FastAsyncNetwork`): nodes react
+    to height messages over delayed / lossy / churning links.  Selected by
+    giving the spec a ``delay_model``; supports the height-based algorithms
+    (``pr`` → partial mode, ``fr`` → full mode).
+
+Engines declare which specs they :meth:`~ExecutionEngine.supports`;
+``resolve_engine("auto", spec)`` picks the highest-priority supporting
+engine, so a spec with a ``delay_model`` routes to the async engine and a
+synchronous BLL spec falls back to the legacy path, with no caller knowing
+the engine list.  Registering a new engine is one
+:func:`register_engine` call — the runner, executor, CLI and store plumbing
+pick it up through the registry.
+
+Engines ``execute(spec, record, deadline)`` by mutating the flat result
+record in place; they must flush partial work tallies even when raising
+(timeouts are recorded with the work done so far).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.spec import ScenarioSpec
+
+#: The pseudo-engine name that picks the best supporting engine per spec.
+ENGINE_AUTO = "auto"
+
+
+class ExecutionEngine(ABC):
+    """One complete way of executing a scenario spec.
+
+    Subclasses define ``name`` (the registry key and the value of the result
+    record's ``engine`` field) and ``auto_priority`` (higher wins when
+    ``auto`` resolves among supporting engines).
+    """
+
+    name: str = ""
+    auto_priority: int = 0
+
+    @abstractmethod
+    def supports(self, spec: "ScenarioSpec") -> bool:
+        """Whether this engine can execute ``spec`` without changing semantics."""
+
+    def unsupported_reason(self, spec: "ScenarioSpec") -> str:
+        """Human-readable reason used when an explicit choice is rejected."""
+        return f"engine {self.name!r} does not support this spec"
+
+    @abstractmethod
+    def execute(
+        self,
+        spec: "ScenarioSpec",
+        record: Dict[str, Any],
+        deadline: Optional[float],
+    ) -> None:
+        """Run the scenario, mutating ``record`` in place.
+
+        Must update the record's work tallies (``node_steps`` etc.) even on
+        a timeout / error exit, so partial work is never lost.
+        """
+
+
+#: name -> engine instance, in registration order (auto ties break on
+#: ``auto_priority``, then registration order).
+ENGINE_REGISTRY: Dict[str, ExecutionEngine] = {}
+
+
+def register_engine(engine: ExecutionEngine, replace: bool = False) -> ExecutionEngine:
+    """Add an engine to the registry (``replace=True`` to override)."""
+    if not engine.name or engine.name == ENGINE_AUTO:
+        raise ValueError(f"invalid engine name {engine.name!r}")
+    if engine.name in ENGINE_REGISTRY and not replace:
+        raise ValueError(f"engine {engine.name!r} already registered")
+    ENGINE_REGISTRY[engine.name] = engine
+    return engine
+
+
+def engine_names() -> Tuple[str, ...]:
+    """Every selectable engine name (``auto`` first, then the registry)."""
+    return (ENGINE_AUTO, *ENGINE_REGISTRY)
+
+
+def get_engine(name: str) -> ExecutionEngine:
+    """The registered engine of that name (``auto`` is not an engine)."""
+    try:
+        return ENGINE_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; choose from {', '.join(engine_names())}"
+        ) from None
+
+
+def resolve_engine(engine: str, spec: "ScenarioSpec") -> str:
+    """The engine name a spec will actually run on.
+
+    ``auto`` picks the highest-priority registered engine that supports the
+    spec; an explicit engine name must support the spec or a ``ValueError``
+    explains why (silently changing semantics is worse than failing).
+    """
+    if engine == ENGINE_AUTO:
+        candidates = sorted(
+            ENGINE_REGISTRY.values(), key=lambda e: -e.auto_priority
+        )
+        for candidate in candidates:
+            if candidate.supports(spec):
+                return candidate.name
+        raise ValueError(f"no registered engine supports spec {spec!r}")
+    chosen = get_engine(engine)
+    if not chosen.supports(spec):
+        raise ValueError(chosen.unsupported_reason(spec))
+    return chosen.name

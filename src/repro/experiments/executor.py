@@ -130,6 +130,8 @@ def _crashed_records(chunk: Sequence[Dict[str, Any]], detail: str) -> List[Dict[
             converged=False, destination_oriented=False, acyclic_final=False,
             failures_applied=0, partition_skips=0, reorientations=0,
             wall_time_s=0.0, nodes=None, edges=None, bad_nodes=None,
+            messages_sent=None, messages_delivered=None, messages_lost=None,
+            simulated_time=None, events_dispatched=None,
         )
         records.append(record)
     return records

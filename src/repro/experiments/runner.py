@@ -66,6 +66,14 @@ from repro.core.graph import DirectedEdge, LinkReversalInstance
 from repro.core.new_pr import NewPartialReversal
 from repro.core.one_step_pr import OneStepPartialReversal
 from repro.core.pr import PartialReversal
+from repro.experiments.engines import (
+    ENGINE_AUTO,
+    ExecutionEngine,
+    engine_names,
+    get_engine,
+    register_engine,
+)
+from repro.experiments.engines import resolve_engine as _registry_resolve_engine
 from repro.experiments.spec import ALGORITHM_FACTORIES, ScenarioSpec, derive_seed
 from repro.kernels import (
     MASK_SCHEDULER_FACTORIES,
@@ -85,11 +93,11 @@ from repro.verification.acyclicity import is_acyclic
 
 Node = Hashable
 
-#: Engine names accepted by :func:`execute_scenario` / ``repro sweep --engine``.
-ENGINE_AUTO = "auto"
+#: Canonical engine names (the registry at the bottom of this module and
+#: :mod:`repro.experiments.async_engine` populate the actual instances).
 ENGINE_KERNEL = "kernel"
 ENGINE_LEGACY = "legacy"
-ENGINE_CHOICES = (ENGINE_AUTO, ENGINE_KERNEL, ENGINE_LEGACY)
+ENGINE_ASYNC = "async"
 
 #: Automata with a compiled signature kernel (mirrors ``compile_expander``).
 _KERNEL_AUTOMATA = (
@@ -137,8 +145,19 @@ def _final_state_checks(cache_key, instance, mask: int) -> Tuple[bool, bool]:
 
 
 def kernel_cache_stats() -> Dict[str, int]:
-    """Cumulative cache counters of this process's kernel cache."""
-    return _KERNEL_CACHE.stats()
+    """Cumulative cache counters of this process's per-engine caches.
+
+    The kernel engine's instance/kernel cache plus (``async_``-prefixed) the
+    async engine's instance cache, so ``repro sweep --json`` surfaces cache
+    behaviour whichever engine a campaign ran on.
+    """
+    from repro.experiments.async_engine import instance_cache_stats
+
+    stats = dict(_KERNEL_CACHE.stats())
+    for name, value in instance_cache_stats().items():
+        if name.startswith("instance"):
+            stats[f"async_{name}"] = value
+    return stats
 
 
 def algorithm_has_kernel(algorithm: str) -> bool:
@@ -148,30 +167,14 @@ def algorithm_has_kernel(algorithm: str) -> bool:
 
 
 def resolve_engine(engine: str, spec: ScenarioSpec) -> str:
-    """The engine a spec will actually run on (``"kernel"`` or ``"legacy"``).
+    """The engine name a spec will actually run on.
 
-    ``"auto"`` degrades gracefully to the legacy path; an explicit
-    ``"kernel"`` request on an unsupported spec raises instead of silently
-    changing semantics.
+    Delegates to the engine registry: ``"auto"`` picks the highest-priority
+    supporting engine (async for delay-model specs, else kernel, else the
+    legacy fallback); an explicit engine request on an unsupported spec
+    raises instead of silently changing semantics.
     """
-    if engine not in ENGINE_CHOICES:
-        raise ValueError(
-            f"unknown engine {engine!r}; choose from {', '.join(ENGINE_CHOICES)}"
-        )
-    supported = (
-        algorithm_has_kernel(spec.algorithm)
-        and spec.scheduler in MASK_SCHEDULER_FACTORIES
-    )
-    if engine == ENGINE_LEGACY:
-        return ENGINE_LEGACY
-    if engine == ENGINE_KERNEL:
-        if not supported:
-            raise ValueError(
-                f"no kernel fast path for algorithm {spec.algorithm!r} "
-                f"with scheduler {spec.scheduler!r}; use engine='legacy'"
-            )
-        return ENGINE_KERNEL
-    return ENGINE_KERNEL if supported else ENGINE_LEGACY
+    return _registry_resolve_engine(engine, spec)
 
 
 class ScenarioTimeout(DeadlineExceeded):
@@ -306,31 +309,18 @@ def execute_scenario(
 
     start = time.perf_counter()
     deadline = None if timeout_s is None else start + timeout_s
-    work: Any = WorkTally()
-    rounds: Any = RoundTally()
 
     try:
         spec.validate()
-        chosen = resolve_engine(engine, spec)
-        record["engine"] = chosen
-        if chosen == ENGINE_KERNEL:
-            _execute_kernel_scenario(spec, record, work, rounds, deadline)
-        else:
-            work = WorkObserver()
-            rounds = _RoundObserver()
-            _execute_legacy_scenario(spec, record, work, rounds, deadline)
+        chosen = get_engine(resolve_engine(engine, spec))
+        record["engine"] = chosen.name
+        chosen.execute(spec, record, deadline)
     except DeadlineExceeded as exc:
         record.update(status="timeout", error=str(exc))
     except Exception as exc:  # noqa: BLE001 — crash isolation is the contract
         record.update(status="error", error=f"{type(exc).__name__}: {exc}")
 
-    record.update(
-        node_steps=work.node_steps,
-        edge_reversals=work.edge_reversals,
-        dummy_steps=work.dummy_steps,
-        rounds=rounds.rounds,
-        wall_time_s=round(time.perf_counter() - start, 6),
-    )
+    record["wall_time_s"] = round(time.perf_counter() - start, 6)
     return record
 
 
@@ -600,6 +590,86 @@ def _orientation_of(state):
     if orientation is None:
         orientation = state.to_orientation()
     return orientation
+
+
+# ----------------------------------------------------------------------
+# engine registration (see repro.experiments.engines)
+# ----------------------------------------------------------------------
+class KernelEngine(ExecutionEngine):
+    """The compiled signature-kernel fast path (synchronous scenarios)."""
+
+    name = ENGINE_KERNEL
+    auto_priority = 20
+
+    def supports(self, spec: ScenarioSpec) -> bool:
+        return (
+            spec.delay_model is None
+            and algorithm_has_kernel(spec.algorithm)
+            and spec.scheduler in MASK_SCHEDULER_FACTORIES
+        )
+
+    def unsupported_reason(self, spec: ScenarioSpec) -> str:
+        if spec.delay_model is not None:
+            return (
+                "no kernel fast path for asynchronous specs "
+                f"(delay_model={spec.delay_model!r}); use engine='async'"
+            )
+        return (
+            f"no kernel fast path for algorithm {spec.algorithm!r} "
+            f"with scheduler {spec.scheduler!r}; use engine='legacy'"
+        )
+
+    def execute(self, spec, record, deadline) -> None:
+        work, rounds = WorkTally(), RoundTally()
+        try:
+            _execute_kernel_scenario(spec, record, work, rounds, deadline)
+        finally:
+            record.update(
+                node_steps=work.node_steps,
+                edge_reversals=work.edge_reversals,
+                dummy_steps=work.dummy_steps,
+                rounds=rounds.rounds,
+            )
+
+
+class LegacyEngine(ExecutionEngine):
+    """The object-level I/O-automaton oracle (and BLL fallback)."""
+
+    name = ENGINE_LEGACY
+    auto_priority = 10
+
+    def supports(self, spec: ScenarioSpec) -> bool:
+        return spec.delay_model is None
+
+    def unsupported_reason(self, spec: ScenarioSpec) -> str:
+        return (
+            "the legacy object path runs synchronous scenarios only "
+            f"(delay_model={spec.delay_model!r}); use engine='async'"
+        )
+
+    def execute(self, spec, record, deadline) -> None:
+        work, rounds = WorkObserver(), _RoundObserver()
+        try:
+            _execute_legacy_scenario(spec, record, work, rounds, deadline)
+        finally:
+            record.update(
+                node_steps=work.node_steps,
+                edge_reversals=work.edge_reversals,
+                dummy_steps=work.dummy_steps,
+                rounds=rounds.rounds,
+            )
+
+
+register_engine(KernelEngine())
+register_engine(LegacyEngine())
+
+# registering the async engine is a side effect of importing its module; it
+# lives in its own module because it builds on repro.distributed, which the
+# synchronous engines never touch
+import repro.experiments.async_engine  # noqa: E402,F401  (registration import)
+
+#: Engine names accepted by :func:`execute_scenario` / ``repro sweep --engine``.
+ENGINE_CHOICES = engine_names()
 
 
 def run_scenarios(

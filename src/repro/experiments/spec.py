@@ -55,6 +55,11 @@ ALGORITHM_FACTORIES = {
 #: Supported failure / churn models (see runner.execute_scenario).
 FAILURE_MODELS = ("none", "link-failures", "mobility")
 
+#: Channel delay models of the asynchronous engine; a spec with a
+#: ``delay_model`` is an async message-passing scenario (None = synchronous).
+#: The table itself lives with the network layer.
+DELAY_MODEL_NAMES = ("zero", "fixed", "uniform", "fifo")
+
 #: Fault-injection sentinel: a spec with this "algorithm" makes a pooled
 #: worker process hard-exit, exercising the executor's crash isolation.  It
 #: passes validation (so campaigns can inject it deliberately) but has no
@@ -88,6 +93,11 @@ class ScenarioSpec:
     failure_count: int = 0
     max_steps: Optional[int] = None
     campaign: str = "adhoc"
+    #: ``None`` = synchronous scheduler-driven run; a delay-model name makes
+    #: this an asynchronous message-passing scenario (engine ``async``).
+    delay_model: Optional[str] = None
+    #: Per-message loss probability of the async channels.
+    loss: float = 0.0
 
     def validate(self) -> None:
         """Check every axis against the registries; raise ``ValueError`` if off."""
@@ -105,6 +115,17 @@ class ScenarioSpec:
             raise ValueError("size must be at least 2")
         if self.failure_count < 0:
             raise ValueError("failure_count must be non-negative")
+        if self.delay_model is not None and self.delay_model not in DELAY_MODEL_NAMES:
+            raise ValueError(
+                f"unknown delay model {self.delay_model!r}; "
+                f"choose from {', '.join(DELAY_MODEL_NAMES)}"
+            )
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError("loss must be in [0, 1)")
+        if self.delay_model is None and self.loss != 0.0:
+            raise ValueError("loss applies to async scenarios only (set a delay_model)")
+        if self.delay_model is not None and self.failure_model == "mobility":
+            raise ValueError("the async engine does not support mobility churn")
 
     @property
     def run_id(self) -> str:
@@ -121,6 +142,11 @@ class ScenarioSpec:
             "failure_count": self.failure_count,
             "max_steps": self.max_steps,
         }
+        # async axes join the identity only when set, so every pre-async
+        # run_id (and therefore campaign resume against old stores) is stable
+        if self.delay_model is not None:
+            identity["delay_model"] = self.delay_model
+            identity["loss"] = self.loss
         blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
         return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
 
@@ -143,6 +169,8 @@ class ScenarioSpec:
             "failure_count": self.failure_count,
             "max_steps": self.max_steps,
             "campaign": self.campaign,
+            "delay_model": self.delay_model,
+            "loss": self.loss,
             "run_id": self.run_id,
         }
 
@@ -152,7 +180,7 @@ class ScenarioSpec:
         fields = {
             "family", "size", "algorithm", "scheduler", "topology_seed",
             "scheduler_seed", "replicate", "failure_model", "failure_count",
-            "max_steps", "campaign",
+            "max_steps", "campaign", "delay_model", "loss",
         }
         return cls(**{k: v for k, v in data.items() if k in fields})
 
@@ -170,6 +198,10 @@ class CampaignSpec:
     base_seed: int = 0
     failure_models: Sequence[Tuple[str, int]] = field(default_factory=lambda: [("none", 0)])
     max_steps: Optional[int] = None
+    #: Async axes: ``(None,)`` keeps the campaign synchronous; delay-model
+    #: names open the delay × loss × churn cross-product on the async engine.
+    delay_models: Sequence[Optional[str]] = (None,)
+    losses: Sequence[float] = (0.0,)
 
     def __post_init__(self) -> None:
         self.families = tuple(self.families)
@@ -177,6 +209,32 @@ class CampaignSpec:
         self.schedulers = tuple(self.schedulers)
         self.sizes = tuple(int(s) for s in self.sizes)
         self.failure_models = tuple((str(m), int(k)) for m, k in self.failure_models)
+        self.delay_models = tuple(
+            None if m is None else str(m) for m in self.delay_models
+        )
+        self.losses = tuple(float(p) for p in self.losses)
+
+    @staticmethod
+    def _cell_applicable(
+        family: str,
+        failure_model: str,
+        delay_model: Optional[str],
+        loss: float,
+    ) -> bool:
+        """Whether one cross-product cell expands to a valid scenario.
+
+        Non-applicable combinations are skipped rather than rejected, the
+        same convention as mobility on non-geometric families: a mixed
+        campaign (e.g. ``delay_models=(None, "uniform")``) sweeps each axis
+        value over the cells where it makes sense.
+        """
+        if failure_model == "mobility" and family != "geometric":
+            return False
+        if delay_model is None and loss != 0.0:
+            return False  # loss is an async channel property
+        if delay_model is not None and failure_model == "mobility":
+            return False  # the async engine does not support mobility churn
+        return True
 
     @property
     def run_count(self) -> int:
@@ -184,8 +242,11 @@ class CampaignSpec:
         per_family = 0
         for family in self.families:
             applicable = sum(
-                1 for model, _ in self.failure_models
-                if model != "mobility" or family == "geometric"
+                1
+                for model, _ in self.failure_models
+                for delay_model in self.delay_models
+                for loss in self.losses
+                if self._cell_applicable(family, model, delay_model, loss)
             )
             per_family += applicable
         return (
@@ -197,8 +258,9 @@ class CampaignSpec:
         """The deterministic, seed-stamped run list of this campaign.
 
         Iteration order is the declared axis order (families outermost,
-        failure models innermost), so the list — and every ``run_id`` in it —
-        is reproducible from the spec alone.
+        failure models then delay models then losses innermost), so the
+        list — and every ``run_id`` in it — is reproducible from the spec
+        alone.
         """
         runs: List[ScenarioSpec] = []
         for family in self.families:
@@ -214,23 +276,29 @@ class CampaignSpec:
                                 replicate, algorithm, scheduler,
                             )
                             for failure_model, failure_count in self.failure_models:
-                                if failure_model == "mobility" and family != "geometric":
-                                    continue
-                                spec = ScenarioSpec(
-                                    family=family,
-                                    size=size,
-                                    algorithm=algorithm,
-                                    scheduler=scheduler,
-                                    topology_seed=topology_seed,
-                                    scheduler_seed=scheduler_seed,
-                                    replicate=replicate,
-                                    failure_model=failure_model,
-                                    failure_count=failure_count,
-                                    max_steps=self.max_steps,
-                                    campaign=self.name,
-                                )
-                                spec.validate()
-                                runs.append(spec)
+                                for delay_model in self.delay_models:
+                                    for loss in self.losses:
+                                        if not self._cell_applicable(
+                                            family, failure_model, delay_model, loss
+                                        ):
+                                            continue
+                                        spec = ScenarioSpec(
+                                            family=family,
+                                            size=size,
+                                            algorithm=algorithm,
+                                            scheduler=scheduler,
+                                            topology_seed=topology_seed,
+                                            scheduler_seed=scheduler_seed,
+                                            replicate=replicate,
+                                            failure_model=failure_model,
+                                            failure_count=failure_count,
+                                            max_steps=self.max_steps,
+                                            campaign=self.name,
+                                            delay_model=delay_model,
+                                            loss=loss,
+                                        )
+                                        spec.validate()
+                                        runs.append(spec)
         return runs
 
     def to_dict(self) -> Dict[str, Any]:
@@ -245,6 +313,8 @@ class CampaignSpec:
             "base_seed": self.base_seed,
             "failure_models": [list(fm) for fm in self.failure_models],
             "max_steps": self.max_steps,
+            "delay_models": list(self.delay_models),
+            "losses": list(self.losses),
         }
 
     @classmethod
@@ -260,4 +330,6 @@ class CampaignSpec:
             base_seed=data.get("base_seed", 0),
             failure_models=[tuple(fm) for fm in data.get("failure_models", [("none", 0)])],
             max_steps=data.get("max_steps"),
+            delay_models=data.get("delay_models", (None,)),
+            losses=data.get("losses", (0.0,)),
         )

@@ -38,6 +38,7 @@ _COLUMNS = (
     ("replicate", "INTEGER"),
     ("failure_model", "TEXT"),
     ("failure_count", "INTEGER"),
+    ("delay_model", "TEXT"),
     ("status", "TEXT"),
     ("engine", "TEXT"),
     ("node_steps", "INTEGER"),
@@ -47,6 +48,8 @@ _COLUMNS = (
     ("converged", "INTEGER"),
     ("destination_oriented", "INTEGER"),
     ("acyclic_final", "INTEGER"),
+    ("messages_sent", "INTEGER"),
+    ("simulated_time", "REAL"),
     ("wall_time_s", "REAL"),
 )
 

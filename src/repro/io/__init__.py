@@ -1,12 +1,22 @@
 """Import/export helpers: DOT export, ASCII rendering and JSON serialisation."""
 
 from repro.io.dot import to_dot, orientation_to_dot
-from repro.io.serialization import instance_to_dict, instance_from_dict, execution_to_dict
+from repro.io.serialization import (
+    execution_from_dict,
+    execution_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    network_report_from_dict,
+    network_report_to_dict,
+)
 
 __all__ = [
+    "execution_from_dict",
     "execution_to_dict",
     "instance_from_dict",
     "instance_to_dict",
+    "network_report_from_dict",
+    "network_report_to_dict",
     "orientation_to_dot",
     "to_dot",
 ]

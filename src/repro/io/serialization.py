@@ -12,6 +12,7 @@ from typing import Any, Dict, Hashable, List
 
 from repro.automata.executions import Execution, replay
 from repro.core.graph import LinkReversalInstance
+from repro.distributed.network import NetworkReport
 
 Node = Hashable
 
@@ -72,6 +73,52 @@ def _automaton_classes() -> Dict[str, Any]:
         "FR": FullReversal,
         "BLL": BinaryLinkLabels,
     }
+
+
+#: NetworkReport fields and the plain types their values must round-trip as.
+_NETWORK_REPORT_FIELDS: Dict[str, type] = {
+    "simulated_time": float,
+    "events_dispatched": int,
+    "messages_sent": int,
+    "messages_delivered": int,
+    "messages_lost": int,
+    "total_reversals": int,
+    "destination_oriented": bool,
+    "acyclic": bool,
+}
+
+
+def network_report_to_dict(report: NetworkReport) -> Dict[str, Any]:
+    """Serialise an asynchronous run's :class:`NetworkReport` to plain data.
+
+    The async twin of :func:`execution_to_dict`: campaign stores and replay
+    tooling persist async outcomes with only built-in types.
+    """
+    return {name: getattr(report, name) for name in _NETWORK_REPORT_FIELDS}
+
+
+def network_report_from_dict(data: Dict[str, Any]) -> NetworkReport:
+    """Rebuild a :class:`NetworkReport` from :func:`network_report_to_dict` output.
+
+    Validates presence and plain-data type of every field (``int`` is
+    accepted where ``float`` is expected, as JSON round-trips may narrow
+    whole floats) and raises :class:`SerializationError` on malformed input
+    rather than returning a silently wrong report.
+    """
+    kwargs: Dict[str, Any] = {}
+    for name, kind in _NETWORK_REPORT_FIELDS.items():
+        if name not in data:
+            raise SerializationError(f"network report is missing field {name!r}")
+        value = data[name]
+        if kind is float and isinstance(value, int) and not isinstance(value, bool):
+            value = float(value)
+        if not isinstance(value, kind) or (kind is int and isinstance(value, bool)):
+            raise SerializationError(
+                f"network report field {name!r} must be {kind.__name__}, "
+                f"got {type(value).__name__}"
+            )
+        kwargs[name] = value
+    return NetworkReport(**kwargs)
 
 
 def execution_from_dict(data: Dict[str, Any]) -> Execution:

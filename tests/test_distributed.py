@@ -356,3 +356,160 @@ class TestBeaconing:
         network.fail_link(0, 1)
         report = network.run_with_beacons(max_rounds=2, max_events_per_round=2000)
         assert not report.destination_oriented
+
+
+class TestPendingEventAccounting:
+    """Regression: cancelled events must not inflate pending_events or the queue."""
+
+    def test_pending_events_excludes_cancelled(self):
+        simulator = DiscreteEventSimulator()
+        events = [simulator.schedule(1.0, lambda s: None) for _ in range(10)]
+        assert simulator.pending_events == 10
+        for event in events[:4]:
+            event.cancel()
+        assert simulator.pending_events == 6
+
+    def test_double_cancel_counted_once(self):
+        simulator = DiscreteEventSimulator()
+        event = simulator.schedule(1.0, lambda s: None)
+        simulator.schedule(2.0, lambda s: None)
+        event.cancel()
+        event.cancel()
+        assert simulator.pending_events == 1
+
+    def test_queue_compacts_under_heavy_cancellation(self):
+        simulator = DiscreteEventSimulator()
+        events = [simulator.schedule(1.0, lambda s: None) for _ in range(500)]
+        for event in events[:400]:
+            event.cancel()
+        assert simulator.pending_events == 100
+        # compaction is amortised: the heap may keep up to one threshold's
+        # worth of cancelled stragglers, but never the cancelled majority
+        assert len(simulator._queue) <= 2 * simulator.pending_events
+
+    def test_compacted_queue_still_dispatches_in_order(self):
+        simulator = DiscreteEventSimulator()
+        order = []
+        events = [
+            simulator.schedule(float(i), lambda s, i=i: order.append(i))
+            for i in range(300)
+        ]
+        for event in events:
+            if event.time % 2 == 1:
+                event.cancel()
+        simulator.run_until_idle()
+        assert order == [i for i in range(300) if i % 2 == 0]
+        assert simulator.pending_events == 0
+
+    def test_cancelling_a_dispatched_event_is_inert(self):
+        simulator = DiscreteEventSimulator()
+        event = simulator.schedule(1.0, lambda s: None)
+        still_queued = simulator.schedule(2.0, lambda s: None)
+        simulator.run(until=1.5)
+        event.cancel()  # already dispatched: must not corrupt the accounting
+        assert simulator.pending_events == 1
+        still_queued.cancel()
+        assert simulator.pending_events == 0
+
+    def test_cancelled_events_popped_without_compaction_keep_count_right(self):
+        simulator = DiscreteEventSimulator()
+        kept = []
+        first = simulator.schedule(1.0, lambda s: kept.append("a"))
+        simulator.schedule(2.0, lambda s: kept.append("b"))
+        first.cancel()
+        simulator.run_until_idle()
+        assert kept == ["b"]
+        assert simulator.pending_events == 0
+
+
+class TestChannelLossAccounting:
+    """Regression: delivered messages must not be re-counted as lost on fail()."""
+
+    def test_delivered_messages_not_lost_on_later_failure(self):
+        simulator = DiscreteEventSimulator()
+        received = []
+        channel = Channel(simulator, "a", "b", received.append)
+        for _ in range(5):
+            channel.send(Message("a", "b", "HEIGHT", 0))
+        simulator.run_until_idle()
+        assert len(received) == 5
+        channel.fail()
+        assert channel.stats.lost_to_failure == 0
+        assert channel.stats.delivered == 5
+
+    def test_only_in_flight_messages_lost_on_failure(self):
+        simulator = DiscreteEventSimulator()
+        received = []
+        channel = Channel(simulator, "a", "b", received.append, min_delay=5.0, max_delay=5.0)
+        channel.send(Message("a", "b", "HEIGHT", 0))
+        simulator.run_until_idle()
+        channel.send(Message("a", "b", "HEIGHT", 1))
+        channel.send(Message("a", "b", "HEIGHT", 2))
+        channel.fail()
+        simulator.run_until_idle()
+        assert len(received) == 1
+        assert channel.stats.lost_to_failure == 2
+        assert channel.stats.sent == 3
+
+
+class TestFifoChannel:
+    """The fifo clamp keeps randomly delayed channels first-in-first-out."""
+
+    def test_fifo_preserves_send_order(self):
+        simulator = DiscreteEventSimulator()
+        received = []
+        channel = Channel(
+            simulator, "a", "b", received.append,
+            min_delay=0.1, max_delay=10.0, seed=5, fifo=True,
+        )
+        for i in range(50):
+            channel.send(Message("a", "b", "HEIGHT", i))
+        simulator.run_until_idle()
+        assert [m.payload for m in received] == list(range(50))
+
+    def test_unclamped_random_delays_can_reorder(self):
+        simulator = DiscreteEventSimulator()
+        received = []
+        channel = Channel(
+            simulator, "a", "b", received.append,
+            min_delay=0.1, max_delay=10.0, seed=5, fifo=False,
+        )
+        for i in range(50):
+            channel.send(Message("a", "b", "HEIGHT", i))
+        simulator.run_until_idle()
+        assert [m.payload for m in received] != list(range(50))
+
+
+class TestDerivedChannelSeeds:
+    """Per-link seeds are blake2-derived from the base seed (PR-2 scheme)."""
+
+    def test_runs_reproducible_for_same_seed(self):
+        instance = grid_instance(4, 4, oriented_towards_destination=False)
+        reports = [
+            AsyncLinkReversalNetwork(
+                instance, min_delay=0.5, max_delay=2.0, loss_probability=0.2, seed=11
+            ).run_to_quiescence()
+            for _ in range(2)
+        ]
+        assert reports[0] == reports[1]
+
+    def test_different_seeds_give_different_channel_streams(self):
+        instance = grid_instance(4, 4, oriented_towards_destination=False)
+        a = AsyncLinkReversalNetwork(
+            instance, min_delay=0.5, max_delay=2.0, loss_probability=0.2, seed=11
+        ).run_to_quiescence()
+        b = AsyncLinkReversalNetwork(
+            instance, min_delay=0.5, max_delay=2.0, loss_probability=0.2, seed=12
+        ).run_to_quiescence()
+        assert a != b
+
+    def test_channel_seed_matches_derivation_scheme(self):
+        from repro.distributed.network import derive_channel_seed
+        from repro.experiments.spec import derive_seed
+
+        assert derive_channel_seed(7, 1, 2) == derive_seed(7, "channel", 1, 2)
+
+    def test_readded_links_get_fresh_generation_seeds(self):
+        from repro.distributed.network import derive_link_up_seed
+
+        assert derive_link_up_seed(7, 1, 2, 1) != derive_link_up_seed(7, 1, 2, 2)
