@@ -45,6 +45,7 @@ def print_table(title: str, headers, rows) -> None:
 def _baseline_workloads():
     """The timed workloads tracked across PRs, keyed by benchmark module."""
     from benchmarks.bench_async import _measure as _measure_async
+    from benchmarks.bench_batch import _measure_batch, _measure_kernel
     from benchmarks.bench_dummy_steps import _measure
     from benchmarks.bench_model_check import _measure as _measure_model_check
     from benchmarks.bench_simulation import _check_all_families
@@ -60,6 +61,10 @@ def _baseline_workloads():
         "bench_sweep_pool": _measure_pool,
         "bench_model_check": _measure_model_check,
         "bench_async_quiescence": _measure_async,
+        # the batch pair shares one workload: their timing ratio is the
+        # batched engine's speedup over the per-scenario kernel path
+        "bench_batch_sweep": _measure_batch,
+        "bench_batch_sweep_kernel": _measure_kernel,
     }
 
 

@@ -1,0 +1,134 @@
+"""Experiment E21 — batched lockstep execution vs the per-scenario kernel path.
+
+The batch engine holds thousands of campaign lanes as parallel arrays and
+steps them in lockstep, sharing compiled kernels and memoising the outcomes
+of deterministic lanes (seedless families ignore the topology seed, so every
+replicate of such a cell is one leader run fanned out to its followers).
+This experiment times the same 6144-run campaign chunk — two families, PR +
+FR, all six mask schedulers, 256 replicates — through ``run_scenarios`` on
+the kernel engine and through ``run_scenarios_batched``, with every cache
+cleared inside each workload so both sides pay cold-start costs.
+
+Expected shape: identical records lane for lane (the differential suite pins
+this field by field) and a batch/kernel throughput ratio well above 1; the
+deterministic five-sixths of the lanes collapse to leader runs, so the ratio
+approaches the scheduler mix's dedup ceiling as size grows.  The floor
+asserted here is deliberately conservative (CI boxes are noisy); the measured
+ratio is recorded in ``extra_info`` and tracked across PRs by the
+``bench_batch_sweep`` / ``bench_batch_sweep_kernel`` pair in
+``BENCH_baseline.json``.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import print_table, record
+
+from repro.experiments.batch_engine import (
+    batch_cache_stats,
+    reset_batch_caches,
+    run_scenarios_batched,
+)
+from repro.experiments.runner import _KERNEL_CACHE, run_scenarios
+from repro.experiments.spec import CampaignSpec
+
+#: Conservative CI floor for the batch/kernel throughput ratio; the measured
+#: value (tracked in BENCH_baseline.json) sits well above this on a quiet box.
+MIN_BATCH_SPEEDUP = 3.0
+
+#: Lanes per campaign cell — the batch width the engine is measured at.
+REPLICATES = 256
+
+
+def _campaign() -> CampaignSpec:
+    return CampaignSpec(
+        name="bench-batch-sweep",
+        families=("chain", "grid"),
+        algorithms=("pr", "fr"),
+        schedulers=(
+            "greedy", "sequential", "lazy", "adversarial", "round-robin", "random",
+        ),
+        sizes=(16,),
+        replicates=REPLICATES,
+    )
+
+
+#: The expanded benchmark chunk, built once — spec construction (6144
+#: ``to_dict`` calls, each hashing a run_id) is shared input prep, not engine
+#: work, and neither engine mutates the input dicts.
+_SPEC_CACHE: list = []
+
+
+def _specs() -> list:
+    if not _SPEC_CACHE:
+        _SPEC_CACHE.extend(spec.to_dict() for spec in _campaign().expand())
+    return _SPEC_CACHE
+
+
+def _measure_kernel() -> list:
+    """The per-scenario kernel path over the benchmark chunk, cold caches."""
+    _KERNEL_CACHE.clear()
+    return run_scenarios(_specs(), engine="kernel")
+
+
+def _measure_batch() -> list:
+    """The lockstep batched path over the same chunk, cold caches."""
+    reset_batch_caches()
+    return run_scenarios_batched(_specs())
+
+
+def test_e21_batch_vs_kernel(benchmark):
+    import time
+
+    def workload():
+        start = time.perf_counter()
+        kernel_records = _measure_kernel()
+        kernel_s = time.perf_counter() - start
+        start = time.perf_counter()
+        batch_records = _measure_batch()
+        batch_s = time.perf_counter() - start
+        return kernel_records, kernel_s, batch_records, batch_s
+
+    kernel_records, kernel_s, batch_records, batch_s = benchmark.pedantic(
+        workload, rounds=1, iterations=1
+    )
+
+    lanes = len(batch_records)
+    volatile = ("wall_time_s", "engine")
+    mismatches = sum(
+        1
+        for a, b in zip(kernel_records, batch_records)
+        if {k: v for k, v in a.items() if k not in volatile}
+        != {k: v for k, v in b.items() if k not in volatile}
+    )
+    stats = batch_cache_stats()
+    ratio = kernel_s / batch_s if batch_s else 0.0
+
+    rows = [
+        ("kernel (per-scenario)", lanes, round(kernel_s, 4),
+         round(lanes / kernel_s) if kernel_s else 0),
+        ("batch (lockstep)", lanes, round(batch_s, 4),
+         round(lanes / batch_s) if batch_s else 0),
+    ]
+    print_table(
+        "E21 — batched lockstep vs per-scenario kernel (runs/s)",
+        ["engine path", "lanes", "wall s", "runs/s"],
+        rows,
+    )
+    record(
+        benchmark,
+        experiment="E21",
+        rows=rows,
+        lanes=lanes,
+        replicates=REPLICATES,
+        speedup_batch_vs_kernel=round(ratio, 2),
+        outcome_hits=stats.get("outcome_hits"),
+        outcome_misses=stats.get("outcome_misses"),
+        mismatched_lanes=mismatches,
+    )
+    assert lanes == len(kernel_records) == _campaign().run_count
+    assert all(r["status"] == "ok" for r in batch_records)
+    assert mismatches == 0, "batch records must match the kernel engine exactly"
+    assert ratio >= MIN_BATCH_SPEEDUP, (
+        f"batch engine only {ratio:.2f}x faster than the kernel path "
+        f"(floor {MIN_BATCH_SPEEDUP}x)"
+    )

@@ -494,6 +494,10 @@ def cmd_report(args: argparse.Namespace) -> int:
     print(f"store    : {data['store']}")
     print(f"statuses : {data['status_counts']}")
     print(f"engines  : {data['engine_counts']}")
+    last = data.get("last_campaign_report") or {}
+    if last.get("kernel_cache"):
+        cache = ", ".join(f"{k}={v}" for k, v in sorted(last["kernel_cache"].items()) if v)
+        print(f"last sweep: engines {last.get('engines')}; cache {cache or '-'}")
     invariants = data["invariants"]
     print(f"invariants: {invariants['runs']} ok runs, "
           f"{invariants['acyclic_final']} acyclic, "
@@ -669,7 +673,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--engine", choices=ENGINE_CHOICES, default="auto",
                               help="execution engine for every run: auto picks the "
                                    "compiled kernel fast path whenever the algorithm "
-                                   "has one; legacy forces the object-path oracle")
+                                   "has one; batch runs whole chunks of kernel-"
+                                   "eligible cells in lockstep (fastest at high "
+                                   "replicate counts); legacy forces the object-"
+                                   "path oracle")
     sweep_parser.add_argument("--store", required=True,
                               help="result store directory (created if missing)")
     sweep_parser.add_argument("--workers", type=int, default=1,

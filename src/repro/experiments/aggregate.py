@@ -210,6 +210,10 @@ def build_report(
         "campaign": store.load_campaign(),
         "status_counts": status_counts(store),
         "engine_counts": store.engine_counts(),
+        # the latest run_campaign invocation's engine/cache telemetry (how
+        # the most recent sweep executed, incl. batch dedup counters), as
+        # opposed to engine_counts which spans every stored record
+        "last_campaign_report": store.load_report(),
         "invariants": invariant_outcomes(records),
         "async": async_summary(records),
         "group_by": list(by),

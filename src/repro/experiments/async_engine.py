@@ -39,6 +39,7 @@ from repro.distributed.protocol import ReversalMode
 from repro.experiments.engines import ExecutionEngine, register_engine
 from repro.experiments.spec import ScenarioSpec, derive_seed
 from repro.kernels import KernelCache
+from repro.kernels.simulator import cache_capacity_from_env
 from repro.topology.generators import build_family
 
 #: Height-based protocol modes per algorithm name.  Partial Reversal runs the
@@ -61,7 +62,12 @@ BEACON_ROUNDS = 20
 
 #: Per-process instance cache (the async twin of the runner's kernel cache;
 #: campaign chunks share ``(family, size, topology_seed)`` topologies).
-_INSTANCE_CACHE = KernelCache(capacity=64)
+_INSTANCE_CACHE = KernelCache(capacity=cache_capacity_from_env())
+
+
+def set_cache_capacity(capacity: int) -> None:
+    """Resize the async engine's per-process instance cache."""
+    _INSTANCE_CACHE.set_capacity(capacity)
 
 #: Per-topology bad-node counts, keyed like the instance cache.
 _BAD_NODES_MEMO: Dict[Tuple[str, int, int], int] = {}

@@ -34,8 +34,16 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from collections import OrderedDict
+
 from repro._mp import fork_preferring_context
-from repro.experiments.runner import ENGINE_AUTO, kernel_cache_stats, run_scenarios
+from repro.experiments.runner import (
+    ENGINE_AUTO,
+    ENGINE_BATCH,
+    kernel_cache_stats,
+    run_scenarios,
+)
+from repro.experiments.batch_engine import batch_key
 from repro.experiments.spec import CRASH_SENTINEL, CampaignSpec
 from repro.experiments.store import ResultStore
 
@@ -143,10 +151,44 @@ def _chunked(items: List[Dict[str, Any]], chunk_size: int) -> List[List[Dict[str
 
 def _default_chunk_size(pending: int, workers: int) -> int:
     # aim for ~8 chunks per worker so stragglers balance, but keep chunks
-    # big enough that per-chunk dispatch overhead stays negligible
+    # big enough that per-chunk dispatch overhead stays negligible; derived
+    # from the pending count rather than capped at a constant, so huge
+    # campaigns don't degenerate into thousands of tiny dispatches
     if pending <= 0:
         return 1
-    return max(1, min(64, -(-pending // (max(1, workers) * 8))))
+    return max(1, -(-pending // (max(1, workers) * 8)))
+
+
+def _default_batch_chunk_size(pending: int, workers: int) -> int:
+    # batched chunks want the opposite trade-off: the wider a lockstep call,
+    # the more lanes share kernels and deduplicated outcomes, so inline runs
+    # take whole batch-key groups and pooled runs aim for only ~2 chunks per
+    # worker — enough to keep every worker fed without fragmenting batches
+    if pending <= 0:
+        return 1
+    if workers <= 1:
+        return pending
+    return max(1, -(-pending // (workers * 2)))
+
+
+def _batch_aligned_chunks(
+    pending: List[Dict[str, Any]], chunk_size: int
+) -> List[List[Dict[str, Any]]]:
+    """Chunks that never straddle a batch-key boundary.
+
+    Pending runs are grouped by :func:`~repro.experiments.batch_engine.batch_key`
+    (stable first-appearance order, so resumed campaigns chunk the same way)
+    and each group is split on its own — a chunk shipped to a worker is
+    therefore one lockstep batch, never a mixture that the worker would have
+    to re-split into tiny groups.
+    """
+    groups: "OrderedDict[Any, List[Dict[str, Any]]]" = OrderedDict()
+    for spec in pending:
+        groups.setdefault(batch_key(spec), []).append(spec)
+    chunks: List[List[Dict[str, Any]]] = []
+    for group in groups.values():
+        chunks.extend(_chunked(group, chunk_size))
+    return chunks
 
 
 def _pool_context():
@@ -174,17 +216,20 @@ def run_campaign(
     workers:
         Pool size; ``<= 1`` executes inline without multiprocessing.
     chunk_size:
-        Runs per dispatched chunk (default: balanced from the pending count).
+        Runs per dispatched chunk (default: derived from the pending count
+        and worker count; ``engine="batch"`` prefers far wider chunks).
     timeout_s:
         Cooperative per-run wall-clock budget; over-budget runs are recorded
-        with ``status="timeout"``.
+        with ``status="timeout"`` (shared per chunk under ``engine="batch"``).
     progress:
         Optional ``callback(done, pending_total)`` invoked after every chunk.
     engine:
         Execution engine for every run (see
         :func:`repro.experiments.runner.execute_scenario`): ``"auto"``
         (default — compiled kernels whenever the spec supports them),
-        ``"kernel"`` or ``"legacy"``.
+        ``"kernel"``, ``"legacy"``, ``"async"`` or ``"batch"``.  The batch
+        engine additionally changes chunking: chunks are aligned to batch
+        keys so each one executes as a single lockstep call.
     """
     start = time.perf_counter()
     specs = [spec.to_dict() for spec in campaign.expand()]
@@ -200,13 +245,19 @@ def run_campaign(
     )
     if not pending:
         report.wall_time_s = time.perf_counter() - start
+        store.record_report(report.to_dict())
         return report
 
     shard = store.new_shard()
     report.shard = str(shard)
-    if chunk_size is None:
-        chunk_size = _default_chunk_size(len(pending), workers)
-    chunks = _chunked(pending, chunk_size)
+    if engine == ENGINE_BATCH:
+        if chunk_size is None:
+            chunk_size = _default_batch_chunk_size(len(pending), workers)
+        chunks = _batch_aligned_chunks(pending, chunk_size)
+    else:
+        if chunk_size is None:
+            chunk_size = _default_chunk_size(len(pending), workers)
+        chunks = _chunked(pending, chunk_size)
 
     done = 0
 
@@ -241,6 +292,7 @@ def run_campaign(
         _run_pooled(chunks, workers, timeout_s, engine, _absorb, _absorb_chunk_result)
 
     report.wall_time_s = time.perf_counter() - start
+    store.record_report(report.to_dict())
     return report
 
 

@@ -57,15 +57,18 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.analysis.work import WorkObserver
 from repro.automata.executions import run
 from repro.core.full_reversal import FullReversal
-from repro.core.graph import DirectedEdge, LinkReversalInstance
 from repro.core.new_pr import NewPartialReversal
 from repro.core.one_step_pr import OneStepPartialReversal
 from repro.core.pr import PartialReversal
+from repro.experiments.churn import (
+    carried_over_instance,
+    surviving_instance_from_edges,
+)
 from repro.experiments.engines import (
     ENGINE_AUTO,
     ExecutionEngine,
@@ -86,7 +89,11 @@ from repro.kernels import (
     mask_directed_edges,
 )
 from repro.kernels.signature import mask_final_state_checks
-from repro.kernels.simulator import DEADLINE_CHECK_STRIDE, DeadlineExceeded
+from repro.kernels.simulator import (
+    DEADLINE_CHECK_STRIDE,
+    DeadlineExceeded,
+    cache_capacity_from_env,
+)
 from repro.schedulers import make_scheduler
 from repro.topology.generators import build_family
 from repro.verification.acyclicity import is_acyclic
@@ -98,6 +105,7 @@ Node = Hashable
 ENGINE_KERNEL = "kernel"
 ENGINE_LEGACY = "legacy"
 ENGINE_ASYNC = "async"
+ENGINE_BATCH = "batch"
 
 #: Automata with a compiled signature kernel (mirrors ``compile_expander``).
 _KERNEL_AUTOMATA = (
@@ -109,8 +117,23 @@ _KERNEL_AUTOMATA = (
 
 #: Per-process cache of instances and compiled kernels (see KernelCache).
 #: Sized to hold a full campaign axis sweep's worth of topologies (families ×
-#: sizes × replicates regularly reaches several dozen distinct instances).
-_KERNEL_CACHE = KernelCache(capacity=64)
+#: sizes × replicates regularly reaches several dozen distinct instances);
+#: the ``REPRO_KERNEL_CACHE_CAPACITY`` environment variable overrides it.
+_KERNEL_CACHE = KernelCache(capacity=cache_capacity_from_env())
+
+
+def configure_kernel_cache(capacity: int) -> None:
+    """Resize every per-process engine cache (kernel, async and batch).
+
+    The programmatic twin of the ``REPRO_KERNEL_CACHE_CAPACITY`` environment
+    variable; shrinking evicts least-recently-used entries immediately.
+    """
+    import repro.experiments.async_engine as _async_engine
+    import repro.experiments.batch_engine as _batch_engine
+
+    _KERNEL_CACHE.set_capacity(capacity)
+    _async_engine.set_cache_capacity(capacity)
+    _batch_engine.set_cache_capacity(capacity)
 
 #: Per-topology bad-node counts (instance-level, so shared across every
 #: algorithm/scheduler cell of a replicate), keyed like the kernel cache.
@@ -148,15 +171,19 @@ def kernel_cache_stats() -> Dict[str, int]:
     """Cumulative cache counters of this process's per-engine caches.
 
     The kernel engine's instance/kernel cache plus (``async_``-prefixed) the
-    async engine's instance cache, so ``repro sweep --json`` surfaces cache
-    behaviour whichever engine a campaign ran on.
+    async engine's instance cache and (``batch_``-prefixed) the batch
+    engine's cache and outcome-dedup counters, so ``repro sweep --json``
+    surfaces cache behaviour whichever engine a campaign ran on.
     """
     from repro.experiments.async_engine import instance_cache_stats
+    from repro.experiments.batch_engine import batch_cache_stats
 
     stats = dict(_KERNEL_CACHE.stats())
     for name, value in instance_cache_stats().items():
         if name.startswith("instance"):
             stats[f"async_{name}"] = value
+    for name, value in batch_cache_stats().items():
+        stats[f"batch_{name}"] = value
     return stats
 
 
@@ -229,43 +256,10 @@ class _RoundObserver:
             self._seen.update(actors)
 
 
-def _surviving_instance_from_edges(
-    instance: LinkReversalInstance,
-    directed_edges: Sequence[DirectedEdge],
-    dropped_link: Tuple[Node, Node],
-) -> LinkReversalInstance:
-    """The instance left after removing one undirected link, keeping orientations."""
-    dropped = frozenset(dropped_link)
-    surviving = tuple(
-        (tail, head)
-        for tail, head in directed_edges
-        if frozenset((tail, head)) != dropped
-    )
-    return LinkReversalInstance(instance.nodes, instance.destination, surviving)
-
-
-def _carried_over_instance(
-    fresh: LinkReversalInstance, directed_edges: Sequence[DirectedEdge]
-) -> Tuple[LinkReversalInstance, bool]:
-    """Re-pack a churned instance, carrying surviving edge orientations over.
-
-    Surviving links keep their current direction; new links take ``fresh``'s
-    (distance-towards-destination) direction.  When the carried orientation
-    would contain a cycle the fresh instance is used instead; the second
-    return value flags that reorientation.
-    """
-    surviving = {
-        frozenset(edge): edge
-        for edge in directed_edges
-        if frozenset(edge) in fresh.undirected_edges
-    }
-    edges = tuple(
-        surviving.get(frozenset(edge), edge) for edge in fresh.initial_edges
-    )
-    candidate = LinkReversalInstance(fresh.nodes, fresh.destination, edges)
-    if candidate.is_initially_acyclic():
-        return candidate, False
-    return fresh, True
+# the churn re-packing helpers live in repro.experiments.churn (shared with
+# the batch engine); the private names remain for in-module readers
+_surviving_instance_from_edges = surviving_instance_from_edges
+_carried_over_instance = carried_over_instance
 
 
 def _converge(automaton_factory, instance, scheduler, observers, max_steps):
@@ -663,10 +657,12 @@ class LegacyEngine(ExecutionEngine):
 register_engine(KernelEngine())
 register_engine(LegacyEngine())
 
-# registering the async engine is a side effect of importing its module; it
-# lives in its own module because it builds on repro.distributed, which the
-# synchronous engines never touch
+# registering the async and batch engines is a side effect of importing their
+# modules; they live in their own modules because they build on subsystems
+# (repro.distributed, repro.kernels.batch) the synchronous per-scenario
+# engines never touch
 import repro.experiments.async_engine  # noqa: E402,F401  (registration import)
+import repro.experiments.batch_engine  # noqa: E402,F401  (registration import)
 
 #: Engine names accepted by :func:`execute_scenario` / ``repro sweep --engine``.
 ENGINE_CHOICES = engine_names()
@@ -677,5 +673,15 @@ def run_scenarios(
     timeout_s: Optional[float] = None,
     engine: str = ENGINE_AUTO,
 ) -> List[Dict[str, Any]]:
-    """Execute a chunk of scenario dicts sequentially (the worker entry point)."""
+    """Execute a chunk of scenario dicts (the worker entry point).
+
+    ``engine="batch"`` routes the whole chunk through
+    :func:`repro.experiments.batch_engine.run_scenarios_batched`, which
+    groups it by batch key and runs each group in lockstep; every other
+    engine executes the chunk one scenario at a time.
+    """
+    if engine == ENGINE_BATCH:
+        from repro.experiments.batch_engine import run_scenarios_batched
+
+        return run_scenarios_batched(specs, timeout_s=timeout_s)
     return [execute_scenario(spec, timeout_s=timeout_s, engine=engine) for spec in specs]

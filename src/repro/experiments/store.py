@@ -68,6 +68,7 @@ class ResultStore:
         self.shard_dir = self.root / "shards"
         self.index_path = self.root / "index.sqlite"
         self.campaign_path = self.root / "campaign.json"
+        self.report_path = self.root / "report.json"
         self.shard_dir.mkdir(parents=True, exist_ok=True)
         self._connection: Optional[sqlite3.Connection] = None
 
@@ -168,6 +169,23 @@ class ResultStore:
         if not self.campaign_path.exists():
             return None
         return json.loads(self.campaign_path.read_text(encoding="utf-8"))
+
+    def record_report(self, report_dict: Dict[str, Any]) -> None:
+        """Persist the latest campaign report (engines, cache counters).
+
+        Overwritten on every :func:`~repro.experiments.executor.run_campaign`
+        invocation against this store, so ``repro report`` can show how the
+        most recent (possibly resumed) sweep actually executed.
+        """
+        self.report_path.write_text(
+            json.dumps(report_dict, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def load_report(self) -> Optional[Dict[str, Any]]:
+        """The recorded campaign report, if any."""
+        if not self.report_path.exists():
+            return None
+        return json.loads(self.report_path.read_text(encoding="utf-8"))
 
     # ------------------------------------------------------------------
     # consolidation / resume

@@ -46,17 +46,22 @@ from repro.kernels.schedulers import (
     MaskScheduler,
     make_mask_scheduler,
 )
+from repro.kernels.batch import BatchLaneOutcome, BatchSimulator
 from repro.kernels.simulator import (
     KernelCache,
     PhaseOutcome,
     RoundTally,
     SignatureSimulator,
     WorkTally,
+    cache_capacity_from_env,
 )
 
 __all__ = [
+    "BatchLaneOutcome",
+    "BatchSimulator",
     "FullReversalExpander",
     "KernelCache",
+    "cache_capacity_from_env",
     "MASK_SCHEDULER_FACTORIES",
     "MaskScheduler",
     "NewPRExpander",

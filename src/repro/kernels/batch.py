@@ -1,0 +1,238 @@
+"""Lockstep structure-of-arrays execution of many convergence phases.
+
+:class:`BatchSimulator` is the batched twin of
+:meth:`repro.kernels.simulator.SignatureSimulator.run_phase`: it holds B
+*lanes* — independent (simulator, scheduler, signature) runs of identical
+shape — as parallel arrays and steps every live lane once per iteration:
+
+* **per-lane arrays**: current signature, incremental sink-id set, per-lane
+  step count and work/round tallies, plus the per-lane kernel tables
+  (``step`` function, edge mask, incidence rows) prefetched into flat lists
+  so the hot loop never touches an attribute chain;
+* **convergence mask**: the live-lane list is rebuilt each iteration, so a
+  lane that converges (or hits the step bound / deadline) retires without
+  breaking the lockstep of the remaining lanes;
+* **shared kernels**: lanes may (and, for seed-deterministic topology
+  families, do) reference the *same* :class:`SignatureSimulator` object —
+  simulators carry no run state, so one compiled kernel serves any number of
+  lanes, which is where the batch amortisation comes from.
+
+Exactness contract
+------------------
+
+Each lane's step sequence is **bit-for-bit identical** to running its
+scheduler through ``run_phase`` on its own: the per-lane order of scheduler
+select, kernel step, XOR work accounting, incremental sink update, round
+observation and deadline check is copied verbatim from the ``run_phase``
+hot loop, and lanes share no mutable state (each lane owns its scheduler,
+hence its RNG stream).  Lockstep only interleaves *independent* per-lane
+sequences, so results cannot depend on lane order — the batch differential
+suite pins this against the per-scenario kernel engine field by field.
+
+Deadline semantics: every live lane advances exactly one action per
+iteration, so checking the shared wall-clock deadline once per iteration
+(every :data:`~repro.kernels.simulator.DEADLINE_CHECK_STRIDE` iterations,
+always including the first) observes each lane at the same action indices
+as ``run_phase``'s per-run countdown.  When the deadline passes, every lane
+still live times out together — retired lanes keep their outcome.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.kernels.schedulers import MaskScheduler
+from repro.kernels.simulator import (
+    DEADLINE_CHECK_STRIDE,
+    RoundTally,
+    SignatureSimulator,
+    WorkTally,
+)
+
+
+@dataclass
+class BatchLaneOutcome:
+    """Result of one lane of a :meth:`BatchSimulator.run` call.
+
+    ``steps`` counts the lane's actions this phase; ``converged`` is ``True``
+    iff the lane's scheduler declared quiescence (or the step bound was hit
+    with no sinks left).  A ``timed_out`` lane carries the step index the
+    deadline check fired at (``timeout_step``), matching the index in
+    ``run_phase``'s ``DeadlineExceeded`` message.
+    """
+
+    signature: int
+    steps: int
+    converged: bool
+    timed_out: bool = False
+    timeout_step: int = 0
+
+
+class BatchSimulator:
+    """Runs B independent convergence phases in lockstep, one action each per
+    iteration, retiring converged lanes via the live-lane mask."""
+
+    def __init__(self) -> None:
+        # structure-of-arrays lane state, indexed by lane id
+        self._sims: List[SignatureSimulator] = []
+        self._schedulers: List[MaskScheduler] = []
+        self._sigs: List[int] = []
+        self._sinks: List[set] = []
+        self._works: List[Optional[WorkTally]] = []
+        self._rounds: List[Optional[RoundTally]] = []
+
+    @property
+    def width(self) -> int:
+        """Number of lanes added so far."""
+        return len(self._sims)
+
+    def add_lane(
+        self,
+        simulator: SignatureSimulator,
+        scheduler: MaskScheduler,
+        *,
+        initial_signature: Optional[int] = None,
+        work: Optional[WorkTally] = None,
+        rounds: Optional[RoundTally] = None,
+    ) -> int:
+        """Append one lane; returns its index.
+
+        ``simulator`` may be shared with other lanes (it carries no run
+        state); ``scheduler`` must be exclusive to this lane (it carries the
+        RNG / rotation state).  The scheduler is bound here, exactly once per
+        phase, as ``run_phase`` binds at phase start.  ``work`` / ``rounds``
+        tallies are updated in place — pass one pair per *scenario* across
+        its phases to accumulate, as the per-scenario engines do.
+        """
+        scheduler.bind(simulator)
+        sig = (
+            simulator.initial_signature()
+            if initial_signature is None
+            else initial_signature
+        )
+        self._sims.append(simulator)
+        self._schedulers.append(scheduler)
+        self._sigs.append(sig)
+        self._sinks.append(simulator.sink_id_set(sig))
+        self._works.append(work)
+        self._rounds.append(rounds)
+        return len(self._sims) - 1
+
+    def run(
+        self,
+        *,
+        max_steps: Optional[int] = None,
+        deadline: Optional[float] = None,
+        deadline_stride: int = DEADLINE_CHECK_STRIDE,
+    ) -> List[BatchLaneOutcome]:
+        """Run every lane to quiescence, the step bound or the deadline.
+
+        One call per :class:`BatchSimulator` instance — per-lane signature
+        and sink state is consumed by the run.  Returns one
+        :class:`BatchLaneOutcome` per lane, in ``add_lane`` order.
+        """
+        if max_steps is None:
+            from repro.automata.executions import DEFAULT_MAX_STEPS
+
+            max_steps = DEFAULT_MAX_STEPS
+        width = len(self._sims)
+        sims = self._sims
+        sigs = self._sigs
+        sinks_by_lane = self._sinks
+        works = self._works
+        rounds_by_lane = self._rounds
+        # prefetch per-lane kernel tables; the lane loop below is the
+        # run_phase hot loop verbatim, with the per-phase locals swapped for
+        # these per-lane array reads
+        kernels = [sim.kernel for sim in sims]
+        step_fns = [kernel.step for kernel in kernels]
+        select_fns = [scheduler.select for scheduler in self._schedulers]
+        edge_masks = [kernel._edge_mask for kernel in kernels]
+        incs = [kernel._inc for kernel in kernels]
+        tails = [kernel._tail for kernel in kernels]
+        incidents = [sim._incident for sim in sims]
+        can_sinks = [sim._can_sink for sim in sims]
+        nodes_by_lane = [sim.instance.nodes for sim in sims]
+
+        outcomes: List[Optional[BatchLaneOutcome]] = [None] * width
+        live = list(range(width))
+        iteration = 0
+        deadline_countdown = 0
+        while live:
+            if iteration >= max_steps:
+                # step bound reached without the scheduler declaring
+                # quiescence (the run_phase for-else branch, per lane)
+                for lane in live:
+                    outcomes[lane] = BatchLaneOutcome(
+                        signature=sigs[lane],
+                        steps=iteration,
+                        converged=not sinks_by_lane[lane],
+                    )
+                break
+            next_live = []
+            for lane in live:
+                sim = sims[lane]
+                sig = sigs[lane]
+                sinks = sinks_by_lane[lane]
+                actors = select_fns[lane](sim, sig, sinks)
+                if actors is None:
+                    outcomes[lane] = BatchLaneOutcome(
+                        signature=sig, steps=iteration, converged=True
+                    )
+                    continue
+                step = step_fns[lane]
+                new_sig = sig
+                for i in actors:
+                    new_sig = step(new_sig, i)
+                edge_mask = edge_masks[lane]
+                xor = (sig ^ new_sig) & edge_mask
+                mask = new_sig & edge_mask
+                work = works[lane]
+                if work is not None:
+                    work.node_steps += len(actors)
+                    work.edge_reversals += xor.bit_count()
+                inc = incs[lane]
+                tail = tails[lane]
+                incident = incidents[lane]
+                can_sink = can_sinks[lane]
+                for i in actors:
+                    if xor & inc[i]:
+                        sinks.discard(i)
+                        for edge_bit, j in incident[i]:
+                            # a flipped edge now points at j: j may have
+                            # become a sink (it cannot have stopped being one)
+                            if (
+                                xor & edge_bit
+                                and can_sink[j]
+                                and not ((mask ^ tail[j]) & inc[j])
+                            ):
+                                sinks.add(j)
+                    elif work is not None:
+                        work.dummy_steps += 1
+                rounds = rounds_by_lane[lane]
+                if rounds is not None:
+                    rounds.observe(actors, nodes_by_lane[lane])
+                sigs[lane] = new_sig
+                next_live.append(lane)
+            live = next_live
+            if deadline is not None and live:
+                # every live lane took exactly one action this iteration, so
+                # one check per iteration observes each lane at the same
+                # action indices as run_phase's per-run countdown
+                deadline_countdown -= 1
+                if deadline_countdown < 0:
+                    deadline_countdown = deadline_stride - 1
+                    if time.perf_counter() > deadline:
+                        for lane in live:
+                            outcomes[lane] = BatchLaneOutcome(
+                                signature=sigs[lane],
+                                steps=iteration + 1,
+                                converged=False,
+                                timed_out=True,
+                                timeout_step=iteration,
+                            )
+                        break
+            iteration += 1
+        return outcomes  # type: ignore[return-value]

@@ -33,6 +33,7 @@ counters that surface in ``repro sweep --json``.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -47,6 +48,31 @@ from repro.kernels.signature import PartialReversalExpander, SignatureExpander
 #: immediately (exact-timeout semantics); past that, a run may overshoot its
 #: deadline by at most ``stride - 1`` steps.
 DEADLINE_CHECK_STRIDE = 64
+
+#: Default :class:`KernelCache` capacity of the per-process engine caches.
+#: Sized to hold a full campaign axis sweep's worth of topologies (families ×
+#: sizes × replicates regularly reaches several dozen distinct instances).
+DEFAULT_CACHE_CAPACITY = 64
+
+#: Environment variable overriding the per-process engine cache capacity.
+CACHE_CAPACITY_ENV = "REPRO_KERNEL_CACHE_CAPACITY"
+
+
+def cache_capacity_from_env(default: int = DEFAULT_CACHE_CAPACITY) -> int:
+    """The engine cache capacity, honouring :data:`CACHE_CAPACITY_ENV`.
+
+    Campaigns with very wide topology axes (many families × sizes ×
+    replicates per worker chunk) can raise the capacity without a code
+    change; malformed or non-positive values fall back to ``default``.
+    """
+    raw = os.environ.get(CACHE_CAPACITY_ENV)
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= 1 else default
 
 
 class DeadlineExceeded(Exception):
@@ -266,6 +292,16 @@ class KernelCache:
         self.instance_builds = 0
         self.kernel_hits = 0
         self.kernel_compiles = 0
+
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the cache, evicting least-recently-used entries if shrinking."""
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        while len(self._instances) > self.capacity:
+            evicted, _ = self._instances.popitem(last=False)
+            for kernel_key in [k for k in self._kernels if k[0] == evicted]:
+                del self._kernels[kernel_key]
 
     def instance(
         self, key: Hashable, build: Callable[[], LinkReversalInstance]

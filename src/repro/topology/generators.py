@@ -38,6 +38,13 @@ FAMILY_NAMES = (
     "geometric",
 )
 
+#: Families whose :func:`build_family` output ignores the seed — every
+#: replicate of a ``(family, size)`` cell is the *same* instance.  The batch
+#: engine keys its instance/kernel cache on this, sharing one compiled
+#: kernel across all replicate lanes; keep this set in sync with the
+#: dispatch below (a family belongs here iff its branch never reads ``seed``).
+SEEDLESS_FAMILIES = frozenset({"chain", "oriented-chain", "star", "grid"})
+
 
 def build_family(name: str, size: int, seed: int) -> LinkReversalInstance:
     """Build one of the named topology families at the requested size.

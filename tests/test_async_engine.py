@@ -34,6 +34,7 @@ from repro.experiments.engines import (
 from repro.experiments.executor import run_campaign
 from repro.experiments.runner import (
     ENGINE_ASYNC,
+    ENGINE_BATCH,
     ENGINE_CHOICES,
     ENGINE_KERNEL,
     ENGINE_LEGACY,
@@ -68,8 +69,12 @@ def _spec(**overrides):
 
 class TestRegistry:
     def test_registry_names(self):
-        assert set(ENGINE_REGISTRY) == {ENGINE_KERNEL, ENGINE_LEGACY, ENGINE_ASYNC}
-        assert engine_names() == ("auto", ENGINE_KERNEL, ENGINE_LEGACY, ENGINE_ASYNC)
+        assert set(ENGINE_REGISTRY) == {
+            ENGINE_KERNEL, ENGINE_LEGACY, ENGINE_ASYNC, ENGINE_BATCH,
+        }
+        assert engine_names() == (
+            "auto", ENGINE_KERNEL, ENGINE_LEGACY, ENGINE_ASYNC, ENGINE_BATCH,
+        )
         assert ENGINE_CHOICES == engine_names()
 
     def test_auto_routes_by_spec_content(self):

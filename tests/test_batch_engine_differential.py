@@ -1,0 +1,398 @@
+"""Differential tests: the batched lockstep engine vs kernel vs legacy.
+
+The batch engine's contract is the strictest of the three: every lane of a
+``run_scenarios_batched`` call must be **field-for-field identical** to the
+per-scenario kernel engine record for the same spec (which is itself pinned
+to the legacy object oracle) — across every kernel algorithm × every
+registry scheduler × every churn model, regardless of which other lanes
+shared the batch and in which order.  On top of the record contract these
+tests pin the batching plumbing: outcome dedup correctness, shared-deadline
+timeout records, executor chunk alignment, campaign interrupt+resume through
+the store, and the CLI/report surface.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.batch_engine import (
+    BatchEngine,
+    batch_cache_stats,
+    batch_key,
+    run_scenarios_batched,
+)
+from repro.experiments.executor import (
+    _batch_aligned_chunks,
+    _default_batch_chunk_size,
+    _default_chunk_size,
+    run_campaign,
+)
+from repro.experiments.runner import (
+    ENGINE_BATCH,
+    ENGINE_KERNEL,
+    ENGINE_LEGACY,
+    execute_scenario,
+    kernel_cache_stats,
+    resolve_engine,
+)
+from repro.experiments.spec import CampaignSpec, ScenarioSpec, derive_seed
+from repro.experiments.store import ResultStore
+from repro.kernels.simulator import CACHE_CAPACITY_ENV, cache_capacity_from_env
+from repro.topology.generators import SEEDLESS_FAMILIES, build_family
+
+KERNEL_ALGORITHMS = ("pr", "onestep-pr", "new-pr", "fr")
+ALL_SCHEDULERS = ("greedy", "sequential", "random", "adversarial", "lazy", "round-robin")
+
+#: Everything except the wall clock and the engine stamp must be identical.
+VOLATILE = ("wall_time_s", "engine")
+
+
+def _spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        family="random-dag", size=12, algorithm="pr", scheduler="greedy",
+        topology_seed=derive_seed("batch-topo"), scheduler_seed=derive_seed("batch-sched"),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def _stable(record):
+    return {k: v for k, v in record.items() if k not in VOLATILE}
+
+
+def _assert_batch_matches_kernel(specs) -> list:
+    """Batch the specs in one call and pin each lane to its kernel record."""
+    batched = run_scenarios_batched([s.to_dict() for s in specs])
+    for spec, record in zip(specs, batched):
+        assert record["engine"] == ENGINE_BATCH
+        kernel = execute_scenario(spec.to_dict(), engine=ENGINE_KERNEL)
+        assert _stable(record) == _stable(kernel), spec.run_id
+    return batched
+
+
+class TestFieldForFieldEquality:
+    @pytest.mark.parametrize("algorithm", KERNEL_ALGORITHMS)
+    @pytest.mark.parametrize("scheduler", ALL_SCHEDULERS)
+    def test_plain_convergence(self, algorithm, scheduler):
+        records = _assert_batch_matches_kernel([
+            _spec(algorithm=algorithm, scheduler=scheduler, replicate=r,
+                  scheduler_seed=derive_seed("batch-sched", r))
+            for r in range(3)
+        ])
+        assert all(r["status"] == "ok" and r["converged"] for r in records)
+
+    @pytest.mark.parametrize("algorithm", KERNEL_ALGORITHMS)
+    @pytest.mark.parametrize("scheduler", ("greedy", "random", "adversarial"))
+    def test_link_failure_churn(self, algorithm, scheduler):
+        records = _assert_batch_matches_kernel([
+            _spec(family="grid", size=16, algorithm=algorithm, scheduler=scheduler,
+                  failure_model="link-failures", failure_count=3, replicate=r,
+                  scheduler_seed=derive_seed("batch-churn", r))
+            for r in range(2)
+        ])
+        assert all(r["failures_applied"] >= 1 for r in records)
+
+    @pytest.mark.parametrize("algorithm", KERNEL_ALGORITHMS)
+    @pytest.mark.parametrize("scheduler", ("greedy", "random"))
+    def test_mobility_churn(self, algorithm, scheduler):
+        records = _assert_batch_matches_kernel([
+            _spec(family="geometric", size=12, algorithm=algorithm,
+                  scheduler=scheduler, failure_model="mobility", failure_count=5,
+                  replicate=r, topology_seed=derive_seed("batch-mob", r))
+            for r in range(2)
+        ])
+        assert all(r["status"] == "ok" for r in records)
+
+    def test_truncated_runs_match(self):
+        _assert_batch_matches_kernel([
+            _spec(family="chain", size=12, algorithm="fr",
+                  failure_model="link-failures", failure_count=2, max_steps=2),
+            _spec(family="chain", size=12, algorithm="fr",
+                  failure_model="link-failures", failure_count=2, max_steps=2,
+                  replicate=1, scheduler_seed=derive_seed("other")),
+        ])
+
+    def test_batch_agrees_with_legacy_oracle(self):
+        # the transitive pin, asserted directly once: batch == legacy
+        spec = _spec(family="tree", size=14, scheduler="random")
+        batched = run_scenarios_batched([spec.to_dict()])[0]
+        legacy = execute_scenario(spec.to_dict(), engine=ENGINE_LEGACY)
+        assert _stable(batched) == _stable(legacy)
+
+    def test_mixed_batch_keys_in_one_call(self):
+        # one call spanning several batch keys, sizes and families
+        _assert_batch_matches_kernel([
+            _spec(family=f, size=s, algorithm=a, scheduler=sc, replicate=r)
+            for f, s in (("chain", 10), ("grid", 9), ("tree", 12))
+            for a in ("pr", "fr")
+            for sc in ("greedy", "lazy")
+            for r in range(2)
+        ])
+
+
+class TestLaneIndependence:
+    def test_lane_order_independence(self):
+        specs = [
+            _spec(family=f, size=10, algorithm=a, scheduler=sc, replicate=r,
+                  scheduler_seed=derive_seed("order", r))
+            for f in ("chain", "tree")
+            for a in ("pr", "fr")
+            for sc in ("greedy", "random")
+            for r in range(3)
+        ]
+        straight = run_scenarios_batched([s.to_dict() for s in specs])
+        reversed_ = run_scenarios_batched([s.to_dict() for s in reversed(specs)])
+        for record, mirrored in zip(straight, reversed(reversed_)):
+            assert _stable(record) == _stable(mirrored)
+
+    def test_batching_is_deterministic(self):
+        specs = [_spec(scheduler="random", replicate=r) for r in range(4)]
+        first = run_scenarios_batched([s.to_dict() for s in specs])
+        second = run_scenarios_batched([s.to_dict() for s in specs])
+        assert [_stable(r) for r in first] == [_stable(r) for r in second]
+
+    def test_seedless_family_lanes_share_one_outcome(self):
+        # chain ignores its topology seed, and greedy ignores its scheduler
+        # seed: every replicate is provably the same run, so the batch engine
+        # deduplicates — and the shared record still matches the kernel path
+        assert "chain" in SEEDLESS_FAMILIES
+        before = batch_cache_stats()
+        specs = [
+            _spec(family="chain", size=18, topology_seed=derive_seed("t", r),
+                  scheduler_seed=derive_seed("s", r), replicate=r)
+            for r in range(8)
+        ]
+        _assert_batch_matches_kernel(specs)
+        delta = {
+            k: batch_cache_stats()[k] - before[k] for k in before
+        }
+        assert delta["outcome_misses"] >= 1
+        assert delta["outcome_hits"] >= 7  # 8 lanes, at most one executed
+
+    def test_seedless_registry_is_accurate(self):
+        for family in SEEDLESS_FAMILIES:
+            a = build_family(family, 12, seed=1)
+            b = build_family(family, 12, seed=2)
+            assert a.nodes == b.nodes
+            assert a.initial_edges == b.initial_edges
+
+
+class TestTimeouts:
+    def test_expired_deadline_matches_kernel_per_lane(self):
+        specs = [
+            _spec(family="chain", size=40, algorithm=a, scheduler=sc, replicate=r)
+            for a in ("pr", "fr") for sc in ("greedy", "random") for r in range(2)
+        ]
+        batched = run_scenarios_batched([s.to_dict() for s in specs], timeout_s=0.0)
+        for spec, record in zip(specs, batched):
+            kernel = execute_scenario(spec.to_dict(), timeout_s=0.0, engine=ENGINE_KERNEL)
+            assert record["status"] == "timeout"
+            assert _stable(record) == _stable(kernel)
+            assert record["error"] == "deadline exceeded at step 0"
+
+    def test_timeout_keeps_partial_tallies(self):
+        record = run_scenarios_batched(
+            [_spec(family="chain", size=40).to_dict()], timeout_s=0.0
+        )[0]
+        assert record["status"] == "timeout"
+        assert record["node_steps"] >= 1  # the aborted step's work is kept
+        assert record["steps_taken"] == 0  # but not counted as completed
+        assert record["converged"] is False
+
+    def test_mid_batch_timeout_mixes_ok_and_timeout(self):
+        # an already-converged lane retires before the deadline check fires,
+        # so an expired budget still lets trivial lanes complete
+        specs = [
+            _spec(family="oriented-chain", size=10),  # starts converged
+            _spec(family="chain", size=40),           # needs Θ(n²) work
+        ]
+        records = run_scenarios_batched([s.to_dict() for s in specs], timeout_s=0.0)
+        assert records[0]["status"] == "ok" and records[0]["converged"]
+        assert records[1]["status"] == "timeout"
+
+
+class TestUnsupportedLanes:
+    def test_bll_lane_is_an_error_record(self):
+        records = run_scenarios_batched([
+            _spec(size=8).to_dict(),
+            _spec(algorithm="bll", size=8).to_dict(),
+        ])
+        assert records[0]["status"] == "ok"
+        assert records[1]["status"] == "error"
+        assert "no signature kernel" in records[1]["error"]
+        assert records[1]["engine"] is None
+
+    def test_async_lane_is_an_error_record(self):
+        record = run_scenarios_batched([
+            _spec(algorithm="fr", delay_model="uniform").to_dict()
+        ])[0]
+        assert record["status"] == "error"
+        assert "delay_model" in record["error"]
+
+    def test_forced_batch_engine_on_bll_raises_in_resolution(self):
+        with pytest.raises(ValueError, match="legacy"):
+            resolve_engine(ENGINE_BATCH, _spec(algorithm="bll"))
+
+    def test_auto_still_prefers_kernel(self):
+        # batching pays off at campaign width; a single auto scenario stays
+        # on the per-scenario kernel path
+        assert BatchEngine.auto_priority < 20
+        assert resolve_engine("auto", _spec()) == ENGINE_KERNEL
+
+
+class TestExecutorIntegration:
+    def _campaign(self, replicates=3):
+        return CampaignSpec(
+            name="batch-diff",
+            families=("chain", "tree"),
+            sizes=(8, 10),
+            algorithms=("pr", "fr"),
+            schedulers=("greedy", "random"),
+            replicates=replicates,
+        )
+
+    def test_campaign_records_match_kernel_engine(self, tmp_path):
+        campaign = self._campaign()
+        with ResultStore(tmp_path / "kernel") as store:
+            run_campaign(campaign, store, workers=1, engine=ENGINE_KERNEL)
+            kernel = {r["run_id"]: _stable(r) for r in store.records()}
+        with ResultStore(tmp_path / "batch") as store:
+            report = run_campaign(campaign, store, workers=1, engine=ENGINE_BATCH)
+            batched = {r["run_id"]: _stable(r) for r in store.records()}
+        assert report.engines == {"batch": report.executed}
+        assert batched == kernel
+
+    def test_pooled_campaign_matches_inline(self, tmp_path):
+        campaign = self._campaign(replicates=2)
+        with ResultStore(tmp_path / "inline") as store:
+            run_campaign(campaign, store, workers=1, engine=ENGINE_BATCH)
+            inline = {r["run_id"]: _stable(r) for r in store.records()}
+        with ResultStore(tmp_path / "pooled") as store:
+            report = run_campaign(campaign, store, workers=2, engine=ENGINE_BATCH)
+            pooled = {r["run_id"]: _stable(r) for r in store.records()}
+        assert report.crashed == 0
+        assert pooled == inline
+
+    def test_interrupt_and_resume_through_the_store(self, tmp_path):
+        campaign = self._campaign()
+        specs = campaign.expand()
+        half = [s.to_dict() for s in specs[: len(specs) // 2]]
+        with ResultStore(tmp_path / "resume") as store:
+            # simulate an interrupted sweep: half the records already stored
+            store.append(run_scenarios_batched(half))
+            report = run_campaign(campaign, store, workers=1, engine=ENGINE_BATCH)
+            assert report.skipped == len(half)
+            assert report.executed == len(specs) - len(half)
+            resumed = {r["run_id"]: _stable(r) for r in store.records()}
+        with ResultStore(tmp_path / "oneshot") as store:
+            run_campaign(campaign, store, workers=1, engine=ENGINE_BATCH)
+            oneshot = {r["run_id"]: _stable(r) for r in store.records()}
+        assert resumed == oneshot
+        # and a second invocation is a no-op
+        with ResultStore(tmp_path / "resume") as store:
+            report = run_campaign(campaign, store, workers=1, engine=ENGINE_BATCH)
+            assert report.executed == 0
+
+    def test_batch_chunks_never_straddle_batch_keys(self):
+        specs = [s.to_dict() for s in self._campaign().expand()]
+        chunks = _batch_aligned_chunks(specs, chunk_size=5)
+        for chunk in chunks:
+            assert len({batch_key(s) for s in chunk}) == 1
+        assert sorted(s["run_id"] for c in chunks for s in c) == sorted(
+            s["run_id"] for s in specs
+        )
+
+    def test_chunk_sizes_derive_from_workload(self):
+        # non-batch sizing scales with the pending count instead of a cap
+        assert _default_chunk_size(10_000, workers=4) == 313
+        assert _default_chunk_size(10, workers=4) == 1
+        # batch sizing keeps lockstep calls wide
+        assert _default_batch_chunk_size(10_000, workers=1) == 10_000
+        assert _default_batch_chunk_size(10_000, workers=4) == 1250
+        assert _default_batch_chunk_size(0, workers=4) == 1
+
+    def test_campaign_report_sidecar_records_batch_stats(self, tmp_path):
+        with ResultStore(tmp_path / "s") as store:
+            run_campaign(self._campaign(replicates=2), store, workers=1,
+                         engine=ENGINE_BATCH)
+            sidecar = store.load_report()
+        assert sidecar["engines"] == {"batch": sidecar["executed"]}
+        assert any(k.startswith("batch_") for k in sidecar["kernel_cache"])
+
+
+class TestCacheConfiguration:
+    def test_env_var_overrides_capacity(self, monkeypatch):
+        monkeypatch.setenv(CACHE_CAPACITY_ENV, "128")
+        assert cache_capacity_from_env() == 128
+        monkeypatch.setenv(CACHE_CAPACITY_ENV, "not-a-number")
+        assert cache_capacity_from_env() == 64
+        monkeypatch.setenv(CACHE_CAPACITY_ENV, "0")
+        assert cache_capacity_from_env() == 64
+        monkeypatch.delenv(CACHE_CAPACITY_ENV)
+        assert cache_capacity_from_env(default=7) == 7
+
+    def test_configure_kernel_cache_resizes_all_engines(self):
+        from repro.experiments.async_engine import _INSTANCE_CACHE
+        from repro.experiments.batch_engine import _BATCH_CACHE
+        from repro.experiments.runner import _KERNEL_CACHE, configure_kernel_cache
+
+        original = _KERNEL_CACHE.capacity
+        try:
+            configure_kernel_cache(3)
+            assert _KERNEL_CACHE.capacity == 3
+            assert _INSTANCE_CACHE.capacity == 3
+            assert _BATCH_CACHE.capacity == 3
+            assert len(_BATCH_CACHE._instances) <= 3
+        finally:
+            configure_kernel_cache(original)
+
+    def test_batch_stats_surface_in_kernel_cache_stats(self):
+        run_scenarios_batched([_spec(size=8).to_dict()])
+        stats = kernel_cache_stats()
+        for name in ("batch_instance_hits", "batch_kernel_compiles",
+                     "batch_outcome_hits", "batch_outcome_misses"):
+            assert name in stats
+
+
+class TestCli:
+    def test_sweep_engine_batch_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "sweep", "--families", "chain", "--algorithms", "pr,fr",
+            "--sizes", "5,7", "--replicates", "2", "--engine", "batch",
+            "--store", str(tmp_path / "s"), "--quiet", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engines"] == {"batch": 8}
+        assert any(k.startswith("batch_") for k in payload["kernel_cache"])
+
+    def test_batch_sweep_store_matches_kernel_sweep_store(self, tmp_path, capsys):
+        from repro.cli import main
+
+        base = [
+            "sweep", "--families", "chain,tree", "--algorithms", "pr",
+            "--sizes", "6", "--replicates", "2", "--quiet",
+        ]
+        assert main(base + ["--engine", "kernel", "--store", str(tmp_path / "k")]) == 0
+        assert main(base + ["--engine", "batch", "--store", str(tmp_path / "b")]) == 0
+        capsys.readouterr()
+        with ResultStore(tmp_path / "k") as ks, ResultStore(tmp_path / "b") as bs:
+            kernel = {r["run_id"]: _stable(r) for r in ks.records()}
+            batched = {r["run_id"]: _stable(r) for r in bs.records()}
+        assert batched == kernel
+
+    def test_report_shows_last_sweep_engines(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "sweep", "--families", "chain", "--algorithms", "pr", "--sizes", "5",
+            "--engine", "batch", "--store", str(tmp_path / "s"), "--quiet",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", "--store", str(tmp_path / "s"), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine_counts"] == {"batch": 1}
+        assert payload["last_campaign_report"]["engines"] == {"batch": 1}
