@@ -50,6 +50,7 @@ def _baseline_workloads():
     from benchmarks.bench_model_check import _measure as _measure_model_check
     from benchmarks.bench_simulation import _check_all_families
     from benchmarks.bench_sweep import _measure_1worker, _measure_pool
+    from benchmarks.bench_telemetry import _measure_enabled as _measure_telemetry
     from benchmarks.bench_worst_case import _fr_sweep, _pr_worst_orientation_sweep
 
     return {
@@ -65,6 +66,9 @@ def _baseline_workloads():
         # batched engine's speedup over the per-scenario kernel path
         "bench_batch_sweep": _measure_batch,
         "bench_batch_sweep_kernel": _measure_kernel,
+        # same workload again inside a telemetry session; drift against
+        # bench_batch_sweep is the enabled-path instrumentation overhead
+        "bench_telemetry": _measure_telemetry,
     }
 
 

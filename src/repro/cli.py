@@ -32,8 +32,13 @@ The CLI exposes the workflows a user typically wants without writing code:
 ``report``
     Aggregate a result store: group-by work summaries, work-vs-size curves
     with quadratic fits, and the PR-vs-FR worst-case ordering check.
+``trace``
+    Summarise the ``telemetry.jsonl`` sidecar a sweep wrote next to its
+    result store: top spans, per-engine scenario timings, worker timeline
+    and the final metrics snapshot.
 
-Every command accepts ``--seed`` so runs are reproducible.
+Every command accepts ``--seed`` so runs are reproducible, and ``-v`` /
+``-vv`` raise the stderr log level (INFO / DEBUG) of the library loggers.
 """
 
 from __future__ import annotations
@@ -41,7 +46,9 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import logging
 import sys
+import time
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis.game_theory import (
@@ -75,6 +82,7 @@ from repro.exploration.state_space import explore_and_check
 from repro.io.dot import orientation_to_dot
 from repro.routing.maintenance import RouteMaintenanceSimulation
 from repro.schedulers import SCHEDULER_FACTORIES
+from repro.telemetry.trace import check_span_nesting, summarise_telemetry, top_spans
 from repro.schedulers.greedy import GreedyScheduler
 from repro.topology.generators import FAMILY_NAMES, build_family
 from repro.verification.acyclicity import is_acyclic
@@ -448,10 +456,6 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     store = ResultStore(args.store)
 
-    def progress(done: int, total: int) -> None:
-        if not args.quiet:
-            print(f"  {done}/{total} runs completed", file=sys.stderr)
-
     report = run_campaign(
         campaign,
         store,
@@ -459,8 +463,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         timeout_s=args.timeout,
         resume=not args.no_resume,
-        progress=progress,
+        progress=_make_progress(args.quiet),
         engine=args.engine,
+        telemetry=not args.no_telemetry,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -476,7 +481,41 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"kernel cache  : {cache}")
         print(f"wall time     : {report.wall_time_s:.2f}s "
               f"({report.runs_per_second:.1f} runs/s)")
+        if report.execution_wall_s:
+            print(f"utilisation   : {report.worker_utilisation:.0%} "
+                  f"({report.cpu_time_s:.2f}s CPU over {report.execution_wall_s:.2f}s)")
+        if not args.no_telemetry:
+            print(f"telemetry     : {store.telemetry_path} "
+                  f"(inspect with `repro trace {store.root}`)")
     return 0 if report.errors == 0 and report.crashed == 0 else 1
+
+
+def _make_progress(quiet: bool) -> Optional[Callable[[int, int], None]]:
+    """Per-chunk progress callback for ``repro sweep`` (``None`` when quiet).
+
+    On a TTY the line rewrites itself in place with a live rate and ETA; when
+    stderr is redirected it falls back to one plain append-only line per
+    update, so logs stay diffable.
+    """
+    if quiet:
+        return None
+    if sys.stderr.isatty():
+        start = time.perf_counter()
+
+        def live(done: int, total: int) -> None:
+            elapsed = time.perf_counter() - start
+            rate = done / elapsed if elapsed > 0 else 0.0
+            eta = (total - done) / rate if rate > 0 else 0.0
+            end = "\n" if done >= total else ""
+            print(f"\r  {done}/{total} runs ({rate:.0f}/s, ETA {eta:.0f}s)  ",
+                  end=end, file=sys.stderr, flush=True)
+
+        return live
+
+    def plain(done: int, total: int) -> None:
+        print(f"  {done}/{total} runs completed", file=sys.stderr)
+
+    return plain
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -534,6 +573,86 @@ def cmd_report(args: argparse.Namespace) -> int:
             print(f"  size {row['size']:>4}: PR={row['pr']:>10.1f} "
                   f"FR={row['fr']:>10.1f} FR/PR={ratio:>7}")
         print(f"  ordering holds: {ordering['ordering_holds']}")
+
+    telemetry = data.get("telemetry")
+    if telemetry:
+        print("\n## Telemetry")
+        print(f"sidecar events: {telemetry['events']}")
+        for row in top_spans(telemetry, 5):
+            print(f"  span {row['name']:<12} count={row['count']:<6} "
+                  f"total={row['total_s']:.3f}s max={row['max_s']:.4f}s")
+        for engine, stats in telemetry["scenarios"].items():
+            wall = stats["wall_s"]
+            print(f"  engine {engine:<10} runs={stats['count']:<6} "
+                  f"mean={wall['mean'] * 1e3:.2f}ms p90={wall['p90'] * 1e3:.2f}ms")
+        for pid, worker in telemetry["workers"].items():
+            print(f"  worker {pid:<10} chunks={worker['chunks']:<4} "
+                  f"runs={worker['runs']:<6} busy={worker['busy_s']:.3f}s")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if not store.telemetry_path.exists():
+        print(f"error: no telemetry sidecar at {store.telemetry_path}; "
+              f"run `repro sweep` without --no-telemetry first", file=sys.stderr)
+        return 2
+    events = list(store.iter_telemetry())
+    summary = summarise_telemetry(events)
+    problems = check_span_nesting(events)
+    if args.json:
+        payload = {
+            "store": str(store.root),
+            "summary": summary,
+            "nesting_problems": problems,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if problems else 0
+
+    print(f"store   : {store.root}")
+    print(f"events  : {summary['events']}")
+
+    rows = top_spans(summary, args.top)
+    if rows:
+        print(f"\n{'span':<16} {'count':>8} {'total_s':>10} {'max_s':>10}")
+        for row in rows:
+            print(f"{row['name']:<16} {row['count']:>8} "
+                  f"{row['total_s']:>10.4f} {row['max_s']:>10.4f}")
+
+    if summary["scenarios"]:
+        print(f"\n{'engine':<12} {'runs':>7} {'mean_ms':>9} {'p50_ms':>8} "
+              f"{'p90_ms':>8} {'max_ms':>9} statuses")
+        for engine, stats in summary["scenarios"].items():
+            wall = stats["wall_s"]
+            statuses = ", ".join(f"{k}={v}" for k, v in stats["statuses"].items())
+            print(f"{engine:<12} {stats['count']:>7} {wall['mean'] * 1e3:>9.3f} "
+                  f"{wall['p50'] * 1e3:>8.3f} {wall['p90'] * 1e3:>8.3f} "
+                  f"{wall['max'] * 1e3:>9.3f} {statuses}")
+
+    if summary["workers"]:
+        print(f"\n{'worker':<12} {'chunks':>7} {'runs':>7} {'busy_s':>9} {'cpu_s':>9}")
+        for pid, worker in summary["workers"].items():
+            print(f"{pid:<12} {worker['chunks']:>7} {worker['runs']:>7} "
+                  f"{worker['busy_s']:>9.4f} {worker['cpu_s']:>9.4f}")
+
+    if summary["counters"]:
+        print("\ncounters:")
+        for name, value in summary["counters"].items():
+            print(f"  {name:<36} {value}")
+    if summary["gauges"]:
+        print("gauges:")
+        for name, value in summary["gauges"].items():
+            print(f"  {name:<36} {value}")
+    if summary["point_events"]:
+        print("events:")
+        for name, value in summary["point_events"].items():
+            print(f"  {name:<36} {value}")
+
+    if problems:
+        print(f"\nspan nesting problems ({len(problems)}):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -546,6 +665,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Link reversal algorithms (Partial Reversal Acyclicity reproduction)",
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log to stderr: -v for INFO, -vv for DEBUG")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser("run", help="run one algorithm on a topology")
@@ -689,6 +810,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="re-execute runs already present in the store")
     sweep_parser.add_argument("--quiet", action="store_true",
                               help="suppress progress lines on stderr")
+    sweep_parser.add_argument("--no-telemetry", action="store_true",
+                              help="skip the metrics/span sidecar (telemetry.jsonl) "
+                                   "and per-chunk instrumentation")
     sweep_parser.add_argument("--json", action="store_true",
                               help="print the campaign report as JSON")
     sweep_parser.set_defaults(handler=cmd_sweep)
@@ -707,13 +831,43 @@ def build_parser() -> argparse.ArgumentParser:
                                help="print the full report as JSON")
     report_parser.set_defaults(handler=cmd_report)
 
+    trace_parser = subparsers.add_parser(
+        "trace", help="summarise a store's telemetry.jsonl sidecar"
+    )
+    trace_parser.add_argument("store", help="result store directory swept with telemetry")
+    trace_parser.add_argument("--top", type=int, default=10,
+                              help="span groups to show, by total duration")
+    trace_parser.add_argument("--json", action="store_true",
+                              help="print the summary (and nesting check) as JSON")
+    trace_parser.set_defaults(handler=cmd_trace)
+
     return parser
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Point the library's loggers at stderr at the requested level.
+
+    Only the CLI entry point configures logging — library modules create
+    plain ``logging.getLogger(__name__)`` loggers and never touch handlers,
+    so embedding :mod:`repro` in another application keeps full control.
+    """
+    level = logging.WARNING
+    if verbosity == 1:
+        level = logging.INFO
+    elif verbosity >= 2:
+        level = logging.DEBUG
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    root = logging.getLogger("repro")
+    root.handlers[:] = [handler]
+    root.setLevel(level)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose)
     return args.handler(args)
 
 

@@ -48,11 +48,13 @@ message-passing work counters (``reversal_count`` / ``edge_flips`` /
 from __future__ import annotations
 
 import heapq
+import logging
 from collections import deque
 from random import Random
 from time import perf_counter
 from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
+from repro import telemetry as _telemetry
 from repro.core.graph import LinkReversalInstance, Orientation
 from repro.distributed.network import (
     NetworkReport,
@@ -62,6 +64,8 @@ from repro.distributed.network import (
 )
 from repro.distributed.protocol import HeightValue, ReversalMode
 from repro.kernels.simulator import DEADLINE_CHECK_STRIDE, DeadlineExceeded
+
+logger = logging.getLogger(__name__)
 
 Node = Hashable
 
@@ -623,10 +627,21 @@ class FastAsyncNetwork:
     # ------------------------------------------------------------------
     # running (the object network's API, plus deadlines)
     # ------------------------------------------------------------------
+    def _sample_queue_depths(self) -> None:
+        """Record peak queue gauges (phase boundaries only, never per event)."""
+        registry = _telemetry.REGISTRY
+        registry.max_gauge("fast_network.heap_depth", len(self._heap))
+        occupancy = len(self._dq)
+        if self._ring_mode:
+            occupancy += sum(len(ring) for ring in self._ring)
+        registry.max_gauge("fast_network.ring_occupancy", occupancy)
+
     def run_to_quiescence(
         self, max_events: int = 1_000_000, deadline: Optional[float] = None
     ) -> NetworkReport:
         """Dispatch events until none remain, then summarise the run."""
+        if _telemetry.ENABLED:
+            self._sample_queue_depths()
         self._run(max_events=max_events, deadline=deadline)
         return self.report()
 
@@ -658,6 +673,10 @@ class FastAsyncNetwork:
         report = self.run_to_quiescence(max_events=max_events_per_round, deadline=deadline)
         rounds = 0
         while not report.destination_oriented and rounds < max_rounds:
+            logger.debug(
+                "beacon round %d: %d events dispatched, not yet oriented",
+                rounds + 1, self.events_dispatched,
+            )
             self.broadcast_heights()
             report = self.run_to_quiescence(
                 max_events=max_events_per_round, deadline=deadline
@@ -705,6 +724,9 @@ class FastAsyncNetwork:
                 self._stale_events += self._in_flight[lid]
             self._in_flight[lid] = 0
             self._link_epoch[lid] += 1
+            if _telemetry.ENABLED:
+                _telemetry.REGISTRY.inc("fast_network.epoch_invalidations")
+        logger.debug("failed link (%r, %r)", u, v)
         self._on_link_down(iu, iv)
         self._on_link_down(iv, iu)
 

@@ -196,6 +196,19 @@ def status_counts(store: ResultStore) -> Dict[str, int]:
     return store.status_counts()
 
 
+def telemetry_summary(store: ResultStore) -> Optional[Dict[str, Any]]:
+    """Summarised ``telemetry.jsonl`` sidecar, or ``None`` when absent.
+
+    Thin wrapper over :func:`repro.telemetry.trace.summarise_telemetry` so
+    ``repro report`` and ``repro trace`` share one summary shape.
+    """
+    if not store.telemetry_path.exists():
+        return None
+    from repro.telemetry.trace import summarise_telemetry
+
+    return summarise_telemetry(store.iter_telemetry())
+
+
 def build_report(
     store: ResultStore,
     by: Sequence[str] = ("family", "algorithm"),
@@ -214,6 +227,9 @@ def build_report(
         # the most recent sweep executed, incl. batch dedup counters), as
         # opposed to engine_counts which spans every stored record
         "last_campaign_report": store.load_report(),
+        # summarised span/metrics sidecar of the sweeps run against this
+        # store (None when telemetry was disabled or never ran)
+        "telemetry": telemetry_summary(store),
         "invariants": invariant_outcomes(records),
         "async": async_summary(records),
         "group_by": list(by),

@@ -30,9 +30,11 @@ per-link delay/loss streams; failure injection derives from
 
 from __future__ import annotations
 
+import logging
 import random
 from typing import Any, Dict, Optional, Tuple
 
+from repro import telemetry as _telemetry
 from repro.distributed.fast_network import FastAsyncNetwork
 from repro.distributed.network import DELAY_MODELS
 from repro.distributed.protocol import ReversalMode
@@ -60,9 +62,16 @@ DEFAULT_MAX_EVENTS = 1_000_000
 #: Beacon rounds tried per phase before a lossy run is declared unconverged.
 BEACON_ROUNDS = 20
 
+logger = logging.getLogger(__name__)
+
 #: Per-process instance cache (the async twin of the runner's kernel cache;
 #: campaign chunks share ``(family, size, topology_seed)`` topologies).
-_INSTANCE_CACHE = KernelCache(capacity=cache_capacity_from_env())
+#: Counters live in the shared ``ENGINE_METRICS`` registry as ``async_*``.
+_INSTANCE_CACHE = KernelCache(
+    capacity=cache_capacity_from_env(),
+    metrics=_telemetry.ENGINE_METRICS,
+    prefix="async_",
+)
 
 
 def set_cache_capacity(capacity: int) -> None:
@@ -217,6 +226,10 @@ class AsyncEngine(ExecutionEngine):
             u, v = candidates[rng.randrange(len(candidates))]
             if network.link_would_partition(u, v):
                 record["partition_skips"] += 1
+                logger.debug(
+                    "run %s: skipping failure of link (%s, %s) — would "
+                    "partition the network", record.get("run_id"), u, v,
+                )
                 continue
             network.fail_link(u, v)
             record["failures_applied"] += 1

@@ -36,11 +36,13 @@ batch``), whereupon the executor groups chunks by batch key.
 
 from __future__ import annotations
 
+import logging
 import random
 import time
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple, Union
 
+from repro import telemetry as _telemetry
 from repro.core.full_reversal import FullReversal
 from repro.core.new_pr import NewPartialReversal
 from repro.core.one_step_pr import OneStepPartialReversal
@@ -82,10 +84,17 @@ _KERNEL_ALGORITHM_NAMES = frozenset(
     if isinstance(factory, type) and issubclass(factory, _KERNEL_AUTOMATA)
 )
 
+logger = logging.getLogger(__name__)
+
 #: Per-process instance/kernel cache, keyed by :func:`_canonical_key` — the
 #: seed-deterministic families collapse onto one entry per (family, size),
 #: which is what lets ≥256 replicate lanes share a single compiled kernel.
-_BATCH_CACHE = KernelCache(capacity=cache_capacity_from_env())
+#: Counters live in the shared ``ENGINE_METRICS`` registry as ``batch_*``.
+_BATCH_CACHE = KernelCache(
+    capacity=cache_capacity_from_env(),
+    metrics=_telemetry.ENGINE_METRICS,
+    prefix="batch_",
+)
 
 #: Per-topology bad-node counts, keyed like the batch cache.
 _BAD_NODES_MEMO: Dict[Hashable, int] = {}
@@ -102,7 +111,10 @@ _OUTCOME_MEMO_CAP = 1024
 
 #: Cumulative outcome-dedup counters: a *hit* is a lane satisfied without
 #: running (memo or in-batch fan-out), a *miss* is a lane actually executed.
-_OUTCOME_STATS = {"outcome_hits": 0, "outcome_misses": 0}
+#: Registry-backed (``batch_outcome_*`` in ``ENGINE_METRICS``);
+#: :func:`batch_cache_stats` keeps the historical un-prefixed dict keys.
+_OUTCOME_HITS = _telemetry.ENGINE_METRICS.counter("batch_outcome_hits")
+_OUTCOME_MISSES = _telemetry.ENGINE_METRICS.counter("batch_outcome_misses")
 
 #: Record fields that are pure run *results* (everything ``execute_scenario``
 #: initialises except the volatile ``wall_time_s`` / ``engine``); exactly the
@@ -130,7 +142,8 @@ _RECORD_INIT = {
 def batch_cache_stats() -> Dict[str, int]:
     """Cumulative batch-engine cache/dedup counters (JSON-compatible)."""
     stats = dict(_BATCH_CACHE.stats())
-    stats.update(_OUTCOME_STATS)
+    stats["outcome_hits"] = _OUTCOME_HITS.value
+    stats["outcome_misses"] = _OUTCOME_MISSES.value
     return stats
 
 
@@ -489,7 +502,7 @@ def _execute_group(lanes: List[Lane], deadline: Optional[float]) -> None:
         if memo is not None:
             for _, record in members:
                 record.update(memo)
-            _OUTCOME_STATS["outcome_hits"] += len(members)
+            _OUTCOME_HITS.inc(len(members))
             continue
         leaders.append((key, members))
         run_list.append(members[0])
@@ -498,11 +511,11 @@ def _execute_group(lanes: List[Lane], deadline: Optional[float]) -> None:
     for key, members in leaders:
         leader_record = members[0][1]
         outcome = {name: leader_record[name] for name in _RESULT_FIELDS}
-        _OUTCOME_STATS["outcome_misses"] += 1
+        _OUTCOME_MISSES.inc()
         if len(members) > 1:
             for _, record in members[1:]:
                 record.update(outcome)
-            _OUTCOME_STATS["outcome_hits"] += len(members) - 1
+            _OUTCOME_HITS.inc(len(members) - 1)
         if deadline is None and leader_record["status"] == "ok":
             if len(_OUTCOME_MEMO) >= _OUTCOME_MEMO_CAP:
                 _OUTCOME_MEMO.clear()
@@ -563,21 +576,47 @@ def run_scenarios_batched(
         record["engine"] = ENGINE_BATCH
         lanes_by_key.setdefault(batch_key(spec), []).append((spec, record))
 
+    fallback_ids: set = set()
     for lanes in lanes_by_key.values():
         try:
             _execute_group(lanes, deadline)
-        except Exception:  # noqa: BLE001 — one bad lane must not sink the group
+        except Exception as exc:  # noqa: BLE001 — one bad lane must not sink the group
             from repro.experiments.runner import execute_scenario
 
+            logger.exception(
+                "batch group of %d lanes (first run %s) failed in lockstep; "
+                "retrying each lane per-scenario: %s",
+                len(lanes), lanes[0][1].get("run_id"), exc,
+            )
+            if _telemetry.ENABLED:
+                _telemetry.REGISTRY.inc("batch.group_fallbacks")
             for spec, record in lanes:
+                # execute_scenario counts its own telemetry, so these lanes
+                # are excluded from the aggregated tally below
                 solo = execute_scenario(spec, timeout_s=timeout_s, engine=ENGINE_BATCH)
                 record.clear()
                 record.update(solo)
+                fallback_ids.add(id(record))
 
     elapsed = round(time.perf_counter() - start, 6)
     for record in records:
         if not record["wall_time_s"]:
             record["wall_time_s"] = elapsed
+    if _telemetry.ENABLED:
+        # one aggregation pass, then a handful of registry calls — per-record
+        # increments would cost several percent of a 6144-lane batch call
+        registry = _telemetry.REGISTRY
+        engine_tallies: Dict[Tuple[str, str], int] = {}
+        for record in records:
+            if id(record) in fallback_ids:
+                continue
+            key = (record["engine"] or "none", record["status"])
+            engine_tallies[key] = engine_tallies.get(key, 0) + 1
+        for (engine_used, status), count in engine_tallies.items():
+            registry.inc(f"scenarios.{engine_used}", count)
+            registry.inc(f"scenario_status.{status}", count)
+        if records:
+            registry.observe("batch_call_wall_s", elapsed)
     return records
 
 

@@ -26,17 +26,21 @@ deterministic, easy to debug, and what the tests mostly use.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from collections import OrderedDict
 
+from repro import telemetry as _telemetry
 from repro._mp import fork_preferring_context
+from repro.telemetry.metrics import MetricsRegistry
 from repro.experiments.runner import (
     ENGINE_AUTO,
     ENGINE_BATCH,
@@ -46,6 +50,8 @@ from repro.experiments.runner import (
 from repro.experiments.batch_engine import batch_key
 from repro.experiments.spec import CRASH_SENTINEL, CampaignSpec
 from repro.experiments.store import ResultStore
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -61,6 +67,14 @@ class CampaignReport:
     crashed: int = 0
     workers: int = 1
     wall_time_s: float = 0.0
+    #: Span-measured wall time of the execution window alone — chunk dispatch
+    #: through last absorb, excluding spec expansion and the resume scan.
+    execution_wall_s: float = 0.0
+    #: Summed worker CPU time across every executed chunk.
+    cpu_time_s: float = 0.0
+    #: Summed worker busy-wall over ``execution_wall_s × workers`` — how much
+    #: of the pool's capacity the campaign actually used.
+    worker_utilisation: float = 0.0
     shard: Optional[str] = None
     #: Executed runs per engine (``kernel`` / ``legacy`` / ``none`` for runs
     #: that failed before an engine was selected).
@@ -70,10 +84,19 @@ class CampaignReport:
 
     @property
     def runs_per_second(self) -> float:
-        """Executed-run throughput of this invocation."""
-        if self.wall_time_s <= 0:
+        """Executed-run throughput of this invocation.
+
+        Computed over the span-measured execution window
+        (``execution_wall_s``), not the whole-invocation bracketing: a
+        resumed campaign that mostly scans already-stored run ids must not
+        report a misleadingly low (or, with ``executed == 0``, undefined)
+        throughput.  Falls back to ``wall_time_s`` for reports loaded from
+        stores written before the execution window existed.
+        """
+        wall = self.execution_wall_s or self.wall_time_s
+        if self.executed <= 0 or wall <= 0:
             return 0.0
-        return self.executed / self.wall_time_s
+        return self.executed / wall
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible form (printed by ``repro sweep --json``)."""
@@ -87,6 +110,9 @@ class CampaignReport:
             "crashed": self.crashed,
             "workers": self.workers,
             "wall_time_s": round(self.wall_time_s, 4),
+            "execution_wall_s": round(self.execution_wall_s, 4),
+            "cpu_time_s": round(self.cpu_time_s, 4),
+            "worker_utilisation": round(self.worker_utilisation, 3),
             "runs_per_second": round(self.runs_per_second, 2),
             "shard": self.shard,
             "engines": dict(sorted(self.engines.items())),
@@ -95,24 +121,54 @@ class CampaignReport:
 
 
 def _run_chunk_with_stats(
-    chunk: List[Dict[str, Any]], timeout_s: Optional[float], engine: str
+    chunk: List[Dict[str, Any]],
+    timeout_s: Optional[float],
+    engine: str,
+    collect: bool = False,
 ) -> Dict[str, Any]:
     """Run one chunk and report the kernel-cache counter *delta* alongside.
 
     The cache is process-global and chunks from other campaigns may have
-    warmed it, so only the delta is attributable to this chunk.
+    warmed it, so only the delta is attributable to this chunk.  Chunk wall
+    and CPU time are always measured (four clock reads); ``collect``
+    additionally activates a fresh per-chunk
+    :class:`~repro.telemetry.metrics.MetricsRegistry` — pooled workers can't
+    write into the parent campaign's registry, so they ship a snapshot back
+    in the result for the parent to merge.
     """
     before = kernel_cache_stats()
-    records = run_scenarios(chunk, timeout_s=timeout_s, engine=engine)
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    token = None
+    local: Optional[MetricsRegistry] = None
+    if collect:
+        local = MetricsRegistry()
+        token = _telemetry.activate(registry=local)
+    try:
+        records = run_scenarios(chunk, timeout_s=timeout_s, engine=engine)
+    finally:
+        if token is not None:
+            _telemetry.restore(token)
     after = kernel_cache_stats()
-    return {
+    result = {
         "records": records,
         "kernel_cache": {name: after[name] - before[name] for name in after},
+        "worker": {
+            "pid": os.getpid(),
+            "wall_s": round(time.perf_counter() - wall_start, 6),
+            "cpu_s": round(time.process_time() - cpu_start, 6),
+        },
     }
+    if local is not None:
+        result["metrics"] = local.snapshot()
+    return result
 
 
 def _execute_chunk(
-    chunk: List[Dict[str, Any]], timeout_s: Optional[float], engine: str = ENGINE_AUTO
+    chunk: List[Dict[str, Any]],
+    timeout_s: Optional[float],
+    engine: str = ENGINE_AUTO,
+    collect: bool = False,
 ) -> Dict[str, Any]:
     """*Worker* entry point: run one chunk of scenario dicts.
 
@@ -124,7 +180,7 @@ def _execute_chunk(
     for spec in chunk:
         if spec.get("algorithm") == CRASH_SENTINEL:
             os._exit(43)
-    return _run_chunk_with_stats(chunk, timeout_s, engine)
+    return _run_chunk_with_stats(chunk, timeout_s, engine, collect=collect)
 
 
 def _crashed_records(chunk: Sequence[Dict[str, Any]], detail: str) -> List[Dict[str, Any]]:
@@ -204,6 +260,7 @@ def run_campaign(
     resume: bool = True,
     progress: Optional[Callable[[int, int], None]] = None,
     engine: str = ENGINE_AUTO,
+    telemetry: bool = True,
 ) -> CampaignReport:
     """Execute (the missing part of) a campaign and persist every record.
 
@@ -230,6 +287,12 @@ def run_campaign(
         ``"kernel"``, ``"legacy"``, ``"async"`` or ``"batch"``.  The batch
         engine additionally changes chunking: chunks are aligned to batch
         keys so each one executes as a single lockstep call.
+    telemetry:
+        When set (the default), the campaign runs under an enabled
+        :mod:`repro.telemetry` session: per-chunk spans, per-run scenario
+        events and a merged metrics snapshot are appended to the store's
+        ``telemetry.jsonl`` sidecar.  ``False`` keeps the whole substrate on
+        its zero-cost no-op path and writes no sidecar.
     """
     start = time.perf_counter()
     specs = [spec.to_dict() for spec in campaign.expand()]
@@ -259,7 +322,18 @@ def run_campaign(
             chunk_size = _default_chunk_size(len(pending), workers)
         chunks = _chunked(pending, chunk_size)
 
+    logger.info(
+        "campaign %s: %d pending of %d runs in %d chunks across %d workers "
+        "(engine=%s)", campaign.name, len(pending), len(specs), len(chunks),
+        report.workers, engine,
+    )
+
+    session = _telemetry.session(sink=store.record_telemetry) if telemetry else None
+    registry = tracer = None
+    if session is not None:
+        registry, tracer = session.__enter__()
     done = 0
+    busy = {"wall_s": 0.0, "cpu_s": 0.0}
 
     def _absorb(records: List[Dict[str, Any]]) -> None:
         nonlocal done
@@ -277,21 +351,87 @@ def run_campaign(
                 report.errors += 1
             engine_used = record.get("engine") or "none"
             report.engines[engine_used] = report.engines.get(engine_used, 0) + 1
+        if tracer is not None:
+            now = round(tracer.now(), 6)
+            for record in records:
+                tracer.emit({
+                    "kind": "scenario",
+                    "t": now,
+                    "run_id": record.get("run_id"),
+                    "engine": record.get("engine"),
+                    "status": record.get("status"),
+                    "family": record.get("family"),
+                    "algorithm": record.get("algorithm"),
+                    "wall_s": record.get("wall_time_s") or 0.0,
+                })
         if progress is not None:
             progress(done, len(pending))
 
-    def _absorb_chunk_result(result: Dict[str, Any]) -> None:
+    def _absorb_chunk_result(result: Dict[str, Any], index: Optional[int] = None) -> None:
         for name, value in result.get("kernel_cache", {}).items():
             report.kernel_cache[name] = report.kernel_cache.get(name, 0) + value
+        worker = result.get("worker") or {}
+        busy["wall_s"] += worker.get("wall_s", 0.0)
+        busy["cpu_s"] += worker.get("cpu_s", 0.0)
+        if registry is not None and "metrics" in result:
+            registry.merge(result["metrics"])
+        if tracer is not None and worker:
+            wall_s = worker.get("wall_s", 0.0)
+            tracer.emit_span(
+                "chunk",
+                t_start=max(0.0, tracer.now() - wall_s),
+                dur_s=wall_s,
+                index=index,
+                runs=len(result["records"]),
+                pid=worker.get("pid"),
+                cpu_s=worker.get("cpu_s", 0.0),
+            )
         _absorb(result["records"])
 
-    if workers <= 1:
-        for chunk in chunks:
-            _absorb_chunk_result(_run_chunk_with_stats(chunk, timeout_s, engine))
-    else:
-        _run_pooled(chunks, workers, timeout_s, engine, _absorb, _absorb_chunk_result)
+    exec_start = time.perf_counter()
+    try:
+        campaign_span = nullcontext() if tracer is None else tracer.span(
+            "campaign", campaign=campaign.name, pending=len(pending),
+            workers=report.workers, engine=engine,
+        )
+        with campaign_span:
+            if workers <= 1:
+                for index, chunk in enumerate(chunks):
+                    _absorb_chunk_result(
+                        _run_chunk_with_stats(chunk, timeout_s, engine), index
+                    )
+            else:
+                _run_pooled(
+                    chunks, workers, timeout_s, engine,
+                    _absorb, _absorb_chunk_result, collect=telemetry,
+                )
+        report.execution_wall_s = time.perf_counter() - exec_start
+        report.cpu_time_s = busy["cpu_s"]
+        if report.execution_wall_s > 0:
+            report.worker_utilisation = busy["wall_s"] / (
+                report.execution_wall_s * report.workers
+            )
+        if tracer is not None:
+            snapshot = registry.snapshot()
+            tracer.emit({"kind": "metrics", "t": round(tracer.now(), 6), **snapshot})
+            tracer.event(
+                "campaign_summary",
+                executed=report.executed, ok=report.ok, errors=report.errors,
+                timeouts=report.timeouts, crashed=report.crashed,
+                execution_wall_s=round(report.execution_wall_s, 6),
+                cpu_time_s=round(report.cpu_time_s, 6),
+                worker_utilisation=round(report.worker_utilisation, 3),
+            )
+    finally:
+        if session is not None:
+            session.__exit__(None, None, None)
 
     report.wall_time_s = time.perf_counter() - start
+    logger.info(
+        "campaign %s: executed %d (%d ok, %d errors, %d timeouts, %d crashed) "
+        "in %.3fs", campaign.name, report.executed, report.ok, report.errors,
+        report.timeouts, report.crashed, report.wall_time_s,
+    )
     store.record_report(report.to_dict())
     return report
 
@@ -302,7 +442,8 @@ def _run_pooled(
     timeout_s: Optional[float],
     engine: str,
     absorb: Callable[[List[Dict[str, Any]]], None],
-    absorb_chunk_result: Callable[[Dict[str, Any]], None],
+    absorb_chunk_result: Callable[[Dict[str, Any], Optional[int]], None],
+    collect: bool = False,
 ) -> None:
     """Dispatch chunks over a process pool, surviving worker crashes.
 
@@ -314,11 +455,12 @@ def _run_pooled(
     """
     context = _pool_context()
     remaining = {index: chunk for index, chunk in enumerate(chunks)}
+    tracer = _telemetry.TRACER if _telemetry.ENABLED else None
 
     pool_broke = False
     with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
         futures = {
-            pool.submit(_execute_chunk, chunk, timeout_s, engine): index
+            pool.submit(_execute_chunk, chunk, timeout_s, engine, collect): index
             for index, chunk in remaining.items()
         }
         not_done = set(futures)
@@ -332,11 +474,19 @@ def _run_pooled(
                     pool_broke = True
                     continue  # stays in `remaining` for quarantine
                 except Exception as exc:  # noqa: BLE001 — keep the campaign alive
-                    absorb(_crashed_records(
-                        remaining.pop(index), f"{type(exc).__name__}: {exc}"
-                    ))
+                    chunk = remaining.pop(index)
+                    logger.error(
+                        "chunk %d (%d runs) failed in its worker",
+                        index, len(chunk), exc_info=exc,
+                    )
+                    if tracer is not None:
+                        tracer.event(
+                            "chunk_failed", index=index, runs=len(chunk),
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    absorb(_crashed_records(chunk, f"{type(exc).__name__}: {exc}"))
                     continue
-                absorb_chunk_result(result)
+                absorb_chunk_result(result, index)
                 remaining.pop(index)
             if pool_broke:
                 break
@@ -344,13 +494,34 @@ def _run_pooled(
     if remaining and not pool_broke:
         raise RuntimeError("process pool stopped with chunks unfinished")
 
+    if pool_broke:
+        logger.warning(
+            "worker pool broke (a worker process died); retrying %d surviving "
+            "chunks in quarantine", len(remaining),
+        )
+        if tracer is not None:
+            tracer.event("pool_broken", surviving_chunks=len(remaining))
+
     # quarantine: isolate each surviving chunk in a throwaway pool
     for index in sorted(remaining):
         chunk = remaining[index]
+        if tracer is not None:
+            tracer.event("quarantine_retry", index=index, runs=len(chunk))
         try:
             with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
-                result = pool.submit(_execute_chunk, chunk, timeout_s, engine).result()
+                result = pool.submit(
+                    _execute_chunk, chunk, timeout_s, engine, collect
+                ).result()
         except Exception as exc:  # noqa: BLE001 — BrokenProcessPool included
+            logger.error(
+                "chunk %d (%d runs) killed its quarantine pool; recording "
+                "crashed placeholders", index, len(chunk), exc_info=exc,
+            )
+            if tracer is not None:
+                tracer.event(
+                    "chunk_crashed", index=index, runs=len(chunk),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
             absorb(_crashed_records(chunk, f"worker process died: {type(exc).__name__}: {exc}"))
             continue
-        absorb_chunk_result(result)
+        absorb_chunk_result(result, index)

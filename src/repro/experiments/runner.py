@@ -55,9 +55,12 @@ immediately) and recording the run with status ``"timeout"``.
 
 from __future__ import annotations
 
+import logging
 import random
 import time
 from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
+
+from repro import telemetry as _telemetry
 
 from repro.analysis.work import WorkObserver
 from repro.automata.executions import run
@@ -98,6 +101,8 @@ from repro.schedulers import make_scheduler
 from repro.topology.generators import build_family
 from repro.verification.acyclicity import is_acyclic
 
+logger = logging.getLogger(__name__)
+
 Node = Hashable
 
 #: Canonical engine names (the registry at the bottom of this module and
@@ -119,7 +124,14 @@ _KERNEL_AUTOMATA = (
 #: Sized to hold a full campaign axis sweep's worth of topologies (families ×
 #: sizes × replicates regularly reaches several dozen distinct instances);
 #: the ``REPRO_KERNEL_CACHE_CAPACITY`` environment variable overrides it.
-_KERNEL_CACHE = KernelCache(capacity=cache_capacity_from_env())
+#: Counters live in the always-on ``ENGINE_METRICS`` registry under
+#: ``kernel_``-prefixed names; :func:`kernel_cache_stats` is the
+#: compatibility view over them.
+_KERNEL_CACHE = KernelCache(
+    capacity=cache_capacity_from_env(),
+    metrics=_telemetry.ENGINE_METRICS,
+    prefix="kernel_",
+)
 
 
 def configure_kernel_cache(capacity: int) -> None:
@@ -313,8 +325,18 @@ def execute_scenario(
         record.update(status="timeout", error=str(exc))
     except Exception as exc:  # noqa: BLE001 — crash isolation is the contract
         record.update(status="error", error=f"{type(exc).__name__}: {exc}")
+        logger.debug(
+            "scenario %s failed on engine %s", record.get("run_id"),
+            record.get("engine"), exc_info=exc,
+        )
 
-    record["wall_time_s"] = round(time.perf_counter() - start, 6)
+    record["wall_time_s"] = wall_s = round(time.perf_counter() - start, 6)
+    if _telemetry.ENABLED:
+        registry = _telemetry.REGISTRY
+        engine_used = record["engine"] or "none"
+        registry.inc(f"scenarios.{engine_used}")
+        registry.inc(f"scenario_status.{record['status']}")
+        registry.observe(f"scenario_wall_s.{engine_used}", wall_s)
     return record
 
 

@@ -4,6 +4,8 @@ Layout of a store directory::
 
     <root>/
         campaign.json          # provenance: the last CampaignSpec swept here
+        report.json            # how the latest sweep invocation executed
+        telemetry.jsonl        # span/metrics sidecar (see repro.telemetry)
         shards/
             shard-00001.jsonl  # one JSON record per line, append-only
             shard-00002.jsonl
@@ -22,9 +24,12 @@ over the pool, so there is no cross-process write contention.
 from __future__ import annotations
 
 import json
+import logging
 import sqlite3
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Union
+
+logger = logging.getLogger(__name__)
 
 #: Record fields mirrored into queryable SQLite columns (everything else is
 #: still available via the ``record`` JSON column).
@@ -69,6 +74,7 @@ class ResultStore:
         self.index_path = self.root / "index.sqlite"
         self.campaign_path = self.root / "campaign.json"
         self.report_path = self.root / "report.json"
+        self.telemetry_path = self.root / "telemetry.jsonl"
         self.shard_dir.mkdir(parents=True, exist_ok=True)
         self._connection: Optional[sqlite3.Connection] = None
 
@@ -187,6 +193,38 @@ class ResultStore:
             return None
         return json.loads(self.report_path.read_text(encoding="utf-8"))
 
+    def record_telemetry(self, events: Sequence[Dict[str, Any]]) -> Path:
+        """Append telemetry events to the ``telemetry.jsonl`` sidecar.
+
+        The batched sink of the campaign tracer (see
+        :mod:`repro.telemetry.spans`): one appending write per batch, never
+        per event.  Append-only like the record shards, so resumed campaigns
+        accumulate their invocations' telemetry in order.
+        """
+        if events:
+            from repro.io.serialization import telemetry_events_to_jsonl
+
+            with self.telemetry_path.open("a", encoding="utf-8") as handle:
+                handle.write(telemetry_events_to_jsonl(events))
+        return self.telemetry_path
+
+    def iter_telemetry(self) -> Iterator[Dict[str, Any]]:
+        """Every sidecar telemetry event, in write order, schema-validated.
+
+        Raises :class:`repro.io.serialization.SerializationError` on a
+        malformed event — ``repro trace`` fails loudly rather than
+        summarising garbage.
+        """
+        if not self.telemetry_path.exists():
+            return
+        from repro.io.serialization import telemetry_event_from_dict
+
+        with self.telemetry_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield telemetry_event_from_dict(json.loads(line))
+
     # ------------------------------------------------------------------
     # consolidation / resume
     # ------------------------------------------------------------------
@@ -214,7 +252,12 @@ class ResultStore:
             self._index(records)
         else:
             self._connect()
-        return self.count()
+        count = self.count()
+        logger.info(
+            "rebuilt index at %s: %d records from %d shards",
+            self.index_path, count, len(self._shard_paths()),
+        )
+        return count
 
     def existing_run_ids(self) -> Set[str]:
         """The run ids already stored (what campaign resume skips)."""

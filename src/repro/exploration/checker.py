@@ -31,11 +31,13 @@ process, no spill).
 
 from __future__ import annotations
 
+import logging
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Set, Tuple
 
+from repro import telemetry as _telemetry
 from repro._mp import fork_preferring_context
 from repro.automata.ioa import IOAutomaton
 from repro.exploration.counterexample import CounterexampleTrace
@@ -52,6 +54,8 @@ from repro.exploration.state_space import (
     StatePredicate,
     _predicate_outcome,
 )
+
+logger = logging.getLogger(__name__)
 
 #: Built-in predicate names (checked on the signature level, no decoding).
 ACYCLIC = "acyclic"
@@ -409,6 +413,22 @@ class ModelChecker:
         else:
             self._run_generic(report)
         report.wall_time_s = time.perf_counter() - start
+        logger.info(
+            "%s: %d states, %d transitions, depth %d in %.3fs",
+            report.automaton_name, report.states_explored,
+            report.transitions_explored, report.max_depth, report.wall_time_s,
+        )
+        if _telemetry.ENABLED:
+            registry = _telemetry.REGISTRY
+            registry.inc("checker.states", report.states_explored)
+            registry.inc("checker.transitions", report.transitions_explored)
+            if report.spilled:
+                registry.inc("checker.spilled_runs")
+            if report.wall_time_s > 0:
+                registry.max_gauge(
+                    "checker.states_per_s",
+                    round(report.states_explored / report.wall_time_s, 1),
+                )
         return report
 
     # ------------------------------------------------------------------
@@ -438,6 +458,11 @@ class ModelChecker:
                 sig, depth = queue.popleft()
                 if depth > report.max_depth:
                     report.max_depth = depth
+                    if _telemetry.ENABLED:
+                        # one frontier-size sample per BFS level, not per state
+                        _telemetry.REGISTRY.observe(
+                            "checker.frontier", len(queue) + 1
+                        )
                 successors = expander.successors(sig)
                 if not successors:
                     report.quiescent_states += 1
@@ -690,6 +715,13 @@ class ModelChecker:
                 report.states_explored += round_new
                 if round_new:
                     report.max_depth = round_index
+                frontier = sum(len(entries) for entries in next_buckets.values())
+                logger.debug(
+                    "sharded round %d: %d new states, frontier %d",
+                    round_index, round_new, frontier,
+                )
+                if _telemetry.ENABLED and frontier:
+                    _telemetry.REGISTRY.observe("checker.frontier", frontier)
                 round_index += 1
                 buckets = next_buckets
 

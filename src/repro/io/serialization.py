@@ -8,7 +8,7 @@ runs can be reproduced and diffed.  Only built-in types appear in the output
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List
+from typing import Any, Dict, Hashable, List, Sequence
 
 from repro.automata.executions import Execution, replay
 from repro.core.graph import LinkReversalInstance
@@ -169,3 +169,80 @@ def execution_from_dict(data: Dict[str, Any]) -> Execution:
             "replayed final orientation does not match the serialised final_edges"
         )
     return execution
+
+
+# ----------------------------------------------------------------------
+# telemetry sidecar events (see repro.telemetry.spans for the schema)
+# ----------------------------------------------------------------------
+#: Required plain-typed fields per telemetry event kind.  ``attrs`` /
+#: ``counters`` / ``gauges`` / ``histograms`` are free-form dicts;
+#: ``parent_id`` may be ``None`` (root spans) and run metadata fields on
+#: ``scenario`` events may be ``None`` (crashed placeholders).
+_TELEMETRY_EVENT_FIELDS: Dict[str, Dict[str, type]] = {
+    "span": {
+        "name": str, "span_id": int, "depth": int,
+        "t_start": float, "dur_s": float, "attrs": dict,
+    },
+    "event": {"name": str, "t": float, "attrs": dict},
+    "scenario": {"t": float, "wall_s": float},
+    "metrics": {"t": float, "counters": dict, "gauges": dict, "histograms": dict},
+}
+
+
+def telemetry_event_from_dict(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate one parsed ``telemetry.jsonl`` event and return it.
+
+    The sidecar is written by :func:`telemetry_events_to_jsonl` and read back
+    through here (``ResultStore.iter_telemetry``), so a schema drift between
+    writer and reader fails loudly as a :class:`SerializationError` instead
+    of silently feeding ``repro trace`` garbage.
+    """
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"telemetry event must be an object, got {type(data).__name__}"
+        )
+    kind = data.get("kind")
+    fields = _TELEMETRY_EVENT_FIELDS.get(kind)
+    if fields is None:
+        known = ", ".join(sorted(_TELEMETRY_EVENT_FIELDS))
+        raise SerializationError(
+            f"telemetry event has unknown kind {kind!r}; known: {known}"
+        )
+    for name, kind_type in fields.items():
+        if name not in data:
+            raise SerializationError(
+                f"telemetry {kind} event is missing field {name!r}"
+            )
+        value = data[name]
+        if kind_type is float and isinstance(value, int) and not isinstance(value, bool):
+            value = float(value)
+            data[name] = value
+        if not isinstance(value, kind_type) or (
+            kind_type is int and isinstance(value, bool)
+        ):
+            raise SerializationError(
+                f"telemetry {kind} event field {name!r} must be "
+                f"{kind_type.__name__}, got {type(value).__name__}"
+            )
+    if kind == "span":
+        parent = data.get("parent_id")
+        if parent is not None and (not isinstance(parent, int) or isinstance(parent, bool)):
+            raise SerializationError(
+                "telemetry span event field 'parent_id' must be int or null"
+            )
+    return data
+
+
+def telemetry_events_to_jsonl(events: Sequence[Dict[str, Any]]) -> str:
+    """Serialise telemetry events to JSONL text (one compact object per line).
+
+    The write path stays cheap — no validation, the tracer emits only
+    schema-conforming events — while :func:`telemetry_event_from_dict`
+    validates on read.
+    """
+    import json
+
+    return "".join(
+        json.dumps(event, separators=(",", ":"), sort_keys=True) + "\n"
+        for event in events
+    )

@@ -42,6 +42,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 from repro.core.graph import LinkReversalInstance
 from repro.kernels.schedulers import MaskScheduler
 from repro.kernels.signature import PartialReversalExpander, SignatureExpander
+from repro.telemetry.metrics import MetricsRegistry
 
 #: Steps between wall-clock reads of a cooperative deadline.  The first step
 #: of every phase is always checked, so an already-expired budget aborts
@@ -278,9 +279,19 @@ class KernelCache:
     Instances are immutable and kernels hold no run state, so sharing them
     across scenarios is safe.  Stats are cumulative; callers snapshot
     :meth:`stats` around a chunk to report deltas.
+
+    The counters live in a :class:`~repro.telemetry.metrics.MetricsRegistry`
+    (``metrics``, prefixed by ``prefix``) so the three per-process engine
+    caches all report into the shared ``ENGINE_METRICS`` namespace; a bare
+    ``KernelCache()`` gets a private registry and behaves exactly as before.
     """
 
-    def __init__(self, capacity: int = 16):
+    def __init__(
+        self,
+        capacity: int = 16,
+        metrics: Optional[MetricsRegistry] = None,
+        prefix: str = "",
+    ):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
@@ -288,10 +299,30 @@ class KernelCache:
         # values are whatever the caller compiles: a bare SignatureExpander
         # or a wrapper built on one (the runner caches whole simulators)
         self._kernels: "OrderedDict[Tuple[Hashable, str], object]" = OrderedDict()
-        self.instance_hits = 0
-        self.instance_builds = 0
-        self.kernel_hits = 0
-        self.kernel_compiles = 0
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._instance_hits = metrics.counter(prefix + "instance_hits")
+        self._instance_builds = metrics.counter(prefix + "instance_builds")
+        self._kernel_hits = metrics.counter(prefix + "kernel_hits")
+        self._kernel_compiles = metrics.counter(prefix + "kernel_compiles")
+
+    # counters are registry-backed; these properties keep the historical
+    # integer-attribute read API (`cache.instance_hits`) working
+    @property
+    def instance_hits(self) -> int:
+        return self._instance_hits.value
+
+    @property
+    def instance_builds(self) -> int:
+        return self._instance_builds.value
+
+    @property
+    def kernel_hits(self) -> int:
+        return self._kernel_hits.value
+
+    @property
+    def kernel_compiles(self) -> int:
+        return self._kernel_compiles.value
 
     def set_capacity(self, capacity: int) -> None:
         """Resize the cache, evicting least-recently-used entries if shrinking."""
@@ -310,9 +341,9 @@ class KernelCache:
         cached = self._instances.get(key)
         if cached is not None:
             self._instances.move_to_end(key)
-            self.instance_hits += 1
+            self._instance_hits.inc()
             return cached
-        self.instance_builds += 1
+        self._instance_builds.inc()
         instance = build()
         self._instances[key] = instance
         if len(self._instances) > self.capacity:
@@ -339,9 +370,9 @@ class KernelCache:
         cached = self._kernels.get(kernel_key)
         if cached is not None:
             self._kernels.move_to_end(kernel_key)
-            self.kernel_hits += 1
+            self._kernel_hits.inc()
             return cached
-        self.kernel_compiles += 1
+        self._kernel_compiles.inc()
         kernel = compile_kernel()
         if kernel is not None:
             self._kernels[kernel_key] = kernel

@@ -1,0 +1,119 @@
+"""Telemetry substrate: metrics registry, span tracing, JSONL sidecars.
+
+The package exposes three module-level globals that instrumented code reads
+directly — the hot-path contract is one boolean test:
+
+``ENABLED``
+    ``False`` by default.  Hot paths guard with
+    ``if telemetry.ENABLED: ...``; when off, instrumentation costs a single
+    global load + branch and the registry/tracer are no-op singletons.
+``REGISTRY``
+    The active :class:`~repro.telemetry.metrics.MetricsRegistry`
+    (:data:`~repro.telemetry.metrics.NULL_REGISTRY` while disabled).
+``TRACER``
+    The active :class:`~repro.telemetry.spans.SpanTracer`
+    (:data:`~repro.telemetry.spans.NULL_TRACER` while disabled).
+
+Scopes are managed with :func:`activate`/:func:`restore` (token-based, so
+nested scopes unwind correctly) or the :func:`session` context manager,
+which the campaign executor wraps around one ``run_campaign`` invocation
+with the store's sidecar as sink.  Pooled workers call :func:`activate`
+with a fresh registry per chunk and ship the snapshot back to the parent
+for merging.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.telemetry.metrics import (
+    ENGINE_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullMetricsRegistry,
+)
+from repro.telemetry.spans import (
+    DEFAULT_BATCH_SIZE,
+    NULL_TRACER,
+    NullTracer,
+    SpanTracer,
+)
+
+__all__ = [
+    "ENABLED",
+    "REGISTRY",
+    "TRACER",
+    "ENGINE_METRICS",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "SpanTracer",
+    "DEFAULT_BATCH_SIZE",
+    "activate",
+    "restore",
+    "session",
+]
+
+ENABLED: bool = False
+REGISTRY: MetricsRegistry = NULL_REGISTRY
+TRACER: SpanTracer = NULL_TRACER
+
+#: Opaque state token returned by :func:`activate` for :func:`restore`.
+_Token = Tuple[bool, MetricsRegistry, SpanTracer]
+
+
+def activate(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[SpanTracer] = None,
+) -> _Token:
+    """Install a registry/tracer pair as the active globals.
+
+    Returns a token capturing the previous state; pass it to
+    :func:`restore` (in a ``finally``) to unwind.  Omitted arguments fall
+    back to fresh no-op-free defaults: a new :class:`MetricsRegistry` and
+    the shared :data:`NULL_TRACER` (metrics without tracing is the common
+    worker-side configuration).
+    """
+    global ENABLED, REGISTRY, TRACER
+    token: _Token = (ENABLED, REGISTRY, TRACER)
+    REGISTRY = registry if registry is not None else MetricsRegistry()
+    TRACER = tracer if tracer is not None else NULL_TRACER
+    ENABLED = True
+    return token
+
+
+def restore(token: _Token) -> None:
+    """Undo a matching :func:`activate`."""
+    global ENABLED, REGISTRY, TRACER
+    ENABLED, REGISTRY, TRACER = token
+
+
+@contextmanager
+def session(
+    sink: Optional[Callable[[List[Dict[str, Any]]], Any]] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+):
+    """Enable telemetry for a scope; yields ``(registry, tracer)``.
+
+    The tracer's buffered events are flushed to ``sink`` on exit even when
+    the scope raises, and the previous global state is always restored.
+    """
+    registry = MetricsRegistry()
+    tracer = SpanTracer(sink=sink, batch_size=batch_size)
+    token = activate(registry=registry, tracer=tracer)
+    try:
+        yield registry, tracer
+    finally:
+        try:
+            tracer.flush()
+        finally:
+            restore(token)

@@ -1,0 +1,183 @@
+"""Summarise a ``telemetry.jsonl`` sidecar: top spans, engines, workers.
+
+Pure functions over event dicts (see :mod:`repro.telemetry.spans` for the
+schema) — no I/O here.  The ``repro trace`` CLI command and the ``repro
+report`` telemetry section both render :func:`summarise_telemetry`;
+:func:`check_span_nesting` is the structural validator CI runs over every
+sidecar a smoke sweep produces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence."""
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+def summarise_telemetry(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate sidecar events into the dict behind ``repro trace``.
+
+    Returns::
+
+        {
+          "events": int,                      # total sidecar events
+          "spans": {name: {"count", "total_s", "max_s"}},
+          "scenarios": {engine: {"count", "statuses": {...},
+                                 "wall_s": {"total", "mean", "p50",
+                                            "p90", "max"}}},
+          "workers": {pid: {"chunks", "runs", "busy_s", "cpu_s"}},
+          "counters": {name: int},            # last metrics snapshot
+          "gauges": {name: float},
+          "point_events": {name: int},
+        }
+
+    ``workers`` comes from ``chunk`` spans (the executor attaches ``pid``,
+    ``cpu_s`` and ``runs``); inline campaigns report a single pid.
+    """
+    total = 0
+    spans: Dict[str, Dict[str, float]] = {}
+    scenario_walls: Dict[str, List[float]] = {}
+    scenario_statuses: Dict[str, Dict[str, int]] = {}
+    workers: Dict[Any, Dict[str, float]] = {}
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    point_events: Dict[str, int] = {}
+
+    for event in events:
+        total += 1
+        kind = event.get("kind")
+        if kind == "span":
+            name = event.get("name", "?")
+            entry = spans.setdefault(name, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+            duration = float(event.get("dur_s") or 0.0)
+            entry["count"] += 1
+            entry["total_s"] += duration
+            if duration > entry["max_s"]:
+                entry["max_s"] = duration
+            if name == "chunk":
+                attrs = event.get("attrs") or {}
+                pid = attrs.get("pid", "inline")
+                worker = workers.setdefault(
+                    pid, {"chunks": 0, "runs": 0, "busy_s": 0.0, "cpu_s": 0.0}
+                )
+                worker["chunks"] += 1
+                worker["runs"] += int(attrs.get("runs") or 0)
+                worker["busy_s"] += duration
+                worker["cpu_s"] += float(attrs.get("cpu_s") or 0.0)
+        elif kind == "scenario":
+            engine = event.get("engine") or "none"
+            scenario_walls.setdefault(engine, []).append(
+                float(event.get("wall_s") or 0.0)
+            )
+            status = event.get("status") or "?"
+            statuses = scenario_statuses.setdefault(engine, {})
+            statuses[status] = statuses.get(status, 0) + 1
+        elif kind == "metrics":
+            # later snapshots supersede earlier ones (one per campaign)
+            counters = dict(event.get("counters") or {})
+            gauges = dict(event.get("gauges") or {})
+        elif kind == "event":
+            name = event.get("name", "?")
+            point_events[name] = point_events.get(name, 0) + 1
+
+    scenarios: Dict[str, Dict[str, Any]] = {}
+    for engine, walls in scenario_walls.items():
+        walls.sort()
+        scenarios[engine] = {
+            "count": len(walls),
+            "statuses": dict(sorted(scenario_statuses.get(engine, {}).items())),
+            "wall_s": {
+                "total": round(sum(walls), 6),
+                "mean": round(sum(walls) / len(walls), 6),
+                "p50": round(_percentile(walls, 0.50), 6),
+                "p90": round(_percentile(walls, 0.90), 6),
+                "max": round(walls[-1], 6),
+            },
+        }
+
+    return {
+        "events": total,
+        "spans": {
+            name: {
+                "count": int(entry["count"]),
+                "total_s": round(entry["total_s"], 6),
+                "max_s": round(entry["max_s"], 6),
+            }
+            for name, entry in spans.items()
+        },
+        "scenarios": dict(sorted(scenarios.items())),
+        "workers": {
+            str(pid): {
+                "chunks": int(w["chunks"]),
+                "runs": int(w["runs"]),
+                "busy_s": round(w["busy_s"], 6),
+                "cpu_s": round(w["cpu_s"], 6),
+            }
+            for pid, w in sorted(workers.items(), key=lambda kv: str(kv[0]))
+        },
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "point_events": dict(sorted(point_events.items())),
+    }
+
+
+def top_spans(summary: Dict[str, Any], limit: int = 10) -> List[Dict[str, Any]]:
+    """Span groups of a :func:`summarise_telemetry` dict, by total duration."""
+    rows = [
+        {"name": name, **entry}
+        for name, entry in summary.get("spans", {}).items()
+    ]
+    rows.sort(key=lambda row: row["total_s"], reverse=True)
+    return rows[:limit]
+
+
+def check_span_nesting(events: Iterable[Dict[str, Any]]) -> List[str]:
+    """Structural problems in a sidecar's span tree (empty when well-formed).
+
+    Checks every ``span`` event: ids unique, ``parent_id`` resolves to a
+    recorded span, ``depth`` is exactly the parent's depth + 1, and the
+    child's time window lies inside the parent's (small float tolerance).
+    Children are emitted before their parents, so the check runs over the
+    fully collected event list, not a stream.
+    """
+    problems: List[str] = []
+    spans: Dict[int, Dict[str, Any]] = {}
+    for event in events:
+        if event.get("kind") != "span":
+            continue
+        span_id = event.get("span_id")
+        if span_id in spans:
+            problems.append(f"duplicate span_id {span_id}")
+        spans[span_id] = event
+    epsilon = 1e-3
+    for span_id, event in spans.items():
+        parent_id = event.get("parent_id")
+        if parent_id is None:
+            if event.get("depth") != 0:
+                problems.append(f"root span {span_id} has depth {event.get('depth')}")
+            continue
+        parent = spans.get(parent_id)
+        if parent is None:
+            problems.append(f"span {span_id} has unknown parent {parent_id}")
+            continue
+        if event.get("depth") != parent.get("depth", 0) + 1:
+            problems.append(
+                f"span {span_id} depth {event.get('depth')} under parent depth "
+                f"{parent.get('depth')}"
+            )
+        child_start = float(event.get("t_start") or 0.0)
+        child_end = child_start + float(event.get("dur_s") or 0.0)
+        parent_start = float(parent.get("t_start") or 0.0)
+        parent_end = parent_start + float(parent.get("dur_s") or 0.0)
+        if child_start < parent_start - epsilon or child_end > parent_end + epsilon:
+            problems.append(
+                f"span {span_id} [{child_start:.6f}, {child_end:.6f}] outside "
+                f"parent {parent_id} [{parent_start:.6f}, {parent_end:.6f}]"
+            )
+    return problems
