@@ -19,6 +19,36 @@ import json
 import time
 from pathlib import Path
 
+#: Experiment IDs claimed by benchmark modules (``claim_experiment``), so a
+#: new module cannot silently reuse a taken ID.  The data-plane workload
+#: landing as "E21" while ``bench_batch`` already reported E21 is exactly the
+#: collision this guards against (it is E23; E21/E22 belong to
+#: ``bench_batch``/``bench_telemetry``).
+_EXPERIMENT_CLAIMS: dict = {}
+
+
+def claim_experiment(experiment_id: str, module: str) -> str:
+    """Register ``experiment_id`` as owned by ``module``; reject duplicates.
+
+    Called at import time by each benchmark module for every base experiment
+    ID it reports (variant suffixes like ``E20-lossy`` share the module's
+    base claim).  Re-claiming from the same module is a no-op, so repeated
+    imports under pytest stay quiet; a claim from a *different* module raises.
+    """
+    owner = _EXPERIMENT_CLAIMS.get(experiment_id)
+    if owner is not None and owner != module:
+        raise ValueError(
+            f"experiment ID {experiment_id!r} is already claimed by {owner}; "
+            f"{module} must use a fresh ID"
+        )
+    _EXPERIMENT_CLAIMS[experiment_id] = module
+    return experiment_id
+
+
+def claimed_experiments() -> dict:
+    """A copy of the current ID → module claim table (for tests)."""
+    return dict(_EXPERIMENT_CLAIMS)
+
 
 def record(benchmark, **info) -> None:
     """Attach experiment outputs to the benchmark record and echo them."""
@@ -46,6 +76,7 @@ def _baseline_workloads():
     """The timed workloads tracked across PRs, keyed by benchmark module."""
     from benchmarks.bench_async import _measure as _measure_async
     from benchmarks.bench_batch import _measure_batch, _measure_kernel
+    from benchmarks.bench_dataplane import _measure_dataplane
     from benchmarks.bench_dummy_steps import _measure
     from benchmarks.bench_model_check import _measure as _measure_model_check
     from benchmarks.bench_simulation import _check_all_families
@@ -69,6 +100,8 @@ def _baseline_workloads():
         # same workload again inside a telemetry session; drift against
         # bench_batch_sweep is the enabled-path instrumentation overhead
         "bench_telemetry": _measure_telemetry,
+        # >1M packets through the SoA data-plane engine on a converged grid
+        "bench_dataplane": _measure_dataplane,
     }
 
 

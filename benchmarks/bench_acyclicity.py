@@ -15,7 +15,10 @@ Expected outcome: zero cycles anywhere.
 
 from __future__ import annotations
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E5", __name__)
+claim_experiment("E8", __name__)
 
 from repro.automata.executions import run
 from repro.core.full_reversal import FullReversal

@@ -17,7 +17,9 @@ relative to the graph size.
 
 from __future__ import annotations
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E16", __name__)
 
 from repro.analysis.statistics import mean
 from repro.applications.leader_election import LeaderElectionService

@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import time
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E20", __name__)
 
 from repro.distributed.fast_network import FastAsyncNetwork
 from repro.distributed.network import DELAY_MODELS, AsyncLinkReversalNetwork

@@ -21,7 +21,9 @@ ratio is recorded in ``extra_info`` and tracked across PRs by the
 
 from __future__ import annotations
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E21", __name__)
 
 from repro.experiments.batch_engine import (
     batch_cache_stats,

@@ -15,7 +15,9 @@ Expected outcome: byte-for-byte agreement at every step, zero cycles.
 
 from __future__ import annotations
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E13", __name__)
 
 from repro.automata.executions import run
 from repro.core.bll import (

@@ -17,7 +17,9 @@ channels; acyclicity always; message counts scale with reversals.
 
 from __future__ import annotations
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E17", __name__)
 
 from repro.distributed.network import AsyncLinkReversalNetwork
 from repro.distributed.protocol import ReversalMode

@@ -15,7 +15,9 @@ exactly on the families that contain initial sinks or sources that must step.
 
 from __future__ import annotations
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E12", __name__)
 
 from repro.analysis.work import count_reversals
 from repro.core.new_pr import NewPartialReversal

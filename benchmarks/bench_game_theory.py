@@ -15,7 +15,9 @@ cost; PR cost = optimum whenever PR is an equilibrium; PR cost <= FR cost.
 
 from __future__ import annotations
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E11", __name__)
 
 from repro.analysis.game_theory import (
     analyse_game,

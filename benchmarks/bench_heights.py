@@ -17,7 +17,9 @@ the same order of magnitude as list-PR and well below FR on the chain family.
 
 from __future__ import annotations
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E14", __name__)
 
 from repro.automata.executions import run
 from repro.core.full_reversal import FullReversal

@@ -10,7 +10,10 @@ on a 60-node random DAG.  Expected outcome: zero violations.
 
 from __future__ import annotations
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E3", __name__)
+claim_experiment("E4", __name__)
 
 from repro.core.new_pr import NewPartialReversal
 from repro.exploration.enumerate_graphs import all_connected_dag_instances

@@ -15,7 +15,10 @@ Expected outcome (paper vs measured): zero violations in both regimes.
 
 from __future__ import annotations
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E1", __name__)
+claim_experiment("E2", __name__)
 
 from repro.core.one_step_pr import OneStepPartialReversal
 from repro.core.pr import PartialReversal

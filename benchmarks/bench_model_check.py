@@ -19,7 +19,9 @@ minute single-process, while the legacy explorer's per-state path tuples
 
 from __future__ import annotations
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E19", __name__)
 
 from repro.core.full_reversal import FullReversal
 from repro.exploration.checker import ModelChecker

@@ -21,7 +21,9 @@ is far smaller than re-running the algorithm from scratch on the whole graph.
 
 from __future__ import annotations
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E15", __name__)
 
 from repro.analysis.statistics import mean
 from repro.core.pr import PartialReversal

@@ -28,7 +28,10 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E6", __name__)
+claim_experiment("E7", __name__)
 
 from repro.core.pr import PartialReversal
 from repro.kernels import SignatureSimulator, compile_expander

@@ -20,7 +20,9 @@ import shutil
 import tempfile
 from pathlib import Path
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E18", __name__)
 
 from repro.experiments.executor import run_campaign
 from repro.experiments.spec import CampaignSpec

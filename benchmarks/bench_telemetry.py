@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import time
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E22", __name__)
 from benchmarks.bench_batch import _specs
 
 from repro import telemetry

@@ -20,7 +20,9 @@ explicit detection for partitioning ones.
 
 from __future__ import annotations
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E15b", __name__)
 
 from repro.routing.tora import ToraRouter
 from repro.topology.generators import chain_instance, grid_instance

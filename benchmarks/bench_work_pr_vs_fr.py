@@ -11,7 +11,9 @@ most the number of dummy steps, PR == OneStepPR.
 
 from __future__ import annotations
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E9", __name__)
 
 from repro.analysis.work import compare_algorithms
 from repro.schedulers.greedy import GreedyScheduler

@@ -21,7 +21,9 @@ superlinearly.
 
 from __future__ import annotations
 
-from benchmarks._harness import print_table, record
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E10", __name__)
 
 from repro.analysis.statistics import quadratic_fit_r2
 from repro.analysis.work import count_reversals, worst_case_sweep

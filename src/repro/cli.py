@@ -71,6 +71,7 @@ from repro.experiments.executor import run_campaign
 from repro.experiments.runner import (
     ENGINE_ASYNC,
     ENGINE_CHOICES,
+    ENGINE_DATAPLANE,
     ENGINE_KERNEL,
     ENGINE_LEGACY,
 )
@@ -433,6 +434,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     elif not delay_models:
         delay_models = (None,)
     losses = tuple(float(p) for p in _csv(args.losses)) or (0.0,)
+    traffics = tuple(
+        None if name == "none" else name for name in _csv(args.traffics)
+    )
+    if args.engine == ENGINE_DATAPLANE:
+        # a data-plane sweep needs traffic cells: default the axis, drop
+        # control-plane-only cells
+        if not traffics:
+            traffics = ("steady",)
+        if None in traffics:
+            print("warning: --engine dataplane cannot run cells without "
+                  "traffic; dropping 'none' from --traffics", file=sys.stderr)
+            traffics = tuple(t for t in traffics if t is not None)
+    elif not traffics:
+        traffics = (None,)
     campaign = CampaignSpec(
         name=args.name,
         families=_csv(args.families),
@@ -445,6 +460,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         max_steps=args.max_steps,
         delay_models=delay_models,
         losses=losses,
+        traffics=traffics,
     )
     if args.failure_model == "mobility":
         dropped = [f for f in campaign.families if f != "geometric"]
@@ -550,6 +566,23 @@ def cmd_report(args: argparse.Namespace) -> int:
                   f"msgs={stats['mean_messages']:.1f} lost={stats['mean_lost']:.1f} "
                   f"sim_t={stats['mean_simulated_time']:.1f} "
                   f"reversals={stats['mean_reversals']:.1f}")
+    plane_stats = data.get("dataplane") or {}
+    if plane_stats.get("runs"):
+        print(f"dataplane: {plane_stats['runs']} runs")
+        for model, stats in plane_stats["by_traffic"].items():
+            ratio = stats["delivery_ratio"]
+            latency = stats["mean_latency_slots"]
+            stretch = stats["mean_stretch"]
+            print(f"  {model:<8} runs={stats['runs']} "
+                  f"injected={stats['injected']} "
+                  f"delivered={stats['delivered']} "
+                  f"ratio={ratio if ratio is not None else '-'} "
+                  f"drops(tail/ttl/route/link)="
+                  f"{stats['drop_tail']}/{stats['drop_ttl']}/"
+                  f"{stats['drop_no_route']}/{stats['drop_link_down']} "
+                  f"loops={stats['transient_loops']} "
+                  f"latency={latency if latency is not None else '-'} "
+                  f"stretch={stretch if stretch is not None else '-'}")
 
     header = f"{'group (' + '/'.join(data['group_by']) + ')':<32}"
     print(f"\n{header} {'count':>6} {'mean':>10} {'p50':>8} {'p90':>8} {'max':>10}")
@@ -789,6 +822,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--losses", default="",
                               help="comma-separated channel loss probabilities "
                                    "for the async cells (default 0)")
+    sweep_parser.add_argument("--traffics", default="",
+                              help="comma-separated traffic models "
+                                   "(trickle/steady/heavy/bursty, or 'none'); "
+                                   "cells with traffic run on the packet-level "
+                                   "data-plane engine")
     sweep_parser.add_argument("--max-steps", type=int, default=None,
                               help="per-run step bound")
     sweep_parser.add_argument("--engine", choices=ENGINE_CHOICES, default="auto",

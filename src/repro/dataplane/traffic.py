@@ -1,0 +1,68 @@
+"""Seeded flow-arrival models for the packet data plane.
+
+A traffic model describes how many packets each non-destination node injects
+per slot.  Arrivals are Poisson with a per-node mean rate; the bursty model
+gates each node through an independent on/off Bernoulli per slot while
+keeping the same long-run mean, so it stresses queues with the same offered
+load.  Models are looked up by name from :data:`TRAFFIC_MODELS` — the
+``ScenarioSpec.traffic`` campaign axis stores only the name, keeping run
+identities stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Offered load as a multiple of the destination's delivery capacity.
+
+    All flows sink at the single destination, so the binding constraint at
+    any size is the sink cut: ``deg(destination) * link_capacity`` packets
+    per slot.  ``rate`` is the aggregate arrival rate expressed as a
+    fraction of that capacity (1.0 = exactly saturating, >1 = guaranteed
+    drops), split evenly across non-destination nodes — which keeps the
+    model names meaning the same thing on a 9-node grid and a 1024-node
+    one.  When ``burst_on < 1`` a node only injects in slots where an
+    independent Bernoulli(``burst_on``) fires, at ``rate / burst_on`` —
+    same long-run mean, heavier bursts.
+    """
+
+    name: str
+    rate: float
+    burst_on: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"traffic rate must be >= 0, got {self.rate}")
+        if not 0.0 < self.burst_on <= 1.0:
+            raise ValueError(f"burst_on must be in (0, 1], got {self.burst_on}")
+
+    @property
+    def on_rate(self) -> float:
+        """Arrival rate while a node is in an on-slot."""
+        return self.rate / self.burst_on
+
+
+#: The named models the ``traffic`` spec field accepts.  Rates are chosen so
+#: "steady" keeps queues shallow on converged DAGs while "heavy"
+#: oversubscribes the sink cut and pushes queues into tail drops.
+TRAFFIC_MODELS = {
+    "trickle": TrafficModel("trickle", rate=0.1),
+    "steady": TrafficModel("steady", rate=0.5),
+    "heavy": TrafficModel("heavy", rate=1.5),
+    "bursty": TrafficModel("bursty", rate=0.5, burst_on=0.125),
+}
+
+TRAFFIC_MODEL_NAMES = tuple(TRAFFIC_MODELS)
+
+
+def resolve_traffic(name: str) -> TrafficModel:
+    """The named model, or ``ValueError`` listing the valid names."""
+    try:
+        return TRAFFIC_MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic model {name!r}; expected one of {TRAFFIC_MODEL_NAMES}"
+        ) from None

@@ -115,8 +115,10 @@ class DiscreteEventSimulator:
         Parameters
         ----------
         until:
-            Stop once the next event's time exceeds this (the clock is left at
-            the last dispatched event's time).
+            Stop once the next event's time exceeds this; the clock then
+            advances to ``until`` so consecutive windows sweep forward (the
+            clock only stays at the last dispatched event when the event
+            *budget* ran out with work still inside the window).
         max_events:
             Stop after dispatching this many events (guards against livelock
             in experiments that deliberately misconfigure protocols).
@@ -124,8 +126,10 @@ class DiscreteEventSimulator:
         Returns the number of events dispatched by this call.
         """
         dispatched = 0
+        budget_exhausted = False
         while self._queue:
             if max_events is not None and dispatched >= max_events:
+                budget_exhausted = True
                 break
             event = self._queue[0]
             if until is not None and event.time > until:
@@ -139,7 +143,7 @@ class DiscreteEventSimulator:
             event.callback(self)
             dispatched += 1
             self.events_dispatched += 1
-        if until is not None and self._now < until and not self._queue:
+        if until is not None and self._now < until and not budget_exhausted:
             self._now = until
         return dispatched
 

@@ -501,9 +501,11 @@ class FastAsyncNetwork:
 
         dispatched = 0
         deadline_countdown = 0
+        budget_exhausted = False
         try:
             while True:
                 if max_events is not None and dispatched >= max_events:
+                    budget_exhausted = True
                     break
                 # next event: min over the heap and the global delivery ring
                 # buffer (both ordered by (time, seq); the ring buffer is
@@ -620,7 +622,14 @@ class FastAsyncNetwork:
                             )
         finally:
             self.events_dispatched += dispatched
-        if until is not None and self._now < until and not heap and not dq:
+        # Advance the clock across the idle remainder of the window.  The
+        # loop exits with ``_now`` at the last *dispatched* event, so without
+        # this a window whose remaining events all lie beyond ``until`` would
+        # leave time frozen and consecutive ``run_for`` windows would overlap
+        # forever instead of sweeping forward.  Only an exhausted event
+        # budget must not skip ahead: undispatched events inside the window
+        # still await the next call.
+        if until is not None and self._now < until and not budget_exhausted:
             self._now = until
         return dispatched
 
@@ -792,6 +801,33 @@ class FastAsyncNetwork:
                     reached.add(b)
                     frontier.append(b)
         return reached != involved
+
+    # ------------------------------------------------------------------
+    # data-plane forwarding views
+    # ------------------------------------------------------------------
+    @property
+    def destination_id(self) -> int:
+        """Node id of the destination (ids index ``instance.nodes``)."""
+        return self._dest
+
+    def packed_heights(self) -> List[int]:
+        """The live packed-height list, indexed by node id.
+
+        Packed heights compare exactly like protocol height triples, so a
+        greedy forwarder can pick the lowest neighbouring height directly.
+        This is the view the data plane diffs after each control-plane
+        advance to patch its next-hop table incrementally.  Callers must
+        treat the list as read-only.
+        """
+        return self._height
+
+    def neighbour_ids(self, i: int) -> Set[int]:
+        """Current (alive-link) neighbour ids of node id ``i`` — a live view."""
+        return self._nbrs[i]
+
+    def sorted_link_id_pairs(self) -> List[Tuple[int, int]]:
+        """The current links as sorted ``(lo, hi)`` node-id pairs."""
+        return sorted(self._links)
 
     # ------------------------------------------------------------------
     # global views (for verification)

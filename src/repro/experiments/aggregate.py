@@ -166,6 +166,55 @@ def async_summary(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     }
 
 
+def dataplane_summary(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Packet statistics of the data-plane runs, per traffic model.
+
+    Returns ``{"runs": n, "by_traffic": {model: {"runs", "injected",
+    "delivered", "dropped", "delivery_ratio", "drop_tail", "drop_ttl",
+    "drop_no_route", "drop_link_down", "transient_loops",
+    "mean_latency_slots", "mean_stretch", "peak_queue_depth"}}}`` over the
+    records that carry a ``traffic`` model (control-plane-only records are
+    ignored).  ``delivery_ratio`` is pooled (total delivered over total
+    injected), not a mean of per-run ratios.
+    """
+    plane_records = [r for r in records if r.get("traffic") is not None]
+    by_traffic: Dict[str, List[Dict[str, Any]]] = defaultdict(list)
+    for record in plane_records:
+        by_traffic[record["traffic"]].append(record)
+
+    def _total(rows: List[Dict[str, Any]], field: str) -> int:
+        return sum(int(r[field]) for r in rows if r.get(field) is not None)
+
+    def _mean(rows: List[Dict[str, Any]], field: str) -> Optional[float]:
+        values = [float(r[field]) for r in rows if r.get(field) is not None]
+        return round(sum(values) / len(values), 3) if values else None
+
+    summary: Dict[str, Any] = {"runs": len(plane_records), "by_traffic": {}}
+    for model, rows in sorted(by_traffic.items()):
+        injected = _total(rows, "packets_injected")
+        delivered = _total(rows, "packets_delivered")
+        summary["by_traffic"][model] = {
+            "runs": len(rows),
+            "injected": injected,
+            "delivered": delivered,
+            "dropped": _total(rows, "packets_dropped"),
+            "delivery_ratio": round(delivered / injected, 4) if injected else None,
+            "drop_tail": _total(rows, "drop_tail"),
+            "drop_ttl": _total(rows, "drop_ttl"),
+            "drop_no_route": _total(rows, "drop_no_route"),
+            "drop_link_down": _total(rows, "drop_link_down"),
+            "transient_loops": _total(rows, "transient_loops"),
+            "mean_latency_slots": _mean(rows, "mean_latency_slots"),
+            "mean_stretch": _mean(rows, "mean_stretch"),
+            "peak_queue_depth": max(
+                (int(r["peak_queue_depth"]) for r in rows
+                 if r.get("peak_queue_depth") is not None),
+                default=0,
+            ),
+        }
+    return summary
+
+
 def invariant_outcomes(records: Sequence[Dict[str, Any]]) -> Dict[str, int]:
     """Counts of the per-run invariant checks across all given records."""
     outcome = {
@@ -232,6 +281,7 @@ def build_report(
         "telemetry": telemetry_summary(store),
         "invariants": invariant_outcomes(records),
         "async": async_summary(records),
+        "dataplane": dataplane_summary(records),
         "group_by": list(by),
         "metric": metric,
         "groups": {

@@ -129,6 +129,7 @@ class AsyncEngine(ExecutionEngine):
     def supports(self, spec: ScenarioSpec) -> bool:
         return (
             spec.delay_model is not None
+            and spec.traffic is None
             and spec.algorithm in ASYNC_MODES
             and spec.failure_model in ASYNC_FAILURE_MODELS
         )
@@ -138,6 +139,11 @@ class AsyncEngine(ExecutionEngine):
             return (
                 "the async engine needs a delay_model on the spec "
                 f"(choose from {', '.join(sorted(DELAY_MODELS))})"
+            )
+        if spec.traffic is not None:
+            return (
+                "the async engine moves control messages only "
+                f"(traffic={spec.traffic!r}); use engine='dataplane'"
             )
         if spec.algorithm not in ASYNC_MODES:
             return (

@@ -176,12 +176,12 @@ def batch_key(spec: Union[ScenarioSpec, Mapping[str, Any]]) -> Tuple[Any, ...]:
         return (
             spec.family, spec.size, spec.algorithm, spec.scheduler,
             spec.failure_model, spec.failure_count, spec.max_steps,
-            spec.delay_model,
+            spec.delay_model, spec.traffic,
         )
     return (
         spec["family"], spec["size"], spec["algorithm"], spec["scheduler"],
         spec["failure_model"], spec["failure_count"], spec["max_steps"],
-        spec.get("delay_model"),
+        spec.get("delay_model"), spec.get("traffic"),
     )
 
 
@@ -554,7 +554,7 @@ def run_scenarios_batched(
                         raw["scheduler_seed"], raw["replicate"],
                         raw["failure_model"], raw["failure_count"],
                         raw["max_steps"], raw["campaign"], raw["delay_model"],
-                        raw["loss"],
+                        raw["loss"], raw["traffic"],
                     )
                 except KeyError:
                     spec = ScenarioSpec.from_dict(raw)
@@ -636,6 +636,7 @@ class BatchEngine(ExecutionEngine):
     def supports(self, spec: ScenarioSpec) -> bool:
         return (
             spec.delay_model is None
+            and spec.traffic is None
             and spec.algorithm in _KERNEL_ALGORITHM_NAMES
             and spec.scheduler in MASK_SCHEDULER_FACTORIES
         )
@@ -645,6 +646,11 @@ class BatchEngine(ExecutionEngine):
             return (
                 "the batch engine runs synchronous kernel-eligible specs only "
                 f"(delay_model={spec.delay_model!r}); use engine='async'"
+            )
+        if spec.traffic is not None:
+            return (
+                "the batch engine moves no packets "
+                f"(traffic={spec.traffic!r}); use engine='dataplane'"
             )
         return (
             f"no signature kernel for algorithm {spec.algorithm!r} "

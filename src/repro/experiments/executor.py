@@ -196,6 +196,11 @@ def _crashed_records(chunk: Sequence[Dict[str, Any]], detail: str) -> List[Dict[
             wall_time_s=0.0, nodes=None, edges=None, bad_nodes=None,
             messages_sent=None, messages_delivered=None, messages_lost=None,
             simulated_time=None, events_dispatched=None,
+            slots=0, packets_injected=0, packets_delivered=0,
+            packets_dropped=0, packets_in_flight=0, drop_tail=0, drop_ttl=0,
+            drop_no_route=0, drop_link_down=0, transient_loops=0,
+            peak_queue_depth=0, mean_latency_slots=None,
+            max_latency_slots=None, mean_hops=None, mean_stretch=None,
         )
         records.append(record)
     return records

@@ -111,6 +111,7 @@ ENGINE_KERNEL = "kernel"
 ENGINE_LEGACY = "legacy"
 ENGINE_ASYNC = "async"
 ENGINE_BATCH = "batch"
+ENGINE_DATAPLANE = "dataplane"
 
 #: Automata with a compiled signature kernel (mirrors ``compile_expander``).
 _KERNEL_AUTOMATA = (
@@ -135,17 +136,19 @@ _KERNEL_CACHE = KernelCache(
 
 
 def configure_kernel_cache(capacity: int) -> None:
-    """Resize every per-process engine cache (kernel, async and batch).
+    """Resize every per-process engine cache (kernel, async, batch, dataplane).
 
     The programmatic twin of the ``REPRO_KERNEL_CACHE_CAPACITY`` environment
     variable; shrinking evicts least-recently-used entries immediately.
     """
     import repro.experiments.async_engine as _async_engine
     import repro.experiments.batch_engine as _batch_engine
+    import repro.experiments.dataplane_engine as _dataplane_engine
 
     _KERNEL_CACHE.set_capacity(capacity)
     _async_engine.set_cache_capacity(capacity)
     _batch_engine.set_cache_capacity(capacity)
+    _dataplane_engine.set_cache_capacity(capacity)
 
 #: Per-topology bad-node counts (instance-level, so shared across every
 #: algorithm/scheduler cell of a replicate), keyed like the kernel cache.
@@ -183,12 +186,16 @@ def kernel_cache_stats() -> Dict[str, int]:
     """Cumulative cache counters of this process's per-engine caches.
 
     The kernel engine's instance/kernel cache plus (``async_``-prefixed) the
-    async engine's instance cache and (``batch_``-prefixed) the batch
-    engine's cache and outcome-dedup counters, so ``repro sweep --json``
-    surfaces cache behaviour whichever engine a campaign ran on.
+    async engine's instance cache, (``batch_``-prefixed) the batch engine's
+    cache and outcome-dedup counters, and (``dataplane_``-prefixed) the
+    dataplane engine's instance cache, so ``repro sweep --json`` surfaces
+    cache behaviour whichever engine a campaign ran on.
     """
     from repro.experiments.async_engine import instance_cache_stats
     from repro.experiments.batch_engine import batch_cache_stats
+    from repro.experiments.dataplane_engine import (
+        instance_cache_stats as dataplane_cache_stats,
+    )
 
     stats = dict(_KERNEL_CACHE.stats())
     for name, value in instance_cache_stats().items():
@@ -196,6 +203,9 @@ def kernel_cache_stats() -> Dict[str, int]:
             stats[f"async_{name}"] = value
     for name, value in batch_cache_stats().items():
         stats[f"batch_{name}"] = value
+    for name, value in dataplane_cache_stats().items():
+        if name.startswith("instance"):
+            stats[f"dataplane_{name}"] = value
     return stats
 
 
@@ -620,6 +630,7 @@ class KernelEngine(ExecutionEngine):
     def supports(self, spec: ScenarioSpec) -> bool:
         return (
             spec.delay_model is None
+            and spec.traffic is None
             and algorithm_has_kernel(spec.algorithm)
             and spec.scheduler in MASK_SCHEDULER_FACTORIES
         )
@@ -629,6 +640,11 @@ class KernelEngine(ExecutionEngine):
             return (
                 "no kernel fast path for asynchronous specs "
                 f"(delay_model={spec.delay_model!r}); use engine='async'"
+            )
+        if spec.traffic is not None:
+            return (
+                "the kernel engine moves no packets "
+                f"(traffic={spec.traffic!r}); use engine='dataplane'"
             )
         return (
             f"no kernel fast path for algorithm {spec.algorithm!r} "
@@ -655,9 +671,14 @@ class LegacyEngine(ExecutionEngine):
     auto_priority = 10
 
     def supports(self, spec: ScenarioSpec) -> bool:
-        return spec.delay_model is None
+        return spec.delay_model is None and spec.traffic is None
 
     def unsupported_reason(self, spec: ScenarioSpec) -> str:
+        if spec.traffic is not None:
+            return (
+                "the legacy object path moves no packets "
+                f"(traffic={spec.traffic!r}); use engine='dataplane'"
+            )
         return (
             "the legacy object path runs synchronous scenarios only "
             f"(delay_model={spec.delay_model!r}); use engine='async'"
@@ -685,6 +706,7 @@ register_engine(LegacyEngine())
 # engines never touch
 import repro.experiments.async_engine  # noqa: E402,F401  (registration import)
 import repro.experiments.batch_engine  # noqa: E402,F401  (registration import)
+import repro.experiments.dataplane_engine  # noqa: E402,F401  (registration import)
 
 #: Engine names accepted by :func:`execute_scenario` / ``repro sweep --engine``.
 ENGINE_CHOICES = engine_names()

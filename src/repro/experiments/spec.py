@@ -60,6 +60,12 @@ FAILURE_MODELS = ("none", "link-failures", "mobility")
 #: The table itself lives with the network layer.
 DELAY_MODEL_NAMES = ("zero", "fixed", "uniform", "fifo")
 
+#: Traffic models of the packet data plane; a spec with a ``traffic`` model
+#: is a data-plane scenario (engine ``dataplane``).  The model table itself
+#: lives with the data-plane layer (``repro.dataplane.traffic``) — this
+#: mirror keeps spec validation import-light, and a test pins the two.
+TRAFFIC_MODEL_NAMES = ("trickle", "steady", "heavy", "bursty")
+
 #: Fault-injection sentinel: a spec with this "algorithm" makes a pooled
 #: worker process hard-exit, exercising the executor's crash isolation.  It
 #: passes validation (so campaigns can inject it deliberately) but has no
@@ -98,6 +104,10 @@ class ScenarioSpec:
     delay_model: Optional[str] = None
     #: Per-message loss probability of the async channels.
     loss: float = 0.0
+    #: ``None`` = control plane only; a traffic-model name rides a packet
+    #: workload on the routed DAG (engine ``dataplane``).  ``delay_model``
+    #: then configures the *control-plane* channels (default ``fixed``).
+    traffic: Optional[str] = None
 
     def validate(self) -> None:
         """Check every axis against the registries; raise ``ValueError`` if off."""
@@ -126,6 +136,13 @@ class ScenarioSpec:
             raise ValueError("loss applies to async scenarios only (set a delay_model)")
         if self.delay_model is not None and self.failure_model == "mobility":
             raise ValueError("the async engine does not support mobility churn")
+        if self.traffic is not None and self.traffic not in TRAFFIC_MODEL_NAMES:
+            raise ValueError(
+                f"unknown traffic model {self.traffic!r}; "
+                f"choose from {', '.join(TRAFFIC_MODEL_NAMES)}"
+            )
+        if self.traffic is not None and self.failure_model == "mobility":
+            raise ValueError("the dataplane engine does not support mobility churn")
 
     @property
     def run_id(self) -> str:
@@ -147,6 +164,9 @@ class ScenarioSpec:
         if self.delay_model is not None:
             identity["delay_model"] = self.delay_model
             identity["loss"] = self.loss
+        # ... and the traffic axis likewise, preserving pre-dataplane run_ids
+        if self.traffic is not None:
+            identity["traffic"] = self.traffic
         blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
         return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
 
@@ -171,6 +191,7 @@ class ScenarioSpec:
             "campaign": self.campaign,
             "delay_model": self.delay_model,
             "loss": self.loss,
+            "traffic": self.traffic,
             "run_id": self.run_id,
         }
 
@@ -180,7 +201,7 @@ class ScenarioSpec:
         fields = {
             "family", "size", "algorithm", "scheduler", "topology_seed",
             "scheduler_seed", "replicate", "failure_model", "failure_count",
-            "max_steps", "campaign", "delay_model", "loss",
+            "max_steps", "campaign", "delay_model", "loss", "traffic",
         }
         return cls(**{k: v for k, v in data.items() if k in fields})
 
@@ -202,6 +223,9 @@ class CampaignSpec:
     #: names open the delay × loss × churn cross-product on the async engine.
     delay_models: Sequence[Optional[str]] = (None,)
     losses: Sequence[float] = (0.0,)
+    #: Data-plane axis: ``(None,)`` keeps the campaign control-plane only;
+    #: traffic-model names ride packet workloads on the dataplane engine.
+    traffics: Sequence[Optional[str]] = (None,)
 
     def __post_init__(self) -> None:
         self.families = tuple(self.families)
@@ -213,6 +237,7 @@ class CampaignSpec:
             None if m is None else str(m) for m in self.delay_models
         )
         self.losses = tuple(float(p) for p in self.losses)
+        self.traffics = tuple(None if t is None else str(t) for t in self.traffics)
 
     @staticmethod
     def _cell_applicable(
@@ -220,6 +245,7 @@ class CampaignSpec:
         failure_model: str,
         delay_model: Optional[str],
         loss: float,
+        traffic: Optional[str] = None,
     ) -> bool:
         """Whether one cross-product cell expands to a valid scenario.
 
@@ -234,6 +260,8 @@ class CampaignSpec:
             return False  # loss is an async channel property
         if delay_model is not None and failure_model == "mobility":
             return False  # the async engine does not support mobility churn
+        if traffic is not None and failure_model == "mobility":
+            return False  # the dataplane engine does not support mobility churn
         return True
 
     @property
@@ -246,7 +274,8 @@ class CampaignSpec:
                 for model, _ in self.failure_models
                 for delay_model in self.delay_models
                 for loss in self.losses
-                if self._cell_applicable(family, model, delay_model, loss)
+                for traffic in self.traffics
+                if self._cell_applicable(family, model, delay_model, loss, traffic)
             )
             per_family += applicable
         return (
@@ -278,27 +307,30 @@ class CampaignSpec:
                             for failure_model, failure_count in self.failure_models:
                                 for delay_model in self.delay_models:
                                     for loss in self.losses:
-                                        if not self._cell_applicable(
-                                            family, failure_model, delay_model, loss
-                                        ):
-                                            continue
-                                        spec = ScenarioSpec(
-                                            family=family,
-                                            size=size,
-                                            algorithm=algorithm,
-                                            scheduler=scheduler,
-                                            topology_seed=topology_seed,
-                                            scheduler_seed=scheduler_seed,
-                                            replicate=replicate,
-                                            failure_model=failure_model,
-                                            failure_count=failure_count,
-                                            max_steps=self.max_steps,
-                                            campaign=self.name,
-                                            delay_model=delay_model,
-                                            loss=loss,
-                                        )
-                                        spec.validate()
-                                        runs.append(spec)
+                                        for traffic in self.traffics:
+                                            if not self._cell_applicable(
+                                                family, failure_model,
+                                                delay_model, loss, traffic,
+                                            ):
+                                                continue
+                                            spec = ScenarioSpec(
+                                                family=family,
+                                                size=size,
+                                                algorithm=algorithm,
+                                                scheduler=scheduler,
+                                                topology_seed=topology_seed,
+                                                scheduler_seed=scheduler_seed,
+                                                replicate=replicate,
+                                                failure_model=failure_model,
+                                                failure_count=failure_count,
+                                                max_steps=self.max_steps,
+                                                campaign=self.name,
+                                                delay_model=delay_model,
+                                                loss=loss,
+                                                traffic=traffic,
+                                            )
+                                            spec.validate()
+                                            runs.append(spec)
         return runs
 
     def to_dict(self) -> Dict[str, Any]:
@@ -315,6 +347,7 @@ class CampaignSpec:
             "max_steps": self.max_steps,
             "delay_models": list(self.delay_models),
             "losses": list(self.losses),
+            "traffics": list(self.traffics),
         }
 
     @classmethod
@@ -332,4 +365,5 @@ class CampaignSpec:
             max_steps=data.get("max_steps"),
             delay_models=data.get("delay_models", (None,)),
             losses=data.get("losses", (0.0,)),
+            traffics=data.get("traffics", (None,)),
         )

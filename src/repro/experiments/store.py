@@ -44,6 +44,7 @@ _COLUMNS = (
     ("failure_model", "TEXT"),
     ("failure_count", "INTEGER"),
     ("delay_model", "TEXT"),
+    ("traffic", "TEXT"),
     ("status", "TEXT"),
     ("engine", "TEXT"),
     ("node_steps", "INTEGER"),
@@ -55,6 +56,21 @@ _COLUMNS = (
     ("acyclic_final", "INTEGER"),
     ("messages_sent", "INTEGER"),
     ("simulated_time", "REAL"),
+    ("slots", "INTEGER"),
+    ("packets_injected", "INTEGER"),
+    ("packets_delivered", "INTEGER"),
+    ("packets_dropped", "INTEGER"),
+    ("packets_in_flight", "INTEGER"),
+    ("drop_tail", "INTEGER"),
+    ("drop_ttl", "INTEGER"),
+    ("drop_no_route", "INTEGER"),
+    ("drop_link_down", "INTEGER"),
+    ("transient_loops", "INTEGER"),
+    ("peak_queue_depth", "INTEGER"),
+    ("mean_latency_slots", "REAL"),
+    ("max_latency_slots", "REAL"),
+    ("mean_hops", "REAL"),
+    ("mean_stretch", "REAL"),
     ("wall_time_s", "REAL"),
 )
 

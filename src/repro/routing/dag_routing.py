@@ -17,6 +17,24 @@ from repro.core.graph import LinkReversalInstance, Orientation
 
 Node = Hashable
 
+#: Verdicts returned by :meth:`RoutingTable.route_with_verdict`.
+ROUTE_DELIVERED = "delivered"
+ROUTE_NO_ROUTE = "no-route"
+ROUTE_LOOP = "loop"
+ROUTE_TRUNCATED = "truncated"
+
+
+def _canonical_node_key(node: Node) -> Tuple[str, str]:
+    """A total order over nodes independent of the instance node-list order.
+
+    Tie-breaking next hops by the node's *position* in ``instance.nodes``
+    makes the table depend on construction order: two instances over the
+    same graph with permuted node lists would pick different hops.  Keying
+    by ``(type name, repr)`` instead is stable across orderings and safe
+    for heterogeneous node labels (ints, strings, tuples).
+    """
+    return (node.__class__.__name__, repr(node))
+
 
 def _id_bfs_distances(
     instance: LinkReversalInstance, adjacency: List[List[int]]
@@ -59,6 +77,16 @@ def _undirected_distances_to_destination(instance: LinkReversalInstance) -> Dict
     return _id_bfs_distances(instance, adjacency)
 
 
+def undirected_distances(instance: LinkReversalInstance) -> Dict[Node, int]:
+    """Undirected BFS hop distance to the destination for every reachable node.
+
+    Nodes in a component not containing the destination are absent from the
+    map (not mapped to 0 or -1) — the data plane uses this to mark their
+    per-packet stretch undefined.
+    """
+    return _undirected_distances_to_destination(instance)
+
+
 @dataclass
 class RoutingTable:
     """Next hops towards the destination derived from a directed edge set."""
@@ -87,7 +115,6 @@ class RoutingTable:
             out_neighbours[tail].append(head)
 
         next_hop: Dict[Node, Optional[Node]] = {}
-        order = {u: i for i, u in enumerate(instance.nodes)}
         for u in instance.nodes:
             if u == instance.destination:
                 next_hop[u] = None
@@ -96,7 +123,10 @@ class RoutingTable:
             if not candidates:
                 next_hop[u] = None
                 continue
-            next_hop[u] = min(candidates, key=lambda v: (directed_distance[v], order[v]))
+            next_hop[u] = min(
+                candidates,
+                key=lambda v: (directed_distance[v], _canonical_node_key(v)),
+            )
         return cls(instance, next_hop, directed_distance, undirected_distance)
 
     # ------------------------------------------------------------------
@@ -110,40 +140,94 @@ class RoutingTable:
         routable = sum(1 for u in nodes if self.has_route(u))
         return routable / len(nodes)
 
-    def route(self, source: Node, max_hops: Optional[int] = None) -> Tuple[Node, ...]:
-        """The full next-hop route from ``source`` to the destination (or ``()``)."""
+    def route_with_verdict(
+        self, source: Node, max_hops: Optional[int] = None
+    ) -> Tuple[str, Tuple[Node, ...]]:
+        """Walk the next-hop table and say *why* the walk ended.
+
+        Returns ``(verdict, path)`` where ``verdict`` is one of
+
+        * :data:`ROUTE_DELIVERED` — the walk reached the destination; ``path``
+          is the full route including both endpoints;
+        * :data:`ROUTE_NO_ROUTE` — a node on the walk has no next hop (a sink
+          other than the destination, or a partitioned component); ``path``
+          is the prefix walked so far;
+        * :data:`ROUTE_LOOP` — the walk revisited a node.  Tables snapshotted
+          mid-reversal-cascade are not destination oriented and can contain
+          transient cycles; the walk terminates at the *first* revisit rather
+          than burning the whole ``max_hops`` budget;
+        * :data:`ROUTE_TRUNCATED` — ``max_hops`` hops were taken without
+          reaching the destination (only possible with an explicit
+          ``max_hops`` smaller than the number of nodes, since any simple
+          path is shorter than that).
+
+        The data plane's drop accounting relies on the loop/no-route
+        distinction, so this method never conflates the two.
+        """
         if source == self.instance.destination:
-            return (source,)
+            return ROUTE_DELIVERED, (source,)
         if max_hops is None:
             max_hops = len(self.instance.nodes)
         path = [source]
+        visited = {source}
         current = source
         for _ in range(max_hops):
             nxt = self.next_hop.get(current)
             if nxt is None:
-                return ()
+                return ROUTE_NO_ROUTE, tuple(path)
+            if nxt in visited:
+                path.append(nxt)
+                return ROUTE_LOOP, tuple(path)
             path.append(nxt)
             if nxt == self.instance.destination:
-                return tuple(path)
+                return ROUTE_DELIVERED, tuple(path)
+            visited.add(nxt)
             current = nxt
-        return ()
+        return ROUTE_TRUNCATED, tuple(path)
+
+    def route(self, source: Node, max_hops: Optional[int] = None) -> Tuple[Node, ...]:
+        """The full next-hop route from ``source`` to the destination.
+
+        ``()`` when the walk does not reach the destination for *any* reason;
+        use :meth:`route_with_verdict` to distinguish loops from missing
+        routes.
+        """
+        verdict, path = self.route_with_verdict(source, max_hops)
+        return path if verdict == ROUTE_DELIVERED else ()
 
     def stretch(self, source: Node) -> Optional[float]:
         """Route length divided by the undirected shortest-path length.
 
-        ``None`` if the node has no route (or is unreachable even ignoring
-        directions).  A stretch of 1.0 means the DAG route is a shortest path.
+        ``None`` if the node has no route, or is unreachable from the
+        destination even ignoring edge directions (partitioned component —
+        ``undirected_distance`` has no entry, so stretch is undefined).  The
+        destination itself has stretch 1.0: its route and shortest path are
+        both zero hops.  A missing BFS entry (``None``) and a legitimate
+        distance of 0 are distinct cases and must not be conflated by a
+        truthiness check.
         """
-        route = self.route(source)
-        if not route:
+        verdict, path = self.route_with_verdict(source)
+        if verdict != ROUTE_DELIVERED:
             return None
         shortest = self.undirected_distance.get(source)
-        if not shortest:
+        if shortest is None:
+            # Unreachable even undirected: stretch is undefined, not infinite.
             return None
-        return (len(route) - 1) / shortest
+        if shortest == 0:
+            # Only the destination is at undirected distance 0; its
+            # zero-hop route is trivially a shortest path.
+            return 1.0
+        return (len(path) - 1) / shortest
 
     def average_stretch(self) -> Optional[float]:
-        """Mean stretch over all nodes with a route, or ``None`` if no node has one."""
+        """Mean stretch over all non-destination nodes with a defined stretch.
+
+        Nodes whose stretch is ``None`` — no current route, or unreachable
+        from the destination even undirected (partitioned component) — are
+        **excluded** from the mean rather than counted as zero or infinity,
+        so the average reflects only nodes the table can actually serve.
+        Returns ``None`` when no node has a defined stretch.
+        """
         values = [
             s
             for u in self.instance.nodes

@@ -36,6 +36,7 @@ from repro.experiments.runner import (
     ENGINE_ASYNC,
     ENGINE_BATCH,
     ENGINE_CHOICES,
+    ENGINE_DATAPLANE,
     ENGINE_KERNEL,
     ENGINE_LEGACY,
     execute_scenario,
@@ -71,9 +72,11 @@ class TestRegistry:
     def test_registry_names(self):
         assert set(ENGINE_REGISTRY) == {
             ENGINE_KERNEL, ENGINE_LEGACY, ENGINE_ASYNC, ENGINE_BATCH,
+            ENGINE_DATAPLANE,
         }
         assert engine_names() == (
             "auto", ENGINE_KERNEL, ENGINE_LEGACY, ENGINE_ASYNC, ENGINE_BATCH,
+            ENGINE_DATAPLANE,
         )
         assert ENGINE_CHOICES == engine_names()
 

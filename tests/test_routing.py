@@ -7,7 +7,17 @@ import pytest
 from repro.automata.executions import run
 from repro.core.pr import PartialReversal
 from repro.core.full_reversal import FullReversal
-from repro.routing.dag_routing import RoutingTable, extract_route, route_stretch
+from repro.core.graph import LinkReversalInstance
+from repro.routing.dag_routing import (
+    ROUTE_DELIVERED,
+    ROUTE_LOOP,
+    ROUTE_NO_ROUTE,
+    ROUTE_TRUNCATED,
+    RoutingTable,
+    extract_route,
+    route_stretch,
+    undirected_distances,
+)
 from repro.routing.maintenance import RouteMaintenanceSimulation, repair_with_automaton
 from repro.schedulers.greedy import GreedyScheduler
 from repro.topology.generators import chain_instance, grid_instance
@@ -146,3 +156,123 @@ class TestRouteMaintenanceSimulation:
         for result in results:
             if not result.partitioned:
                 assert result.destination_oriented
+
+
+class TestRoutingEdgeCases:
+    """Partitioned graphs, tie-break determinism and route verdicts."""
+
+    def _partitioned_instance(self) -> LinkReversalInstance:
+        # 2 -> 1 -> 0 (destination) plus a disconnected island 4 -> 3
+        return LinkReversalInstance(
+            nodes=(0, 1, 2, 3, 4),
+            destination=0,
+            initial_edges=((1, 0), (2, 1), (4, 3)),
+        )
+
+    def test_stretch_undefined_on_partitioned_component(self):
+        table = RoutingTable.from_orientation(
+            self._partitioned_instance().initial_orientation()
+        )
+        # the connected side routes at stretch 1.0
+        assert table.stretch(2) == 1.0
+        # island nodes have no undirected path to the destination: stretch
+        # is undefined (None), never 0.0 or infinity
+        assert table.stretch(3) is None
+        assert table.stretch(4) is None
+        # the mean covers only nodes with a defined stretch
+        assert table.average_stretch() == 1.0
+        # island nodes are absent from the undirected distance map entirely
+        distances = undirected_distances(self._partitioned_instance())
+        assert set(distances) == {0, 1, 2}
+
+    def test_destination_distance_zero_is_not_conflated_with_missing(self):
+        table = RoutingTable.from_orientation(
+            self._partitioned_instance().initial_orientation()
+        )
+        # the destination's undirected distance is a legitimate 0 — the old
+        # truthiness check (`if not shortest`) returned None here
+        assert table.undirected_distance[0] == 0
+        assert table.stretch(0) == 1.0
+
+    def test_routable_fraction_under_total_disconnection(self):
+        instance = LinkReversalInstance(
+            nodes=(0, 1, 2, 3), destination=0, initial_edges=()
+        )
+        table = RoutingTable.from_orientation(instance.initial_orientation())
+        # only the destination can "route" (to itself); nobody else can
+        assert table.routable_fraction() == 1 / 4
+        assert table.average_stretch() is None
+        for node in (1, 2, 3):
+            verdict, path = table.route_with_verdict(node)
+            assert verdict == ROUTE_NO_ROUTE
+            assert path == (node,)
+
+    def test_next_hop_tie_break_is_node_order_independent(self):
+        # node 3 has two out-neighbours at equal directed distance; the
+        # chosen hop must not depend on the instance's node-list order
+        edges = ((1, 0), (2, 0), (3, 1), (3, 2))
+        orderings = [(0, 1, 2, 3), (3, 2, 1, 0), (2, 0, 3, 1)]
+        hops = set()
+        for nodes in orderings:
+            instance = LinkReversalInstance(
+                nodes=nodes, destination=0, initial_edges=edges
+            )
+            table = RoutingTable.from_orientation(instance.initial_orientation())
+            hops.add(table.next_hop[3])
+        assert len(hops) == 1
+
+    def test_route_verdict_distinguishes_loop_from_no_route(self):
+        # a hand-built snapshot modelling a table patched mid-cascade:
+        # 1 -> 2 -> 3 -> 1 is a transient cycle, 4 is a dead end
+        instance = LinkReversalInstance(
+            nodes=(0, 1, 2, 3, 4),
+            destination=0,
+            initial_edges=((1, 0), (2, 1), (3, 2), (4, 3), (3, 1)),
+        )
+        table = RoutingTable(
+            instance,
+            next_hop={0: None, 1: 2, 2: 3, 3: 1, 4: None},
+            directed_distance={0: 0},
+            undirected_distance={0: 0, 1: 1, 2: 2, 3: 2, 4: 3},
+        )
+        verdict, path = table.route_with_verdict(1)
+        assert verdict == ROUTE_LOOP
+        # the walk stops at the first revisit, not the hop budget
+        assert path == (1, 2, 3, 1)
+        assert table.route(1) == ()
+        assert table.stretch(1) is None
+        verdict, path = table.route_with_verdict(4)
+        assert verdict == ROUTE_NO_ROUTE
+        assert table.route(4) == ()
+
+    def test_route_verdict_truncated_by_explicit_hop_budget(self):
+        instance = chain_instance(6, towards_destination=True)
+        table = RoutingTable.from_orientation(instance.initial_orientation())
+        verdict, path = table.route_with_verdict(5, max_hops=2)
+        assert verdict == ROUTE_TRUNCATED
+        assert len(path) == 3
+        verdict, _ = table.route_with_verdict(5)
+        assert verdict == ROUTE_DELIVERED
+
+    def test_route_mid_reversal_cascade_is_delivered_or_no_route(self):
+        # snapshots of a *real* cascade stay acyclic (the invariant the
+        # paper proves), so every verdict is delivered or no-route; route()
+        # returning () must always mean a non-delivered verdict
+        instance = grid_instance(3, 3, oriented_towards_destination=False)
+        automaton = PartialReversal(instance)
+        state = automaton.initial_state()
+        scheduler = GreedyScheduler()
+        for _ in range(5):
+            result = run(
+                automaton, scheduler, max_steps=1, initial_state=state,
+                record_states=False,
+            )
+            state = result.final_state
+            table = RoutingTable.from_orientation(state.orientation)
+            for node in instance.nodes:
+                verdict, _ = table.route_with_verdict(node)
+                assert verdict in (ROUTE_DELIVERED, ROUTE_NO_ROUTE)
+                if verdict == ROUTE_DELIVERED:
+                    assert table.route(node) != ()
+                else:
+                    assert table.route(node) == ()
