@@ -78,6 +78,7 @@ def _baseline_workloads():
     from benchmarks.bench_batch import _measure_batch, _measure_kernel
     from benchmarks.bench_dataplane import _measure_dataplane
     from benchmarks.bench_dummy_steps import _measure
+    from benchmarks.bench_faults import _measure_armed as _measure_faults
     from benchmarks.bench_model_check import _measure as _measure_model_check
     from benchmarks.bench_simulation import _check_all_families
     from benchmarks.bench_sweep import _measure_1worker, _measure_pool
@@ -102,6 +103,9 @@ def _baseline_workloads():
         "bench_telemetry": _measure_telemetry,
         # >1M packets through the SoA data-plane engine on a converged grid
         "bench_dataplane": _measure_dataplane,
+        # a pooled sweep with the chaos plane armed but inert: drift against
+        # bench_sweep_pool is the injection/heartbeat/CRC overhead
+        "bench_faults": _measure_faults,
     }
 
 

@@ -1,0 +1,114 @@
+"""Experiment E24 — resilience overhead: the chaos plane when nothing fails.
+
+The self-healing executor (PR 9) threads fault-injection hooks, shared
+heartbeat arrays and per-line CRC32 checksums through every pooled campaign.
+All of that must be free when no fault fires: a fault plan that never rolls a
+fault and a watchdog that never kills anything should time indistinguishably
+from a plain pooled sweep.  This module measures exactly that pair and keeps
+the armed-path timing in ``BENCH_baseline.json`` (``bench_faults``), while
+the CI regression gate watches ``bench_sweep_1worker`` for the CRC cost on
+the store's write path.
+
+The workload mirrors ``bench_sweep``'s pooled half at a smaller size: a
+~64-run campaign through a 2-worker pool, once plain and once with an armed
+fault plan (a pinned override on a chunk index far beyond the campaign, so
+the injection machinery is live in every worker but never fires) plus a
+30-second watchdog (heartbeats stamped and polled, no kill).
+
+Expected shape: both configurations complete all runs cleanly with zero
+faults injected, and the armed/plain wall-clock ratio stays within noise
+(asserted loosely here; the cross-PR trajectory is the baseline's job).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from benchmarks._harness import claim_experiment, print_table, record
+
+claim_experiment("E24", __name__)
+
+from repro.experiments.executor import run_campaign
+from repro.experiments.spec import CampaignSpec
+from repro.experiments.store import ResultStore
+from repro.faults import FaultPlan
+
+#: Pool size of the measured campaign (chaos recovery needs >= 2 workers).
+POOL_WORKERS = 2
+
+#: An armed-but-inert plan: the override pins a chunk index the campaign
+#: never reaches, so workers arm the injector without ever injecting.
+INERT_PLAN = FaultPlan(seed=0, overrides={10_000: "crash"})
+
+#: Watchdog period far above any chunk's runtime: polled, never fired.
+WATCHDOG_S = 30.0
+
+
+def _campaign() -> CampaignSpec:
+    return CampaignSpec(
+        name="bench-faults",
+        families=("chain", "random-dag"),
+        algorithms=("pr", "fr"),
+        schedulers=("greedy",),
+        sizes=(6, 10, 14, 18),
+        replicates=2,
+    )
+
+
+def _sweep(fault_plan=None, watchdog_s=None) -> dict:
+    root = Path(tempfile.mkdtemp(prefix="bench-faults-"))
+    try:
+        with ResultStore(root) as store:
+            report = run_campaign(
+                _campaign(), store, workers=POOL_WORKERS,
+                fault_plan=fault_plan, watchdog_s=watchdog_s,
+            )
+            assert report.ok == report.total, "benchmark campaign must be clean"
+            assert report.faults_injected == 0, "the inert plan must never fire"
+            return report.to_dict()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _measure_plain() -> dict:
+    return _sweep()
+
+
+def _measure_armed() -> dict:
+    return _sweep(fault_plan=INERT_PLAN, watchdog_s=WATCHDOG_S)
+
+
+def test_e24_resilience_overhead(benchmark):
+    def workload():
+        return _measure_plain(), _measure_armed()
+
+    plain, armed = benchmark.pedantic(workload, rounds=1, iterations=1)
+    ratio = (
+        armed["wall_time_s"] / plain["wall_time_s"]
+        if plain["wall_time_s"] else 0.0
+    )
+    rows = [
+        ("plain pool", plain["executed"], plain["wall_time_s"],
+         plain["runs_per_second"]),
+        ("armed + watchdog", armed["executed"], armed["wall_time_s"],
+         armed["runs_per_second"]),
+    ]
+    print_table(
+        "E24 — chaos-plane overhead when no fault fires",
+        ["configuration", "runs", "wall s", "runs/s"],
+        rows,
+    )
+    record(
+        benchmark,
+        experiment="E24",
+        rows=rows,
+        pool_workers=POOL_WORKERS,
+        armed_vs_plain_ratio=round(ratio, 2),
+    )
+    assert plain["executed"] == armed["executed"] == _campaign().run_count
+    assert armed["retries"] == armed["watchdog_kills"] == 0
+    # loose in-test bound (pool startup noise dominates at this size); the
+    # cross-PR trajectory lives in BENCH_baseline.json
+    assert ratio < 3.0, f"armed executor {ratio:.2f}x slower than plain pool"

@@ -36,6 +36,10 @@ The CLI exposes the workflows a user typically wants without writing code:
     Summarise the ``telemetry.jsonl`` sidecar a sweep wrote next to its
     result store: top spans, per-engine scenario timings, worker timeline
     and the final metrics snapshot.
+``fsck``
+    Verify a result store's integrity: per-line CRC32 checksums, torn
+    shard tails and index drift; quarantine corrupt lines and rebuild the
+    SQLite index so an interrupted campaign resumes cleanly.
 
 Every command accepts ``--seed`` so runs are reproducible, and ``-v`` /
 ``-vv`` raise the stderr log level (INFO / DEBUG) of the library loggers.
@@ -419,6 +423,25 @@ def _csv(text: str) -> tuple:
     return tuple(part.strip() for part in text.split(",") if part.strip())
 
 
+def _fault_plan_from_args(args: argparse.Namespace):
+    """A validated :class:`FaultPlan` from the ``--chaos-*`` flags, or ``None``."""
+    rates = (args.chaos_crash, args.chaos_hang, args.chaos_slow, args.chaos_corrupt)
+    if not any(rates):
+        return None
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan(
+        seed=args.chaos_seed if args.chaos_seed is not None else args.seed,
+        crash=args.chaos_crash,
+        hang=args.chaos_hang,
+        slow=args.chaos_slow,
+        corrupt=args.chaos_corrupt,
+        strikes=args.chaos_strikes,
+    )
+    plan.validate()
+    return plan
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     delay_models = tuple(
         None if name == "none" else name for name in _csv(args.delay_models)
@@ -461,6 +484,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         delay_models=delay_models,
         losses=losses,
         traffics=traffics,
+        node_fault_counts=tuple(int(k) for k in _csv(args.node_faults)) or (0,),
     )
     if args.failure_model == "mobility":
         dropped = [f for f in campaign.families if f != "geometric"]
@@ -469,6 +493,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                   f"dropping {', '.join(dropped)} from the cross-product", file=sys.stderr)
     if campaign.run_count == 0:
         print("error: the campaign cross-product expands to zero runs", file=sys.stderr)
+        return 2
+    try:
+        fault_plan = _fault_plan_from_args(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     store = ResultStore(args.store)
 
@@ -482,6 +511,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         progress=_make_progress(args.quiet),
         engine=args.engine,
         telemetry=not args.no_telemetry,
+        fault_plan=fault_plan,
+        watchdog_s=args.watchdog,
+        max_retries=args.max_retries,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -497,6 +529,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"kernel cache  : {cache}")
         print(f"wall time     : {report.wall_time_s:.2f}s "
               f"({report.runs_per_second:.1f} runs/s)")
+        resilience = {
+            "retries": report.retries,
+            "watchdog_kills": report.watchdog_kills,
+            "pool_reforms": report.pool_reforms,
+            "corrupt_chunks": report.corrupt_chunks,
+            "degraded_serial": report.degraded_serial,
+        }
+        if report.faults_injected or any(resilience.values()):
+            kinds = ", ".join(
+                f"{k}={v}" for k, v in sorted(report.fault_kinds.items())
+            ) or "-"
+            healing = ", ".join(f"{k}={v}" for k, v in resilience.items() if v) or "-"
+            print(f"faults        : {report.faults_injected} injected ({kinds})")
+            print(f"self-healing  : {healing}")
         if report.execution_wall_s:
             print(f"utilisation   : {report.worker_utilisation:.0%} "
                   f"({report.cpu_time_s:.2f}s CPU over {report.execution_wall_s:.2f}s)")
@@ -583,6 +629,19 @@ def cmd_report(args: argparse.Namespace) -> int:
                   f"loops={stats['transient_loops']} "
                   f"latency={latency if latency is not None else '-'} "
                   f"stretch={stretch if stretch is not None else '-'}")
+    resilience = data.get("resilience") or {}
+    if resilience.get("faulted_runs"):
+        print(f"resilience: {resilience['faulted_runs']} crash-stop runs")
+        for level, stats in resilience["by_node_faults"].items():
+            print(f"  node_faults={level} runs={stats['runs']} "
+                  f"quiescent={stats['converged']} "
+                  f"mean_steps={stats['mean_steps']:.1f}")
+    if resilience.get("executor"):
+        healing = ", ".join(
+            f"{k}={v}" for k, v in sorted(resilience["executor"].items())
+            if k != "fault_kinds"
+        )
+        print(f"last sweep self-healing: {healing}")
 
     header = f"{'group (' + '/'.join(data['group_by']) + ')':<32}"
     print(f"\n{header} {'count':>6} {'mean':>10} {'p50':>8} {'p90':>8} {'max':>10}")
@@ -687,6 +746,39 @@ def cmd_trace(args: argparse.Namespace) -> int:
             print(f"  {problem}", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    report = store.fsck(repair=not args.no_repair)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 1 if report["bad_lines"] and args.no_repair else 0
+
+    print(f"store        : {store.root}")
+    print(f"shards       : {report['shards']}")
+    print(f"records      : {report['records']} "
+          f"({report['checksummed_lines']} checksummed, "
+          f"{report['legacy_lines']} legacy)")
+    print(f"bad lines    : {len(report['bad_lines'])}")
+    for bad in report["bad_lines"][:args.max_shown]:
+        print(f"  {bad['shard']}:{bad['line']}: {bad['reason']}")
+    if len(report["bad_lines"]) > args.max_shown:
+        print(f"  ... and {len(report['bad_lines']) - args.max_shown} more")
+    if report["truncated_tails"]:
+        print(f"torn tails   : {len(report['truncated_tails'])} "
+              "(interrupted append)")
+    if report["quarantined"]:
+        print(f"quarantined  : {len(report['bad_lines'])} line(s) -> "
+              f"{store.quarantine_dir}")
+    if report["repaired"]:
+        print(f"index        : rebuilt with {report['index_records']} record(s)")
+    else:
+        print("index        : untouched (--no-repair)")
+    if not report["bad_lines"]:
+        print("store is clean")
+        return 0
+    return 1 if args.no_repair else 0
 
 
 # ----------------------------------------------------------------------
@@ -827,6 +919,10 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(trickle/steady/heavy/bursty, or 'none'); "
                                    "cells with traffic run on the packet-level "
                                    "data-plane engine")
+    sweep_parser.add_argument("--node-faults", default="",
+                              help="comma-separated crash-stop node counts per run "
+                                   "(e.g. '0,2'); faulted cells run on the kernel "
+                                   "or async engines")
     sweep_parser.add_argument("--max-steps", type=int, default=None,
                               help="per-run step bound")
     sweep_parser.add_argument("--engine", choices=ENGINE_CHOICES, default="auto",
@@ -853,6 +949,31 @@ def build_parser() -> argparse.ArgumentParser:
                                    "and per-chunk instrumentation")
     sweep_parser.add_argument("--json", action="store_true",
                               help="print the campaign report as JSON")
+    chaos = sweep_parser.add_argument_group(
+        "chaos", "seeded worker fault injection (needs --workers >= 2); "
+                 "every fault is recovered by the self-healing executor, so a "
+                 "chaos sweep must produce the same records as a clean one")
+    chaos.add_argument("--chaos-crash", type=float, default=0.0,
+                       help="per-chunk probability of a worker hard-exit")
+    chaos.add_argument("--chaos-hang", type=float, default=0.0,
+                       help="per-chunk probability of a worker hang "
+                            "(recovered by the watchdog)")
+    chaos.add_argument("--chaos-slow", type=float, default=0.0,
+                       help="per-chunk probability of an injected stall")
+    chaos.add_argument("--chaos-corrupt", type=float, default=0.0,
+                       help="per-chunk probability of corrupted worker results "
+                            "(detected and re-executed)")
+    chaos.add_argument("--chaos-seed", type=int, default=None,
+                       help="fault-plan seed (default: --seed)")
+    chaos.add_argument("--chaos-strikes", type=int, default=1,
+                       help="attempts per chunk that may fault (default 1: "
+                            "every fault recovers on first retry)")
+    sweep_parser.add_argument("--watchdog", type=float, default=None,
+                              help="heartbeat watchdog: kill and re-dispatch worker "
+                                   "chunks silent for this many seconds")
+    sweep_parser.add_argument("--max-retries", type=int, default=3,
+                              help="re-dispatch budget per chunk before its runs "
+                                   "are recorded as crashed")
     sweep_parser.set_defaults(handler=cmd_sweep)
 
     report_parser = subparsers.add_parser(
@@ -878,6 +999,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--json", action="store_true",
                               help="print the summary (and nesting check) as JSON")
     trace_parser.set_defaults(handler=cmd_trace)
+
+    fsck_parser = subparsers.add_parser(
+        "fsck", help="verify and repair a result store's integrity"
+    )
+    fsck_parser.add_argument("store", help="result store directory to check")
+    fsck_parser.add_argument("--no-repair", action="store_true",
+                             help="report problems only: keep bad lines in place "
+                                  "and leave the SQLite index untouched "
+                                  "(exit 1 if any are found)")
+    fsck_parser.add_argument("--max-shown", type=int, default=10,
+                             help="bad lines to list individually")
+    fsck_parser.add_argument("--json", action="store_true",
+                             help="print the integrity report as JSON")
+    fsck_parser.set_defaults(handler=cmd_fsck)
 
     return parser
 

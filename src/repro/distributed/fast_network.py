@@ -52,7 +52,7 @@ import logging
 from collections import deque
 from random import Random
 from time import perf_counter
-from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro import telemetry as _telemetry
 from repro.core.graph import LinkReversalInstance, Orientation
@@ -151,6 +151,9 @@ class FastAsyncNetwork:
         self._nodes = nodes
         self._node_id = dict(instance._node_id)
         self._dest = self._node_id[instance.destination]
+        #: crash-stop flags: a crashed node keeps its last height and still
+        #: receives messages, but never reverses and never beacons again
+        self._crashed = bytearray(n)
         self._repr_key: List[str] = [repr(u) for u in nodes]
 
         levels = initial_height_levels(instance)
@@ -388,6 +391,7 @@ class FastAsyncNetwork:
         """If ``i`` is a local sink, raise its height and broadcast it."""
         if (
             i != self._dest
+            and not self._crashed[i]
             and self._nbrs[i]
             and self._unknown[i] == 0
             and self._blocking[i] == 0
@@ -489,6 +493,7 @@ class FastAsyncNetwork:
         unknown = self._unknown
         blocking = self._blocking
         dest = self._dest
+        crashed = self._crashed
         ring_mode = self._ring_mode
         rings = self._ring
         head_pending = self._head_pending
@@ -594,6 +599,7 @@ class FastAsyncNetwork:
                             unknown[receiver] == 0
                             and blocking[receiver] == 0
                             and receiver != dest
+                            and not crashed[receiver]
                         ):
                             reverse(receiver)
                     elif height > old:
@@ -605,6 +611,7 @@ class FastAsyncNetwork:
                             blocking[receiver] == 0
                             and unknown[receiver] == 0
                             and receiver != dest
+                            and not crashed[receiver]
                         ):
                             reverse(receiver)
                     # a not-newer height changes no state, so the sink
@@ -665,10 +672,13 @@ class FastAsyncNetwork:
         return self.report()
 
     def broadcast_heights(self) -> None:
-        """Schedule one anti-entropy beacon round (every node re-announces)."""
+        """Schedule one anti-entropy beacon round (every live node re-announces)."""
         now = self._now
         seq_box = self._seq_box
+        crashed = self._crashed
         for i in range(len(self._nodes)):
+            if crashed[i]:
+                continue
             heapq.heappush(self._heap, (now, seq_box[0], _BEACON, i))
             seq_box[0] += 1
 
@@ -701,6 +711,17 @@ class FastAsyncNetwork:
     # ------------------------------------------------------------------
     # topology changes
     # ------------------------------------------------------------------
+    def crash_stop_ids(self, ids: Iterable[int]) -> None:
+        """Crash-stop nodes by integer id: they announce their initial height
+        at START but never reverse, never beacon, and drop nothing — neighbours
+        keep routing around their frozen heights."""
+        for i in ids:
+            if i == self._dest:
+                raise ValueError("cannot crash-stop the destination")
+            if not 0 <= i < len(self._nodes):
+                raise ValueError(f"node id {i} out of range")
+            self._crashed[i] = 1
+
     def _ids_of(self, u: Node, v: Node) -> Tuple[int, int]:
         iu = self._node_id.get(u)
         iv = self._node_id.get(v)

@@ -215,6 +215,49 @@ def dataplane_summary(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     return summary
 
 
+def resilience_summary(
+    records: Sequence[Dict[str, Any]],
+    last_report: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Node-fault outcomes plus the executor's self-healing counters.
+
+    ``by_node_faults`` summarises the crash-stop axis (runs, quiescence rate
+    and mean work per ``node_faults`` level, faulted levels only); the
+    executor counters (retries, watchdog kills, pool reforms, injected
+    faults, ...) come from the latest campaign report when present.
+    """
+    faulted = [r for r in records if r.get("node_faults")]
+    by_level: Dict[int, List[Dict[str, Any]]] = defaultdict(list)
+    for record in faulted:
+        by_level[int(record["node_faults"])].append(record)
+
+    summary: Dict[str, Any] = {
+        "faulted_runs": len(faulted),
+        "by_node_faults": {
+            level: {
+                "runs": len(rows),
+                "converged": sum(bool(r.get("converged")) for r in rows),
+                "mean_steps": round(
+                    sum(float(r.get("node_steps") or 0) for r in rows) / len(rows), 3
+                ),
+            }
+            for level, rows in sorted(by_level.items())
+        },
+    }
+    if last_report:
+        executor = {
+            field: last_report[field]
+            for field in (
+                "retries", "watchdog_kills", "pool_reforms", "corrupt_chunks",
+                "faults_injected", "fault_kinds", "degraded_serial",
+            )
+            if last_report.get(field)
+        }
+        if executor:
+            summary["executor"] = executor
+    return summary
+
+
 def invariant_outcomes(records: Sequence[Dict[str, Any]]) -> Dict[str, int]:
     """Counts of the per-run invariant checks across all given records."""
     outcome = {
@@ -267,6 +310,7 @@ def build_report(
     records = ok_records(store)
     summaries = group_summary(records, by=by, metric=metric)
     curves = work_curves(records, metric=metric)
+    last_report = store.load_report()
     return {
         "store": str(store.root),
         "campaign": store.load_campaign(),
@@ -275,13 +319,14 @@ def build_report(
         # the latest run_campaign invocation's engine/cache telemetry (how
         # the most recent sweep executed, incl. batch dedup counters), as
         # opposed to engine_counts which spans every stored record
-        "last_campaign_report": store.load_report(),
+        "last_campaign_report": last_report,
         # summarised span/metrics sidecar of the sweeps run against this
         # store (None when telemetry was disabled or never ran)
         "telemetry": telemetry_summary(store),
         "invariants": invariant_outcomes(records),
         "async": async_summary(records),
         "dataplane": dataplane_summary(records),
+        "resilience": resilience_summary(records, last_report),
         "group_by": list(by),
         "metric": metric,
         "groups": {

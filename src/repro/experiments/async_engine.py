@@ -183,7 +183,25 @@ class AsyncEngine(ExecutionEngine):
             )
             max_events = spec.max_steps or DEFAULT_MAX_EVENTS
 
+            if spec.node_faults > 0:
+                from repro.faults.nodes import select_crashed_ids
+
+                dead_ids = select_crashed_ids(
+                    instance.node_count,
+                    network.destination_id,
+                    spec.node_faults,
+                    spec.topology_seed,
+                )
+                network.crash_stop_ids(dead_ids)
+                record["crashed_nodes"] = len(dead_ids)
+
             report, converged = _run_phase(network, spec.loss, max_events, deadline)
+            if spec.node_faults > 0:
+                # crashed nodes silently stop reversing, so destination
+                # orientation is generally unreachable; the honest success
+                # criterion is that the live network went quiescent within
+                # budget (the frozen heights still route around dead nodes)
+                converged = network.quiescent()
             if spec.failure_model == "link-failures" and spec.failure_count > 0:
                 report, converged = self._churn(
                     spec, network, report, converged, max_events, deadline, record

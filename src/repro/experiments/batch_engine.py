@@ -123,7 +123,7 @@ _RESULT_FIELDS = (
     "status", "error", "nodes", "edges", "bad_nodes",
     "node_steps", "edge_reversals", "dummy_steps", "rounds", "steps_taken",
     "converged", "destination_oriented", "acyclic_final",
-    "failures_applied", "partition_skips", "reorientations",
+    "failures_applied", "partition_skips", "reorientations", "crashed_nodes",
 )
 
 #: Fresh-record field values, exactly ``execute_scenario``'s initialisation;
@@ -135,7 +135,7 @@ _RECORD_INIT = {
     "steps_taken": 0,
     "converged": False, "destination_oriented": False, "acyclic_final": False,
     "failures_applied": 0, "partition_skips": 0, "reorientations": 0,
-    "wall_time_s": 0.0,
+    "crashed_nodes": 0, "wall_time_s": 0.0,
 }
 
 
@@ -555,6 +555,7 @@ def run_scenarios_batched(
                         raw["failure_model"], raw["failure_count"],
                         raw["max_steps"], raw["campaign"], raw["delay_model"],
                         raw["loss"], raw["traffic"],
+                        raw.get("node_faults", 0),
                     )
                 except KeyError:
                     spec = ScenarioSpec.from_dict(raw)
@@ -637,6 +638,7 @@ class BatchEngine(ExecutionEngine):
         return (
             spec.delay_model is None
             and spec.traffic is None
+            and spec.node_faults == 0
             and spec.algorithm in _KERNEL_ALGORITHM_NAMES
             and spec.scheduler in MASK_SCHEDULER_FACTORIES
         )
@@ -651,6 +653,11 @@ class BatchEngine(ExecutionEngine):
             return (
                 "the batch engine moves no packets "
                 f"(traffic={spec.traffic!r}); use engine='dataplane'"
+            )
+        if spec.node_faults > 0:
+            return (
+                "the batch engine's lockstep lanes have no crash-stop support "
+                f"(node_faults={spec.node_faults}); use engine='kernel' or 'async'"
             )
         return (
             f"no signature kernel for algorithm {spec.algorithm!r} "

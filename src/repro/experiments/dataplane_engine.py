@@ -120,6 +120,7 @@ class DataPlaneEngine(ExecutionEngine):
     def supports(self, spec: ScenarioSpec) -> bool:
         return (
             spec.traffic is not None
+            and spec.node_faults == 0
             and numpy_available()
             and spec.algorithm in ASYNC_MODES
             and spec.failure_model in ASYNC_FAILURE_MODELS
@@ -130,6 +131,12 @@ class DataPlaneEngine(ExecutionEngine):
             return (
                 "the dataplane engine needs a traffic model on the spec "
                 f"(choose from {', '.join(TRAFFIC_MODEL_NAMES)})"
+            )
+        if spec.node_faults > 0:
+            return (
+                "the dataplane engine routes packets through live nodes only "
+                f"(node_faults={spec.node_faults}); drop the traffic model and "
+                "use engine='kernel' or 'async'"
             )
         if not numpy_available():
             return "the dataplane engine requires numpy"

@@ -58,7 +58,7 @@ from __future__ import annotations
 import logging
 import random
 import time
-from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple, Union
 
 from repro import telemetry as _telemetry
 
@@ -320,7 +320,7 @@ def execute_scenario(
         node_steps=0, edge_reversals=0, dummy_steps=0, rounds=0, steps_taken=0,
         converged=False, destination_oriented=False, acyclic_final=False,
         failures_applied=0, partition_skips=0, reorientations=0,
-        wall_time_s=0.0,
+        crashed_nodes=0, wall_time_s=0.0,
     )
 
     start = time.perf_counter()
@@ -383,8 +383,25 @@ def _execute_kernel_scenario(spec, record, work, rounds, deadline) -> None:
     kernel = simulator.kernel
     cached_instance = instance
     scheduler = make_mask_scheduler(spec.scheduler, spec.scheduler_seed)
+    dead_ids = None
+    max_steps = spec.max_steps
+    if spec.node_faults > 0:
+        from repro.faults.nodes import select_crashed_ids
+
+        dead_ids = select_crashed_ids(
+            instance.node_count,
+            instance._node_id[instance.destination],
+            spec.node_faults,
+            spec.topology_seed,
+        )
+        record["crashed_nodes"] = len(dead_ids)
+        if max_steps is None:
+            # crash-stopped nodes can cut the destination off, making heights
+            # grow without bound — a faulted run needs a finite step budget
+            max_steps = 100 * instance.node_count * instance.node_count
     outcome = simulator.run_phase(
-        scheduler, max_steps=spec.max_steps, work=work, rounds=rounds, deadline=deadline
+        scheduler, max_steps=max_steps, work=work, rounds=rounds,
+        deadline=deadline, dead_ids=dead_ids,
     )
     record["steps_taken"] += outcome.steps
     converged = outcome.converged
@@ -671,13 +688,22 @@ class LegacyEngine(ExecutionEngine):
     auto_priority = 10
 
     def supports(self, spec: ScenarioSpec) -> bool:
-        return spec.delay_model is None and spec.traffic is None
+        return (
+            spec.delay_model is None
+            and spec.traffic is None
+            and spec.node_faults == 0
+        )
 
     def unsupported_reason(self, spec: ScenarioSpec) -> str:
         if spec.traffic is not None:
             return (
                 "the legacy object path moves no packets "
                 f"(traffic={spec.traffic!r}); use engine='dataplane'"
+            )
+        if spec.node_faults > 0:
+            return (
+                "the legacy object path has no crash-stop support "
+                f"(node_faults={spec.node_faults}); use engine='kernel' or 'async'"
             )
         return (
             "the legacy object path runs synchronous scenarios only "
@@ -716,16 +742,27 @@ def run_scenarios(
     specs: List[Dict[str, Any]],
     timeout_s: Optional[float] = None,
     engine: str = ENGINE_AUTO,
+    beat: Optional[Callable[[], None]] = None,
 ) -> List[Dict[str, Any]]:
     """Execute a chunk of scenario dicts (the worker entry point).
 
     ``engine="batch"`` routes the whole chunk through
     :func:`repro.experiments.batch_engine.run_scenarios_batched`, which
     groups it by batch key and runs each group in lockstep; every other
-    engine executes the chunk one scenario at a time.
+    engine executes the chunk one scenario at a time.  ``beat``, when given,
+    is invoked before every scenario (once per chunk for ``batch``) — the
+    executor's watchdog heartbeat, so a hung scenario is distinguishable
+    from a long chunk.
     """
     if engine == ENGINE_BATCH:
+        if beat is not None:
+            beat()
         from repro.experiments.batch_engine import run_scenarios_batched
 
         return run_scenarios_batched(specs, timeout_s=timeout_s)
-    return [execute_scenario(spec, timeout_s=timeout_s, engine=engine) for spec in specs]
+    records = []
+    for spec in specs:
+        if beat is not None:
+            beat()
+        records.append(execute_scenario(spec, timeout_s=timeout_s, engine=engine))
+    return records

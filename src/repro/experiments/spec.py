@@ -108,6 +108,11 @@ class ScenarioSpec:
     #: workload on the routed DAG (engine ``dataplane``).  ``delay_model``
     #: then configures the *control-plane* channels (default ``fixed``).
     traffic: Optional[str] = None
+    #: Crash-stop protocol faults: this many non-destination nodes (picked
+    #: by :func:`repro.faults.nodes.select_crashed_ids` from the topology
+    #: seed) keep their announced heights but silently stop reversing.
+    #: Supported by the kernel and async engines only.
+    node_faults: int = 0
 
     def validate(self) -> None:
         """Check every axis against the registries; raise ``ValueError`` if off."""
@@ -143,6 +148,19 @@ class ScenarioSpec:
             )
         if self.traffic is not None and self.failure_model == "mobility":
             raise ValueError("the dataplane engine does not support mobility churn")
+        if self.node_faults < 0:
+            raise ValueError("node_faults must be non-negative")
+        if self.node_faults > self.size - 2:
+            raise ValueError(
+                "node_faults must leave the destination and at least one "
+                f"live node ({self.node_faults} faults on size {self.size})"
+            )
+        if self.node_faults > 0 and self.failure_model != "none":
+            raise ValueError(
+                "node_faults cannot be combined with link-failure/mobility churn"
+            )
+        if self.node_faults > 0 and self.traffic is not None:
+            raise ValueError("the dataplane engine does not support node_faults")
 
     @property
     def run_id(self) -> str:
@@ -167,6 +185,9 @@ class ScenarioSpec:
         # ... and the traffic axis likewise, preserving pre-dataplane run_ids
         if self.traffic is not None:
             identity["traffic"] = self.traffic
+        # ... and node faults, preserving pre-fault-plane run_ids
+        if self.node_faults:
+            identity["node_faults"] = self.node_faults
         blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
         return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
 
@@ -192,6 +213,7 @@ class ScenarioSpec:
             "delay_model": self.delay_model,
             "loss": self.loss,
             "traffic": self.traffic,
+            "node_faults": self.node_faults,
             "run_id": self.run_id,
         }
 
@@ -202,6 +224,7 @@ class ScenarioSpec:
             "family", "size", "algorithm", "scheduler", "topology_seed",
             "scheduler_seed", "replicate", "failure_model", "failure_count",
             "max_steps", "campaign", "delay_model", "loss", "traffic",
+            "node_faults",
         }
         return cls(**{k: v for k, v in data.items() if k in fields})
 
@@ -226,6 +249,9 @@ class CampaignSpec:
     #: Data-plane axis: ``(None,)`` keeps the campaign control-plane only;
     #: traffic-model names ride packet workloads on the dataplane engine.
     traffics: Sequence[Optional[str]] = (None,)
+    #: Crash-stop axis: how many nodes silently stop reversing per cell.
+    #: ``(0,)`` keeps the campaign fault-free.
+    node_fault_counts: Sequence[int] = (0,)
 
     def __post_init__(self) -> None:
         self.families = tuple(self.families)
@@ -238,6 +264,7 @@ class CampaignSpec:
         )
         self.losses = tuple(float(p) for p in self.losses)
         self.traffics = tuple(None if t is None else str(t) for t in self.traffics)
+        self.node_fault_counts = tuple(int(k) for k in self.node_fault_counts)
 
     @staticmethod
     def _cell_applicable(
@@ -246,6 +273,8 @@ class CampaignSpec:
         delay_model: Optional[str],
         loss: float,
         traffic: Optional[str] = None,
+        node_faults: int = 0,
+        size: Optional[int] = None,
     ) -> bool:
         """Whether one cross-product cell expands to a valid scenario.
 
@@ -262,26 +291,34 @@ class CampaignSpec:
             return False  # the async engine does not support mobility churn
         if traffic is not None and failure_model == "mobility":
             return False  # the dataplane engine does not support mobility churn
+        if node_faults > 0:
+            if failure_model != "none":
+                return False  # crash-stop faults never combine with churn
+            if traffic is not None:
+                return False  # the dataplane engine does not support node_faults
+            if size is not None and node_faults > size - 2:
+                return False  # destination + one live node must survive
         return True
 
     @property
     def run_count(self) -> int:
         """Size of the expanded run list (matches ``len(self.expand())``)."""
-        per_family = 0
+        cells = 0
         for family in self.families:
-            applicable = sum(
-                1
-                for model, _ in self.failure_models
-                for delay_model in self.delay_models
-                for loss in self.losses
-                for traffic in self.traffics
-                if self._cell_applicable(family, model, delay_model, loss, traffic)
-            )
-            per_family += applicable
-        return (
-            per_family * len(self.algorithms) * len(self.schedulers)
-            * len(self.sizes) * self.replicates
-        )
+            for size in self.sizes:
+                cells += sum(
+                    1
+                    for model, _ in self.failure_models
+                    for delay_model in self.delay_models
+                    for loss in self.losses
+                    for traffic in self.traffics
+                    for node_faults in self.node_fault_counts
+                    if self._cell_applicable(
+                        family, model, delay_model, loss, traffic,
+                        node_faults, size,
+                    )
+                )
+        return cells * len(self.algorithms) * len(self.schedulers) * self.replicates
 
     def expand(self) -> List[ScenarioSpec]:
         """The deterministic, seed-stamped run list of this campaign.
@@ -308,29 +345,32 @@ class CampaignSpec:
                                 for delay_model in self.delay_models:
                                     for loss in self.losses:
                                         for traffic in self.traffics:
-                                            if not self._cell_applicable(
-                                                family, failure_model,
-                                                delay_model, loss, traffic,
-                                            ):
-                                                continue
-                                            spec = ScenarioSpec(
-                                                family=family,
-                                                size=size,
-                                                algorithm=algorithm,
-                                                scheduler=scheduler,
-                                                topology_seed=topology_seed,
-                                                scheduler_seed=scheduler_seed,
-                                                replicate=replicate,
-                                                failure_model=failure_model,
-                                                failure_count=failure_count,
-                                                max_steps=self.max_steps,
-                                                campaign=self.name,
-                                                delay_model=delay_model,
-                                                loss=loss,
-                                                traffic=traffic,
-                                            )
-                                            spec.validate()
-                                            runs.append(spec)
+                                            for node_faults in self.node_fault_counts:
+                                                if not self._cell_applicable(
+                                                    family, failure_model,
+                                                    delay_model, loss, traffic,
+                                                    node_faults, size,
+                                                ):
+                                                    continue
+                                                spec = ScenarioSpec(
+                                                    family=family,
+                                                    size=size,
+                                                    algorithm=algorithm,
+                                                    scheduler=scheduler,
+                                                    topology_seed=topology_seed,
+                                                    scheduler_seed=scheduler_seed,
+                                                    replicate=replicate,
+                                                    failure_model=failure_model,
+                                                    failure_count=failure_count,
+                                                    max_steps=self.max_steps,
+                                                    campaign=self.name,
+                                                    delay_model=delay_model,
+                                                    loss=loss,
+                                                    traffic=traffic,
+                                                    node_faults=node_faults,
+                                                )
+                                                spec.validate()
+                                                runs.append(spec)
         return runs
 
     def to_dict(self) -> Dict[str, Any]:
@@ -348,6 +388,7 @@ class CampaignSpec:
             "delay_models": list(self.delay_models),
             "losses": list(self.losses),
             "traffics": list(self.traffics),
+            "node_fault_counts": list(self.node_fault_counts),
         }
 
     @classmethod
@@ -366,4 +407,5 @@ class CampaignSpec:
             delay_models=data.get("delay_models", (None,)),
             losses=data.get("losses", (0.0,)),
             traffics=data.get("traffics", (None,)),
+            node_fault_counts=data.get("node_fault_counts", (0,)),
         )

@@ -25,11 +25,25 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import sqlite3
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.io.serialization import checksummed_line, split_checksummed_line
 
 logger = logging.getLogger(__name__)
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp file + rename.
+
+    ``os.replace`` is atomic on POSIX and Windows, so a crash mid-write
+    leaves either the old file or the new one — never a truncated hybrid.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
 
 #: Record fields mirrored into queryable SQLite columns (everything else is
 #: still available via the ``record`` JSON column).
@@ -43,6 +57,7 @@ _COLUMNS = (
     ("replicate", "INTEGER"),
     ("failure_model", "TEXT"),
     ("failure_count", "INTEGER"),
+    ("node_faults", "INTEGER"),
     ("delay_model", "TEXT"),
     ("traffic", "TEXT"),
     ("status", "TEXT"),
@@ -87,6 +102,7 @@ class ResultStore:
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
         self.shard_dir = self.root / "shards"
+        self.quarantine_dir = self.root / "quarantine"
         self.index_path = self.root / "index.sqlite"
         self.campaign_path = self.root / "campaign.json"
         self.report_path = self.root / "report.json"
@@ -148,14 +164,20 @@ class ResultStore:
     # writing
     # ------------------------------------------------------------------
     def append(self, records: Sequence[Dict[str, Any]], shard: Union[str, Path, None] = None) -> Path:
-        """Append records to a shard and index them; returns the shard path."""
+        """Append records to a shard and index them; returns the shard path.
+
+        Each shard line carries a CRC32 suffix (``<json>\\t<crc hex>``, see
+        :func:`repro.io.serialization.checksummed_line`) so torn or
+        bit-rotted lines are detected on read; the index's ``record`` column
+        keeps the pure JSON.
+        """
         shard_path = Path(shard) if shard is not None else self.new_shard()
         # serialise each record once; the same JSON goes into the shard line
-        # and the index's record column
+        # (checksummed) and the index's record column (plain)
         dumped = [json.dumps(record, sort_keys=True) for record in records]
         with shard_path.open("a", encoding="utf-8") as handle:
             for line in dumped:
-                handle.write(line + "\n")
+                handle.write(checksummed_line(line) + "\n")
         self._index(records, dumped)
         return shard_path
 
@@ -181,9 +203,14 @@ class ResultStore:
         connection.commit()
 
     def record_campaign(self, campaign_dict: Dict[str, Any]) -> None:
-        """Persist the campaign spec next to its results for provenance."""
-        self.campaign_path.write_text(
-            json.dumps(campaign_dict, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        """Persist the campaign spec next to its results for provenance.
+
+        Atomic (temp file + rename): a crash mid-write cannot leave a
+        half-written ``campaign.json`` that breaks the next resume.
+        """
+        _atomic_write_text(
+            self.campaign_path,
+            json.dumps(campaign_dict, indent=2, sort_keys=True) + "\n",
         )
 
     def load_campaign(self) -> Optional[Dict[str, Any]]:
@@ -197,10 +224,12 @@ class ResultStore:
 
         Overwritten on every :func:`~repro.experiments.executor.run_campaign`
         invocation against this store, so ``repro report`` can show how the
-        most recent (possibly resumed) sweep actually executed.
+        most recent (possibly resumed) sweep actually executed.  Atomic, like
+        :meth:`record_campaign`.
         """
-        self.report_path.write_text(
-            json.dumps(report_dict, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        _atomic_write_text(
+            self.report_path,
+            json.dumps(report_dict, indent=2, sort_keys=True) + "\n",
         )
 
     def load_report(self) -> Optional[Dict[str, Any]]:
@@ -227,31 +256,74 @@ class ResultStore:
     def iter_telemetry(self) -> Iterator[Dict[str, Any]]:
         """Every sidecar telemetry event, in write order, schema-validated.
 
-        Raises :class:`repro.io.serialization.SerializationError` on a
-        malformed event — ``repro trace`` fails loudly rather than
-        summarising garbage.
+        A *torn* line (unparseable JSON — typically the truncated tail of a
+        crash mid-append) is logged and skipped so the sidecar stays
+        readable; a line that parses but violates the event schema still
+        raises :class:`repro.io.serialization.SerializationError` — schema
+        drift between writer and reader must fail loudly, not silently.
         """
         if not self.telemetry_path.exists():
             return
         from repro.io.serialization import telemetry_event_from_dict
 
         with self.telemetry_path.open("r", encoding="utf-8") as handle:
-            for line in handle:
+            for number, line in enumerate(handle, start=1):
                 line = line.strip()
-                if line:
-                    yield telemetry_event_from_dict(json.loads(line))
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except ValueError:
+                    logger.warning(
+                        "skipping torn telemetry line %s:%d", self.telemetry_path, number
+                    )
+                    continue
+                yield telemetry_event_from_dict(data)
 
     # ------------------------------------------------------------------
     # consolidation / resume
     # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_shard_line(line: str) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+        """Parse one shard line into ``(record, why_bad)``.
+
+        Exactly one of the two is ``None``: a healthy line (checksummed or
+        legacy plain-JSON) yields its record; a corrupt one yields the reason
+        it was rejected.
+        """
+        payload, crc_ok = split_checksummed_line(line)
+        if crc_ok is False:
+            return None, "checksum mismatch"
+        try:
+            record = json.loads(payload)
+        except ValueError:
+            return None, "unparseable JSON (torn line?)"
+        if not isinstance(record, dict):
+            return None, f"record is {type(record).__name__}, not an object"
+        return record, None
+
     def iter_shard_records(self) -> Iterator[Dict[str, Any]]:
-        """Every record in every JSONL shard, in shard order."""
+        """Every healthy record in every JSONL shard, in shard order.
+
+        Tolerant by design: a torn trailing line (crash mid-append) or a
+        checksum-failing line is logged and skipped, never raised — an
+        interrupted campaign must stay resumable without manual surgery.
+        Run :meth:`fsck` to quarantine such lines out of the shards.
+        """
         for path in self._shard_paths():
             with path.open("r", encoding="utf-8") as handle:
-                for line in handle:
+                for number, line in enumerate(handle, start=1):
                     line = line.strip()
-                    if line:
-                        yield json.loads(line)
+                    if not line:
+                        continue
+                    record, why_bad = self._parse_shard_line(line)
+                    if record is None:
+                        logger.warning(
+                            "skipping corrupt shard line %s:%d (%s)",
+                            path, number, why_bad,
+                        )
+                        continue
+                    yield record
 
     def consolidate(self) -> int:
         """Rebuild the SQLite index from the JSONL shards; returns row count.
@@ -274,6 +346,77 @@ class ResultStore:
             self.index_path, count, len(self._shard_paths()),
         )
         return count
+
+    def fsck(self, repair: bool = True) -> Dict[str, Any]:
+        """Verify shard integrity; quarantine bad lines and rebuild the index.
+
+        Walks every shard line, checking the CRC32 suffix where present and
+        JSON-parseability always (legacy pre-checksum lines stay valid).  A
+        truncated tail — a final line without a newline that fails to parse —
+        is reported separately from mid-file corruption, since it is the
+        signature of a crash mid-append rather than bit rot.
+
+        With ``repair=True`` (the default) every bad line is moved to
+        ``quarantine/<shard>.bad``, the shard is rewritten atomically with
+        only its healthy lines, and the SQLite index is rebuilt from the
+        cleaned shards.  With ``repair=False`` nothing is touched — the
+        returned report just describes the damage.
+
+        Returns a plain-data report: per-shard and total line/record counts,
+        bad-line locations, truncated-tail detection, quarantine paths, and
+        the rebuilt index's row count (``None`` when ``repair=False``).
+        """
+        report: Dict[str, Any] = {
+            "shards": 0,
+            "records": 0,
+            "checksummed_lines": 0,
+            "legacy_lines": 0,
+            "bad_lines": [],
+            "truncated_tails": [],
+            "quarantined": [],
+            "repaired": repair,
+        }
+        for path in self._shard_paths():
+            report["shards"] += 1
+            text = path.read_text(encoding="utf-8")
+            ends_with_newline = text.endswith("\n")
+            raw_lines = text.splitlines()
+            good: List[str] = []
+            bad: List[Tuple[int, str, str]] = []
+            for number, raw in enumerate(raw_lines, start=1):
+                stripped = raw.strip()
+                if not stripped:
+                    continue
+                record, why_bad = self._parse_shard_line(stripped)
+                if record is None:
+                    if number == len(raw_lines) and not ends_with_newline:
+                        why_bad = "truncated tail (crash mid-append?)"
+                        report["truncated_tails"].append(str(path))
+                    bad.append((number, raw, why_bad))
+                    report["bad_lines"].append(
+                        {"shard": str(path), "line": number, "reason": why_bad}
+                    )
+                    continue
+                _, crc_ok = split_checksummed_line(stripped)
+                report["checksummed_lines" if crc_ok else "legacy_lines"] += 1
+                report["records"] += 1
+                good.append(stripped)
+            if bad and repair:
+                self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+                quarantine_path = self.quarantine_dir / f"{path.name}.bad"
+                with quarantine_path.open("a", encoding="utf-8") as handle:
+                    for number, raw, why_bad in bad:
+                        handle.write(raw + "\n")
+                report["quarantined"].append(str(quarantine_path))
+                _atomic_write_text(
+                    path, "".join(line + "\n" for line in good)
+                )
+                logger.warning(
+                    "fsck quarantined %d bad line(s) from %s to %s",
+                    len(bad), path, quarantine_path,
+                )
+        report["index_records"] = self.consolidate() if repair else None
+        return report
 
     def existing_run_ids(self) -> Set[str]:
         """The run ids already stored (what campaign resume skips)."""

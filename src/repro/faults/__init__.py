@@ -1,0 +1,22 @@
+"""The fault plane: seeded chaos injection and crash-stop protocol faults.
+
+Two halves, one seed discipline:
+
+* **harness faults** — :class:`~repro.faults.plan.FaultPlan` schedules
+  worker crashes, hangs, slowdowns and corrupted results per executor chunk
+  (armed in pooled workers via :mod:`repro.faults.injector`); the executor's
+  watchdog/retry machinery is what they exercise;
+* **protocol faults** — :func:`~repro.faults.nodes.select_crashed_ids`
+  picks the crash-stop nodes of a ``node_faults`` scenario, paired across
+  algorithms and engines through the topology seed.
+"""
+
+from repro.faults.nodes import select_crashed_ids
+from repro.faults.plan import FAULT_KINDS, FAULT_PLAN_ENV, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "select_crashed_ids",
+]

@@ -1,0 +1,118 @@
+"""Worker-side fault arming and heartbeat stamping.
+
+The executor's process pool runs :func:`arm_pool_worker` as its worker
+initializer.  It does two things:
+
+* reads :data:`~repro.faults.plan.FAULT_PLAN_ENV` and arms the decoded
+  :class:`~repro.faults.plan.FaultPlan` for this worker process — faults are
+  only ever *armed in pooled workers*, never in the inline (``workers <= 1``)
+  path, so a crash/hang fault can never take down the parent process;
+* stores the shared heartbeat/pid arrays the watchdog reads, so
+  :func:`beat` can stamp liveness per chunk and per scenario.
+
+Everything here is module-global by design: a worker process serves chunks
+one at a time, and the initializer runs exactly once per worker.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from typing import Any, Optional, Sequence
+
+from repro.faults.plan import FAULT_PLAN_ENV, FaultPlan
+
+logger = logging.getLogger(__name__)
+
+#: How long a ``hang`` fault sleeps.  Effectively forever on the executor's
+#: timescale — a hung worker is *not* cooperative, so only the parent-side
+#: watchdog (or the end of the campaign process) ends it.
+HANG_SLEEP_S = 3600.0
+
+#: Marker prefix a ``corrupt`` fault stamps into record run_ids.  The parent
+#: detects the mangled ids against the chunk's spec ids and re-dispatches.
+CORRUPT_MARKER = "__corrupt__"
+
+_PLAN: Optional[FaultPlan] = None
+_IN_POOLED_WORKER = False
+_HEARTBEATS: Optional[Any] = None
+_PIDS: Optional[Any] = None
+
+
+def arm_pool_worker(heartbeats: Optional[Any] = None, pids: Optional[Any] = None) -> None:
+    """Pool-worker initializer: arm the env-carried fault plan + heartbeats."""
+    global _PLAN, _IN_POOLED_WORKER, _HEARTBEATS, _PIDS
+    _IN_POOLED_WORKER = True
+    _HEARTBEATS = heartbeats
+    _PIDS = pids
+    raw = os.environ.get(FAULT_PLAN_ENV)
+    if raw:
+        try:
+            _PLAN = FaultPlan.from_json(raw)
+        except (ValueError, TypeError, KeyError):
+            logger.warning("ignoring malformed %s payload", FAULT_PLAN_ENV)
+            _PLAN = None
+    else:
+        _PLAN = None
+
+
+def disarm() -> None:
+    """Reset the module globals (tests re-arming inside one process)."""
+    global _PLAN, _IN_POOLED_WORKER, _HEARTBEATS, _PIDS
+    _PLAN = None
+    _IN_POOLED_WORKER = False
+    _HEARTBEATS = None
+    _PIDS = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The armed plan — ``None`` outside pooled workers (inline never injects)."""
+    if not _IN_POOLED_WORKER or _PLAN is None or not _PLAN.any_faults():
+        return None
+    return _PLAN
+
+
+def beat(chunk_index: Optional[int]) -> None:
+    """Stamp this worker's liveness for ``chunk_index`` (watchdog heartbeat).
+
+    ``time.monotonic()`` reads ``CLOCK_MONOTONIC``, which is system-wide on
+    the supported platforms, so the parent's staleness comparison against its
+    own monotonic clock is meaningful.
+    """
+    if (
+        _HEARTBEATS is not None
+        and chunk_index is not None
+        and 0 <= chunk_index < len(_HEARTBEATS)
+    ):
+        _HEARTBEATS[chunk_index] = time.monotonic()
+        if _PIDS is not None:
+            _PIDS[chunk_index] = os.getpid()
+
+
+def inject_before_chunk(fault: Optional[str], plan: FaultPlan) -> None:
+    """Perform a ``crash`` / ``hang`` / ``slow`` fault before a chunk runs.
+
+    ``corrupt`` is a post-execution fault (see :func:`corrupt_records`) and
+    falls through here untouched.
+    """
+    if fault == "crash":
+        logger.debug("fault injection: crashing worker %d", os.getpid())
+        os._exit(43)
+    elif fault == "hang":
+        logger.debug("fault injection: hanging worker %d", os.getpid())
+        time.sleep(HANG_SLEEP_S)
+    elif fault == "slow":
+        time.sleep(plan.slow_s)
+
+
+def corrupt_records(records: Sequence[dict]) -> None:
+    """Mangle a chunk's result records in place (the ``corrupt`` fault).
+
+    The run_ids are replaced wholesale, so the parent's expected-id check
+    cannot miss the corruption, and a metric field is poisoned so even an
+    id-ignoring consumer would see nonsense rather than silently-wrong data.
+    """
+    for record in records:
+        record["run_id"] = f"{CORRUPT_MARKER}{record.get('run_id')}"
+        record["node_steps"] = -1

@@ -1,0 +1,35 @@
+"""Seeded crash-stop node selection for the ``node_faults`` scenario axis.
+
+The protocol-level half of the fault plane: a scenario with
+``node_faults > 0`` crash-stops that many non-destination nodes — they keep
+their (announced) heights but silently stop reversing.  Selection is a pure
+function of the topology seed, so every algorithm/scheduler cell of one
+replicate — and every engine executing the same spec — kills the *same*
+nodes, keeping work comparisons paired exactly like the topology itself.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet
+
+from repro.experiments.spec import derive_seed
+
+
+def select_crashed_ids(
+    node_count: int, destination_id: int, count: int, topology_seed: int
+) -> FrozenSet[int]:
+    """The node ids crash-stopped by a ``node_faults=count`` scenario.
+
+    Ids index the instance's node tuple (the shared id space of the kernel
+    and async engines).  The destination never crashes — a dead destination
+    makes every convergence question vacuous.
+    """
+    candidates = [i for i in range(node_count) if i != destination_id]
+    if count >= len(candidates):
+        raise ValueError(
+            f"cannot crash {count} of {node_count} nodes "
+            "(the destination and at least one live node must survive)"
+        )
+    rng = random.Random(derive_seed(topology_seed, "node-faults"))
+    return frozenset(rng.sample(candidates, count))

@@ -1,0 +1,156 @@
+"""Deterministic, seeded fault plans for chaos-testing the campaign executor.
+
+A :class:`FaultPlan` decides — as a pure function of its seed, a chunk index
+and a dispatch attempt — whether an executor worker should *crash* (hard
+process exit), *hang* (sleep until the watchdog kills it), run *slow*
+(bounded extra latency) or *corrupt* its returned records.  Because the
+decision is derived with :func:`~repro.experiments.spec.derive_seed` rather
+than ambient randomness, the same plan injects the same faults on every
+machine and every re-run, which is what lets CI compare a chaos campaign's
+results field-for-field against its fault-free twin.
+
+The parent process evaluates the same plan the workers do: a worker that
+crashes or hangs can never report its own fault back, so fault accounting
+(``faults.injected``) happens on the dispatch side at submit time.
+
+Plans cross the process boundary through the :data:`FAULT_PLAN_ENV`
+environment variable (JSON; see :meth:`FaultPlan.to_json`), which the pool
+worker initializer reads (:mod:`repro.faults.injector`).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.experiments.spec import derive_seed
+
+#: The injectable fault kinds, in the order probabilities stack.
+FAULT_KINDS = ("crash", "hang", "slow", "corrupt")
+
+#: Environment variable carrying a JSON-encoded plan into pooled workers.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, per-chunk fault schedule for the executor's worker pool.
+
+    ``crash`` / ``hang`` / ``slow`` / ``corrupt`` are per-chunk injection
+    probabilities (they stack: their sum must stay <= 1).  ``strikes`` bounds
+    how many dispatch *attempts* of one chunk are faulted — with the default
+    of 1 only the first attempt can fail, so a retrying executor always
+    recovers and a chaos campaign's stored records equal the fault-free
+    twin's.  ``overrides`` pins specific chunk indices to a fault kind
+    (``"none"`` exempts a chunk), bypassing the probability roll.
+    """
+
+    seed: int = 0
+    crash: float = 0.0
+    hang: float = 0.0
+    slow: float = 0.0
+    corrupt: float = 0.0
+    #: Attempts of one chunk that may be faulted (attempt >= strikes is safe).
+    strikes: int = 1
+    #: Extra latency of a ``slow`` fault, seconds.
+    slow_s: float = 0.05
+    #: Explicit ``{chunk_index: kind}`` pins (kind ``"none"`` exempts).
+    overrides: Mapping[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "overrides",
+            {int(k): str(v) for k, v in dict(self.overrides).items()},
+        )
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` when the plan cannot be injected as written."""
+        rates = {kind: getattr(self, kind) for kind in FAULT_KINDS}
+        for kind, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate {kind} must be in [0, 1], got {rate}")
+        if sum(rates.values()) > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        if self.strikes < 0:
+            raise ValueError("strikes must be non-negative")
+        if self.slow_s < 0:
+            raise ValueError("slow_s must be non-negative")
+        for index, kind in self.overrides.items():
+            if index < 0:
+                raise ValueError(f"override chunk index must be >= 0, got {index}")
+            if kind != "none" and kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r} in override for chunk {index}; "
+                    f"choose from none, {', '.join(FAULT_KINDS)}"
+                )
+
+    def any_faults(self) -> bool:
+        """Whether this plan can inject anything at all."""
+        if self.strikes <= 0:
+            return False
+        if any(getattr(self, kind) > 0.0 for kind in FAULT_KINDS):
+            return True
+        return any(kind != "none" for kind in self.overrides.values())
+
+    def fault_for(self, chunk_index: int, attempt: int = 0) -> Optional[str]:
+        """The fault injected into ``(chunk_index, attempt)``, or ``None``.
+
+        Pure and deterministic: the roll derives from
+        ``(seed, chunk_index, attempt)`` alone, so the dispatching parent and
+        the pooled worker agree on every injection without communicating.
+        """
+        if attempt >= self.strikes:
+            return None
+        pinned = self.overrides.get(chunk_index)
+        if pinned is not None:
+            return None if pinned == "none" else pinned
+        roll = random.Random(
+            derive_seed(self.seed, "fault", chunk_index, attempt)
+        ).random()
+        threshold = 0.0
+        for kind in FAULT_KINDS:
+            threshold += getattr(self, kind)
+            if roll < threshold:
+                return kind
+        return None
+
+    # ------------------------------------------------------------------
+    # plain-data / environment round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (overrides keyed by stringified index)."""
+        return {
+            "seed": self.seed,
+            "crash": self.crash,
+            "hang": self.hang,
+            "slow": self.slow,
+            "corrupt": self.corrupt,
+            "strikes": self.strikes,
+            "slow_s": self.slow_s,
+            "overrides": {str(k): v for k, v in sorted(self.overrides.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (extra keys ignored)."""
+        return cls(
+            seed=int(data.get("seed", 0)),
+            crash=float(data.get("crash", 0.0)),
+            hang=float(data.get("hang", 0.0)),
+            slow=float(data.get("slow", 0.0)),
+            corrupt=float(data.get("corrupt", 0.0)),
+            strikes=int(data.get("strikes", 1)),
+            slow_s=float(data.get("slow_s", 0.05)),
+            overrides=data.get("overrides", {}),
+        )
+
+    def to_json(self) -> str:
+        """Compact JSON form — what :data:`FAULT_PLAN_ENV` carries."""
+        return json.dumps(self.to_dict(), separators=(",", ":"), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))

@@ -8,7 +8,8 @@ runs can be reproduced and diffed.  Only built-in types appear in the output
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Sequence
+import zlib
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.automata.executions import Execution, replay
 from repro.core.graph import LinkReversalInstance
@@ -19,6 +20,38 @@ Node = Hashable
 
 class SerializationError(ValueError):
     """Raised when serialised data cannot be rebuilt into a live object."""
+
+
+# ----------------------------------------------------------------------
+# checksummed JSONL lines (result-store shard integrity)
+# ----------------------------------------------------------------------
+_CRC_SEPARATOR = "\t"
+_CRC_DIGITS = 8
+_CRC_ALPHABET = set("0123456789abcdef")
+
+
+def checksummed_line(payload: str) -> str:
+    """Append a CRC32 suffix to one JSONL payload: ``<json>\\t<crc32 hex>``.
+
+    The separator is a literal TAB, which cannot appear inside the compact
+    JSON payload itself (``json.dumps`` escapes tabs in strings as ``\\t``),
+    so :func:`split_checksummed_line` can split unambiguously from the right.
+    """
+    return payload + _CRC_SEPARATOR + format(zlib.crc32(payload.encode("utf-8")), "08x")
+
+
+def split_checksummed_line(line: str) -> Tuple[str, Optional[bool]]:
+    """Split a shard line into ``(payload, crc_ok)``.
+
+    ``crc_ok`` is ``True``/``False`` for a line carrying a CRC32 suffix, and
+    ``None`` for a legacy line written before checksums existed (no TAB, or a
+    suffix that is not exactly 8 hex digits — such a tail is treated as part
+    of the payload, which for legacy lines it is).
+    """
+    payload, separator, suffix = line.rpartition(_CRC_SEPARATOR)
+    if not separator or len(suffix) != _CRC_DIGITS or not set(suffix) <= _CRC_ALPHABET:
+        return line, None
+    return payload, format(zlib.crc32(payload.encode("utf-8")), "08x") == suffix
 
 
 def instance_to_dict(instance: LinkReversalInstance) -> Dict[str, Any]:

@@ -126,3 +126,104 @@ class TestCampaignProvenance:
         assert store.load_campaign() is None
         store.record_campaign({"name": "x", "sizes": [4, 8]})
         assert store.load_campaign() == {"name": "x", "sizes": [4, 8]}
+
+    def test_sidecars_written_atomically(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.record_campaign({"name": "x"})
+        store.record_report({"ok": 1})
+        assert store.load_report() == {"ok": 1}
+        # the write-then-rename leaves no temp files behind
+        leftovers = [p.name for p in store.root.iterdir()
+                     if p.name.startswith(".") or p.name.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestIntegrity:
+    def _shard(self, store: ResultStore):
+        return store.shard_dir / "shard-00001.jsonl"
+
+    def test_new_lines_are_checksummed(self, tmp_path):
+        from repro.io.serialization import split_checksummed_line
+
+        store = ResultStore(tmp_path)
+        store.append([_record("a")])
+        line = self._shard(store).read_text().strip()
+        payload, crc_ok = split_checksummed_line(line)
+        assert crc_ok is True
+        assert json.loads(payload)["run_id"] == "a"
+
+    def test_legacy_plain_json_lines_still_readable(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append([_record("a")])
+        with self._shard(store).open("a") as handle:
+            handle.write(json.dumps(_record("legacy")) + "\n")
+        assert {r["run_id"] for r in store.iter_shard_records()} == {"a", "legacy"}
+        store.consolidate()
+        assert store.existing_run_ids() == {"a", "legacy"}
+        report = store.fsck()
+        assert report["legacy_lines"] == 1
+        assert report["checksummed_lines"] == 1
+        assert report["bad_lines"] == []
+
+    def test_torn_tail_skipped_and_resumable(self, tmp_path):
+        # regression: a crash mid-append used to poison every later read of
+        # the shard; now the torn line is skipped and the campaign resumes
+        store = ResultStore(tmp_path)
+        store.append([_record("a"), _record("b")])
+        with self._shard(store).open("a") as handle:
+            handle.write('{"run_id": "torn", "status"')  # no newline: torn
+        assert {r["run_id"] for r in store.iter_shard_records()} == {"a", "b"}
+        assert store.consolidate() == 2
+        assert store.existing_run_ids() == {"a", "b"}
+
+    def test_corrupt_checksum_line_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append([_record("a"), _record("b")])
+        shard = self._shard(store)
+        lines = shard.read_text().splitlines()
+        # flip one byte inside the first record's JSON: the CRC must catch it
+        lines[0] = lines[0].replace('"ok"', '"ko"', 1)
+        shard.write_text("\n".join(lines) + "\n")
+        assert [r["run_id"] for r in store.iter_shard_records()] == ["b"]
+
+    def test_fsck_quarantines_and_rebuilds(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append([_record("a"), _record("b"), _record("c")])
+        shard = self._shard(store)
+        lines = shard.read_text().splitlines()
+        lines[1] = lines[1][:-4] + "dead"  # corrupt b's CRC suffix
+        shard.write_text("\n".join(lines) + '\n{"torn"')
+
+        report = store.fsck()
+        assert report["records"] == 2
+        assert len(report["bad_lines"]) == 2
+        assert len(report["truncated_tails"]) == 1
+        assert report["index_records"] == 2
+        quarantined = (store.quarantine_dir / "shard-00001.jsonl.bad").read_text()
+        assert "dead" in quarantined and '{"torn"' in quarantined
+        # the shard itself is clean now: a second fsck finds nothing
+        second = store.fsck()
+        assert second["bad_lines"] == []
+        assert store.existing_run_ids() == {"a", "c"}
+
+    def test_fsck_no_repair_reports_only(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append([_record("a")])
+        shard = self._shard(store)
+        shard.write_text(shard.read_text() + "garbage\n")
+        before = shard.read_text()
+        report = store.fsck(repair=False)
+        assert len(report["bad_lines"]) == 1
+        assert report["index_records"] is None
+        assert shard.read_text() == before
+        assert not store.quarantine_dir.exists()
+
+    def test_telemetry_torn_tail_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.record_telemetry([
+            {"kind": "event", "name": "x", "t": 0.0, "attrs": {}},
+        ])
+        with store.telemetry_path.open("a") as handle:
+            handle.write('{"kind": "eve')
+        events = list(store.iter_telemetry())
+        assert [e["name"] for e in events] == ["x"]
