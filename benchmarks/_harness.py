@@ -80,6 +80,7 @@ def _baseline_workloads():
     from benchmarks.bench_dummy_steps import _measure
     from benchmarks.bench_faults import _measure_armed as _measure_faults
     from benchmarks.bench_model_check import _measure as _measure_model_check
+    from benchmarks.bench_model_check import _measure_scalar as _measure_model_check_scalar
     from benchmarks.bench_simulation import _check_all_families
     from benchmarks.bench_sweep import _measure_1worker, _measure_pool
     from benchmarks.bench_telemetry import _measure_enabled as _measure_telemetry
@@ -92,7 +93,11 @@ def _baseline_workloads():
         "bench_dummy_steps": _measure,
         "bench_sweep_1worker": _measure_1worker,
         "bench_sweep_pool": _measure_pool,
+        # the model-check pair shares one verification workload: their
+        # timing ratio is the vectorised frontier's speedup over the scalar
+        # per-state loop (differentially pinned to identical counts)
         "bench_model_check": _measure_model_check,
+        "bench_model_check_scalar": _measure_model_check_scalar,
         "bench_async_quiescence": _measure_async,
         # the batch pair shares one workload: their timing ratio is the
         # batched engine's speedup over the per-scenario kernel path

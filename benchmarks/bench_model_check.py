@@ -3,18 +3,22 @@
 The frontier engine is what turns the paper's universally-quantified claims
 into machine-checked facts at scale, so its per-state cost is tracked like
 any other hot path.  The workload exhaustively verifies the built-in
-``acyclic`` + ``progress`` invariants for Full Reversal on the all-bad 4×5
-grid — 18 150 reachable orientations, 95 960 transitions — once with the
-production :class:`~repro.exploration.checker.ModelChecker` and once with the
-legacy state-materialising :class:`~repro.exploration.state_space
-.StateSpaceExplorer` (no predicates there; it has no mask-level checks), to
-keep the engine-vs-reference ratio visible.
+``acyclic`` + ``progress`` invariants for Full Reversal on the all-bad 4×6
+grid — 126 534 reachable orientations, 673 524 transitions — once through
+the vectorised frontier path (``vectorized="always"``: whole BFS rounds as
+numpy column ops) and once through the scalar per-state loop
+(``vectorized="never"``).  Both engines are differentially pinned to
+identical counts (also asserted here), so their timing ratio is pure
+engine speedup on the same verification.
 
-The tracked ``bench_model_check`` baseline entry is the ModelChecker half
-only.  For scale context (not CI-timed): the same verification on the 5×6
-grid — 2 068 146 states, 13 640 060 transitions — completes in under a
-minute single-process, while the legacy explorer's per-state path tuples
-(O(states × depth) memory) put it out of reach two grid sizes earlier.
+The tracked ``bench_model_check`` baseline entry is the vectorised half;
+``bench_model_check_scalar`` is the scalar twin on the same workload, so
+the pair's ratio in BENCH_baseline.json is the batch engine's speedup.
+For scale context (not CI-timed): the vectorised engine exhausts the 5×6
+grid — 2 068 146 states — in a few seconds single-process, while the
+legacy state-materialising :class:`~repro.exploration.state_space
+.StateSpaceExplorer` (O(states × depth) path-tuple memory) falls over two
+grid sizes earlier.
 """
 
 from __future__ import annotations
@@ -25,28 +29,36 @@ claim_experiment("E19", __name__)
 
 from repro.core.full_reversal import FullReversal
 from repro.exploration.checker import ModelChecker
-from repro.exploration.state_space import StateSpaceExplorer
 from repro.topology.generators import grid_instance
 
-#: The tracked workload: FR on the all-bad 4×5 grid, exhaustive.
-GRID_ROWS, GRID_COLS = 4, 5
-EXPECTED_STATES = 18_150
+#: The tracked workload: FR on the all-bad 4×6 grid, exhaustive.
+GRID_ROWS, GRID_COLS = 4, 6
+EXPECTED_STATES = 126_534
+EXPECTED_TRANSITIONS = 673_524
 
 
 def _instance():
     return grid_instance(GRID_ROWS, GRID_COLS, oriented_towards_destination=False)
 
 
-def _measure() -> dict:
-    """The baseline workload: exhaustive check with built-in invariants."""
+def _check(vectorized: str):
     report = ModelChecker(
         FullReversal(_instance()),
-        max_states=1_000_000,
+        max_states=10_000_000,
         check_acyclicity=True,
         check_progress=True,
+        vectorized=vectorized,
     ).run()
     assert report.states_explored == EXPECTED_STATES, report
+    assert report.transitions_explored == EXPECTED_TRANSITIONS, report
     assert report.all_predicates_hold and not report.truncated
+    return report
+
+
+def _measure() -> dict:
+    """The tracked baseline workload: the vectorised frontier engine."""
+    report = _check("always")
+    assert report.vectorized
     return {
         "states": report.states_explored,
         "transitions": report.transitions_explored,
@@ -55,11 +67,11 @@ def _measure() -> dict:
     }
 
 
-def _measure_legacy() -> dict:
-    """The seed-era reference explorer on the same instance (no predicates)."""
-    report = StateSpaceExplorer(FullReversal(_instance()), max_states=1_000_000).explore()
-    assert report.states_explored == EXPECTED_STATES
-    return {"states": report.states_explored}
+def _measure_scalar() -> dict:
+    """The scalar twin: same verification through the per-state loop."""
+    report = _check("never")
+    assert not report.vectorized
+    return {"states": report.states_explored, "wall_time_s": report.wall_time_s}
 
 
 def test_e19_model_check_throughput(benchmark):
@@ -67,19 +79,19 @@ def test_e19_model_check_throughput(benchmark):
 
     def workload():
         start = time.perf_counter()
-        frontier = _measure()
-        frontier_s = time.perf_counter() - start
+        vector = _measure()
+        vector_s = time.perf_counter() - start
         start = time.perf_counter()
-        _measure_legacy()
-        legacy_s = time.perf_counter() - start
-        return frontier, frontier_s, legacy_s
+        _measure_scalar()
+        scalar_s = time.perf_counter() - start
+        return vector, vector_s, scalar_s
 
-    frontier, frontier_s, legacy_s = benchmark.pedantic(workload, rounds=1, iterations=1)
-    states_per_s = frontier["states"] / frontier_s if frontier_s else 0.0
+    vector, vector_s, scalar_s = benchmark.pedantic(workload, rounds=1, iterations=1)
+    vector_rate = vector["states"] / vector_s if vector_s else 0.0
+    scalar_rate = vector["states"] / scalar_s if scalar_s else 0.0
     rows = [
-        ("ModelChecker (acyclic+progress)", frontier["states"], f"{frontier_s:.3f}",
-         f"{states_per_s:,.0f}"),
-        ("legacy explorer (no predicates)", frontier["states"], f"{legacy_s:.3f}", "-"),
+        ("vectorised frontier", vector["states"], f"{vector_s:.3f}", f"{vector_rate:,.0f}"),
+        ("scalar frontier", vector["states"], f"{scalar_s:.3f}", f"{scalar_rate:,.0f}"),
     ]
     print_table(
         f"E19 — exhaustive FR check on the {GRID_ROWS}x{GRID_COLS} all-bad grid",
@@ -89,11 +101,14 @@ def test_e19_model_check_throughput(benchmark):
     record(
         benchmark,
         experiment="E19",
-        states=frontier["states"],
-        transitions=frontier["transitions"],
-        max_depth=frontier["max_depth"],
-        states_per_second=round(states_per_s),
-        legacy_wall_s=round(legacy_s, 3),
-        speedup_vs_legacy=round(legacy_s / frontier_s, 2) if frontier_s else 0.0,
+        states=vector["states"],
+        transitions=vector["transitions"],
+        max_depth=vector["max_depth"],
+        states_per_second=round(vector_rate),
+        scalar_states_per_second=round(scalar_rate),
+        speedup_vs_scalar=round(scalar_s / vector_s, 2) if vector_s else 0.0,
     )
-    assert frontier["transitions"] > frontier["states"]
+    assert vector["transitions"] > vector["states"]
+    # identical verification, so the ratio is pure engine speedup; keep a
+    # conservative floor so a vector-path regression trips even on a busy box
+    assert vector_s < scalar_s

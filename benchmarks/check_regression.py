@@ -75,7 +75,8 @@ def main(argv=None) -> int:
     parser.add_argument("--watch",
                         default="bench_simulation,bench_sweep_1worker,"
                                 "bench_async_quiescence,bench_batch_sweep,"
-                                "bench_telemetry,bench_dataplane",
+                                "bench_telemetry,bench_dataplane,"
+                                "bench_model_check",
                         help="comma-separated workloads that must not regress")
     parser.add_argument("--tolerance", type=float,
                         default=float(os.environ.get("BENCH_TOLERANCE", "1.20")))

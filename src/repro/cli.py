@@ -87,6 +87,7 @@ from repro.exploration.state_space import explore_and_check
 from repro.io.dot import orientation_to_dot
 from repro.routing.maintenance import RouteMaintenanceSimulation
 from repro.schedulers import SCHEDULER_FACTORIES
+from repro import telemetry as _telemetry
 from repro.telemetry.trace import check_span_nesting, summarise_telemetry, top_spans
 from repro.schedulers.greedy import GreedyScheduler
 from repro.topology.generators import FAMILY_NAMES, build_family
@@ -223,9 +224,10 @@ CHECK_INVARIANTS = ("acyclic", "progress", "paper")
 def _check_run_id(args: argparse.Namespace) -> str:
     """Stable content hash identifying one ``repro check`` verification run.
 
-    Workers, spill and store layout are excluded — they change how the
-    check executes, not what it verifies — so a resumed run with different
-    parallelism still matches the stored verdict.  (One caveat: when
+    Workers, spill, vectorisation and store layout are excluded — they
+    change how the check executes, not what it verifies (the vectorised and
+    scalar engines are differentially pinned to identical verdicts) — so a
+    resumed run with different parallelism still matches the stored verdict.  (One caveat: when
     ``--max-states`` actually truncates, the sharded cap is round-granular,
     so a stored truncated verdict's ``states_explored`` may differ slightly
     from what a single-process re-run would count; exhaustive verdicts are
@@ -290,9 +292,20 @@ def cmd_check(args: argparse.Namespace) -> int:
             check_progress="progress" in invariants,
             spill_threshold=args.spill_threshold if args.spill else None,
             spill_dir=args.spill_dir,
+            spill_max_runs=args.spill_max_runs,
+            vectorized=args.vectorized,
             max_traced_failures=args.max_traced,
         )
-        report = checker.run()
+        if store is not None and not args.no_telemetry:
+            with _telemetry.session(sink=store.record_telemetry) as (registry, tracer):
+                report = checker.run()
+                tracer.emit({
+                    "kind": "metrics",
+                    "t": round(tracer.now(), 6),
+                    **registry.snapshot(),
+                })
+        else:
+            report = checker.run()
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -329,6 +342,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         print(f"max depth     : {report.max_depth}")
         print(f"quiescent     : {report.quiescent_states}")
         print(f"workers       : {report.workers}"
+              + (" [vectorised]" if report.vectorized else "")
               + (" [symmetry-reduced]" if report.symmetry_reduced else "")
               + (" [spilled]" if report.spilled else ""))
         print(f"wall time     : {report.wall_time_s:.2f}s")
@@ -735,6 +749,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print("gauges:")
         for name, value in summary["gauges"].items():
             print(f"  {name:<36} {value}")
+    if summary.get("histograms"):
+        print("histograms:")
+        for name, h in summary["histograms"].items():
+            print(f"  {name:<36} count={h['count']} mean={h['mean']:.1f} "
+                  f"min={h['min']:.0f} max={h['max']:.0f}")
     if summary["point_events"]:
         print("events:")
         for name, value in summary["point_events"].items():
@@ -847,6 +866,19 @@ def build_parser() -> argparse.ArgumentParser:
                               help="in-memory signatures per worker before spilling")
     check_parser.add_argument("--spill-dir", default=None,
                               help="directory for spill runs (default: a temp dir)")
+    check_parser.add_argument("--spill-max-runs", type=int, default=8,
+                              help="compact spill runs down to one once more than "
+                                   "this many accumulate (batch engine only)")
+    check_parser.add_argument("--vectorized", choices=("auto", "always", "never"),
+                              default="auto",
+                              help="frontier engine: 'auto' batches whole BFS rounds "
+                                   "through the numpy kernels when signatures fit 64 "
+                                   "bits (falling back to scalar otherwise), 'always' "
+                                   "errors instead of falling back, 'never' forces "
+                                   "the scalar path; verdicts are identical either way")
+    check_parser.add_argument("--no-telemetry", action="store_true",
+                              help="skip the metrics/span sidecar (telemetry.jsonl) "
+                                   "when writing to --store")
     check_parser.add_argument("--store", default=None,
                               help="write the verdict + counterexample traces into "
                                    "this result store (resumable)")

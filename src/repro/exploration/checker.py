@@ -37,6 +37,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Set, Tuple
 
+try:  # the vectorised frontier path needs numpy; scalar paths do not
+    import numpy as np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    np = None  # type: ignore[assignment]
+
 from repro import telemetry as _telemetry
 from repro._mp import fork_preferring_context
 from repro.automata.ioa import IOAutomaton
@@ -48,6 +53,13 @@ from repro.exploration.frontier import (
     mask_is_acyclic,
     mask_is_destination_oriented,
     shard_of,
+)
+from repro.kernels.vector import (
+    compile_vector_expander,
+    decode_token,
+    mask_is_acyclic_batch,
+    mask_is_destination_oriented_batch,
+    shard_of_batch,
 )
 from repro.exploration.state_space import (
     PredicateFailure,
@@ -62,6 +74,11 @@ ACYCLIC = "acyclic"
 PROGRESS = "progress"
 
 _PROGRESS_DETAIL = "quiescent state is not destination oriented"
+
+#: Deferred-acyclicity batch size on the vectorised path: when no other
+#: failure source can interleave, freshly discovered states are buffered
+#: across rounds and Kahn-checked in bulk once this many accumulate.
+_ACYCLIC_BATCH = 4096
 
 
 @dataclass
@@ -79,9 +96,13 @@ class CheckReport:
     workers: int = 1
     symmetry_reduced: bool = False
     spilled: bool = False
+    #: Whether the vectorised (whole-frontier numpy) engine ran this check.
+    vectorized: bool = False
     wall_time_s: float = 0.0
     #: Populated only when ``collect_signatures=True`` (test instrumentation).
     signatures: Optional[Set[Hashable]] = None
+    #: Visited-set spill/compaction counters (telemetry surface, not stored).
+    spill_stats: Optional[Dict[str, int]] = None
 
     @property
     def all_predicates_hold(self) -> bool:
@@ -96,6 +117,8 @@ class CheckReport:
             extras.append(f"{self.workers} workers")
         if self.symmetry_reduced:
             extras.append("symmetry-reduced")
+        if self.vectorized:
+            extras.append("vectorised")
         if self.spilled:
             extras.append("spilled")
         extra = f" [{', '.join(extras)}]" if extras else ""
@@ -134,6 +157,7 @@ class CheckReport:
             "workers": self.workers,
             "symmetry_reduced": self.symmetry_reduced,
             "spilled": self.spilled,
+            "vectorized": self.vectorized,
             "wall_time_s": round(self.wall_time_s, 4),
             # only a verified claim when the acyclicity check actually ran
             "acyclic_final": (
@@ -219,7 +243,16 @@ def _shard_worker(
         key_bytes=(expander.signature_bits + 7) // 8 if spill_threshold else None,
         spill_threshold=spill_threshold,
         spill_dir=options["spill_dir"],
+        max_runs=options.get("spill_max_runs", 8),
     )
+    if options.get("vectorized"):
+        vector = compile_vector_expander(expander)
+        if vector is None:  # pragma: no cover - parent compiled the same gate
+            conn.send(("__shard_error__", "vector kernel unavailable in worker"))
+            return
+        _shard_worker_vector(conn, index, shards, expander, vector, predicates,
+                             options, visited)
+        return
     predecessors: Optional[Dict[Hashable, Tuple]] = {} if options["track_traces"] else None
     instance = expander.instance
 
@@ -286,12 +319,242 @@ def _shard_worker(
             conn.send(("__shard_error__", f"{type(error).__name__}: {error}"))
 
 
+def _shard_worker_vector(
+    conn,
+    index: int,
+    shards: int,
+    expander: SignatureExpander,
+    vector,
+    predicates: Mapping[str, StatePredicate],
+    options: Dict[str, Any],
+    visited: VisitedSet,
+) -> None:
+    """Vector twin of the :func:`_shard_worker` message loop.
+
+    Same protocol, but frontier entries travel as ``(sigs, parent_sigs,
+    tokens)`` uint64 array triples instead of per-entry tuples — a token of
+    0 marks the root entry.  One extra message exists: ``("drain",)``
+    flushes the worker's deferred acyclicity buffer and replies with any
+    remaining failures, sent by the parent once the BFS ends and before
+    traces are collected.
+    """
+    check_acyclicity = options["check_acyclicity"]
+    check_progress = options["check_progress"]
+    instance = expander.instance
+    edge_mask = np.uint64(expander._edge_mask)
+    predecessors = _ArrayPredecessors() if options["track_traces"] else None
+    defer_acyclic = check_acyclicity and not predicates and not check_progress
+    pending: List = []
+    pending_count = 0
+
+    def flush_acyclic(failures: List[Tuple[Hashable, str, str]]) -> None:
+        nonlocal pending_count
+        if not pending:
+            return
+        sigs = np.concatenate(pending) if len(pending) > 1 else pending[0]
+        pending.clear()
+        pending_count = 0
+        good = mask_is_acyclic_batch(instance, sigs & edge_mask)
+        for sig in sigs[~good]:
+            sig = int(sig)
+            cycle = expander.state_for(sig).orientation.find_cycle()
+            failures.append(
+                (sig, ACYCLIC, "cycle: " + " -> ".join(map(str, cycle)))
+            )
+
+    while True:
+        message = conn.recv()
+        kind = message[0]
+        try:
+            if kind == "round":
+                sigs, parent_sigs, tokens = message[1]
+                new = transitions = quiescent_count = 0
+                out: Dict[int, Tuple] = {}
+                failures: List[Tuple[Hashable, str, str]] = []
+                if sigs.size:
+                    unique, first_index = np.unique(sigs, return_index=True)
+                    known = visited.contains_many(unique)
+                    new_first = np.sort(first_index[~known])
+                    fresh = sigs[new_first]
+                    visited.update_sorted(unique[~known])
+                    new = int(fresh.size)
+                else:
+                    fresh = sigs
+                if new:
+                    if predecessors is not None:
+                        predecessors.append_round(
+                            fresh, parent_sigs[new_first], tokens[new_first]
+                        )
+                    # discovery checks in scalar order: per fresh signature,
+                    # acyclicity first, then each predicate
+                    events: List[Tuple[int, int, Tuple]] = []
+                    if check_acyclicity:
+                        if defer_acyclic:
+                            pending.append(fresh)
+                            pending_count += new
+                            if pending_count >= _ACYCLIC_BATCH:
+                                flush_acyclic(failures)
+                        else:
+                            good = mask_is_acyclic_batch(
+                                instance, fresh & edge_mask
+                            )
+                            for k in np.flatnonzero(~good):
+                                sig = int(fresh[int(k)])
+                                cycle = (
+                                    expander.state_for(sig)
+                                    .orientation.find_cycle()
+                                )
+                                events.append(
+                                    (
+                                        int(k),
+                                        0,
+                                        (
+                                            sig,
+                                            ACYCLIC,
+                                            "cycle: "
+                                            + " -> ".join(map(str, cycle)),
+                                        ),
+                                    )
+                                )
+                    if predicates:
+                        for k in range(new):
+                            state = expander.state_for(int(fresh[k]))
+                            for check, (name, predicate) in enumerate(
+                                predicates.items(), start=1
+                            ):
+                                holds, detail = _predicate_outcome(
+                                    predicate(state)
+                                )
+                                if not holds:
+                                    events.append(
+                                        (k, check, (int(fresh[k]), name, detail))
+                                    )
+                    if events:
+                        events.sort(key=lambda event: event[:2])
+                        failures.extend(event[2] for event in events)
+                    expansion = vector.expand(fresh)
+                    transitions = int(expansion.successors.size)
+                    quiescent_count = int(expansion.quiescent.size)
+                    if check_progress and expansion.quiescent.size:
+                        oriented = mask_is_destination_oriented_batch(
+                            instance, fresh[expansion.quiescent] & edge_mask
+                        )
+                        for position in expansion.quiescent[~oriented]:
+                            failures.append(
+                                (
+                                    int(fresh[int(position)]),
+                                    PROGRESS,
+                                    _PROGRESS_DETAIL,
+                                )
+                            )
+                    if transitions:
+                        # round-local dedup: keep the first emission of each
+                        # successor, exactly like the scalar ``routed`` set
+                        keep_order = np.sort(
+                            np.unique(expansion.successors, return_index=True)[1]
+                        )
+                        routed_sigs = expansion.successors[keep_order]
+                        routed_parents = fresh[expansion.parents[keep_order]]
+                        routed_tokens = expansion.tokens[keep_order]
+                        owners = shard_of_batch(routed_sigs, shards)
+                        keep = np.ones(routed_sigs.size, dtype=bool)
+                        mine = owners == index
+                        if mine.any():
+                            # self-owned successors can be filtered against
+                            # the local visited set before shipping
+                            values = routed_sigs[mine]
+                            order = np.argsort(values, kind="stable")
+                            hit = visited.contains_many(values[order])
+                            unhit = np.empty(values.size, dtype=bool)
+                            unhit[order] = ~hit
+                            keep[np.flatnonzero(mine)] = unhit
+                        if not keep.all():
+                            routed_sigs = routed_sigs[keep]
+                            routed_parents = routed_parents[keep]
+                            routed_tokens = routed_tokens[keep]
+                            owners = owners[keep]
+                        for owner in np.unique(owners):
+                            selection = owners == owner
+                            out[int(owner)] = (
+                                routed_sigs[selection],
+                                routed_parents[selection],
+                                routed_tokens[selection],
+                            )
+                conn.send((new, transitions, quiescent_count, out, failures))
+            elif kind == "probe":
+                probe_sigs = message[1]
+                count = 0
+                if probe_sigs.size:
+                    unique = np.unique(probe_sigs)
+                    count = int((~visited.contains_many(unique)).sum())
+                conn.send(count)
+            elif kind == "drain":
+                drained: List[Tuple[Hashable, str, str]] = []
+                flush_acyclic(drained)
+                conn.send(drained)
+            elif kind == "parent_of":
+                conn.send(
+                    predecessors.get(message[1]) if predecessors is not None else None
+                )
+            elif kind == "signatures":
+                conn.send(set(visited))
+            elif kind == "stats":
+                conn.send({"spilled_runs": visited.spilled_runs, **visited.stats})
+            else:  # "stop"
+                visited.close()
+                conn.close()
+                return
+        except Exception as error:  # noqa: BLE001 — ship the failure to the parent
+            conn.send(("__shard_error__", f"{type(error).__name__}: {error}"))
+
+
 def _shard_recv(connection):
     """Receive a worker reply, surfacing shipped worker exceptions."""
     reply = connection.recv()
     if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "__shard_error__":
         raise RuntimeError(f"shard worker failed: {reply[1]}")
     return reply
+
+
+# ----------------------------------------------------------------------
+# lazy predecessor store for the vectorised paths
+# ----------------------------------------------------------------------
+class _ArrayPredecessors:
+    """Predecessor pointers kept as per-round arrays, decoded lazily.
+
+    The vectorised paths discover thousands of states per round; a dict
+    entry per state would reintroduce the per-state Python cost the batch
+    engine removes.  Rounds are appended as raw arrays and only materialised
+    into a lookup table when a counterexample actually needs a predecessor
+    walk — failures are the rare case, clean runs never pay.
+
+    A token of 0 marks a root entry (the initial state has no actors), so
+    the sharded exchange can ship roots in the same array triple.
+    """
+
+    def __init__(self, initial: Optional[int] = None):
+        self._rounds: List[Tuple] = []
+        self._table: Optional[Dict] = None
+        self._initial = initial
+
+    def append_round(self, sigs, parent_sigs, tokens) -> None:
+        self._rounds.append((sigs, parent_sigs, tokens))
+        self._table = None
+
+    def get(self, sig: int) -> Optional[Tuple]:
+        if self._table is None:
+            table: Dict = {}
+            if self._initial is not None:
+                table[self._initial] = (None, None)
+            for sigs, parent_sigs, tokens in self._rounds:
+                for value, parent, token in zip(
+                    sigs.tolist(), parent_sigs.tolist(), tokens.tolist()
+                ):
+                    table[value] = (
+                        (None, None) if token == 0 else (parent, decode_token(token))
+                    )
+            self._table = table
+        return self._table.get(sig)
 
 
 # ----------------------------------------------------------------------
@@ -333,6 +596,18 @@ class ModelChecker:
     spill_threshold / spill_dir:
         Enable the disk-spilled visited set once the in-memory set reaches
         the threshold (per worker, in sharded mode).
+    spill_max_runs:
+        Compact the spilled sorted runs into one whenever more than this
+        many accumulate (the delta-run compaction knob; ``None`` disables).
+    vectorized:
+        ``"auto"`` (default) runs the whole-frontier numpy engine whenever
+        the signature fits one 64-bit lane (see
+        :func:`repro.kernels.vector.compile_vector_expander` for the exact
+        gate; symmetry reduction always stays scalar), falling back to the
+        scalar expanders otherwise.  ``"never"`` forces the scalar path;
+        ``"always"`` raises if the batch engine cannot run.  Counts,
+        visited sets, traces and truncation points are identical between
+        the two engines (differentially pinned); only throughput differs.
     track_traces:
         Keep predecessor pointers so violations come back as replayable
         counterexample traces.  Disable to halve memory on huge clean runs.
@@ -355,6 +630,8 @@ class ModelChecker:
         check_progress: bool = False,
         spill_threshold: Optional[int] = None,
         spill_dir: Optional[str] = None,
+        spill_max_runs: Optional[int] = 8,
+        vectorized: str = "auto",
         track_traces: bool = True,
         collect_signatures: bool = False,
         max_traced_failures: int = 25,
@@ -369,10 +646,27 @@ class ModelChecker:
         self.check_progress = check_progress
         self.spill_threshold = spill_threshold
         self.spill_dir = spill_dir
+        self.spill_max_runs = spill_max_runs
+        if isinstance(vectorized, bool):  # ergonomic alias
+            vectorized = "always" if vectorized else "never"
+        if vectorized not in ("auto", "always", "never"):
+            raise ValueError(
+                f"vectorized must be 'auto', 'always' or 'never', got {vectorized!r}"
+            )
+        self.vectorized = vectorized
         self.track_traces = track_traces
         self.collect_signatures = collect_signatures
         self.max_traced_failures = max_traced_failures
         self._expander = compile_expander(automaton, single_actions_only)
+        self._vector = None
+        if vectorized != "never" and not symmetry:
+            self._vector = compile_vector_expander(self._expander)
+        if vectorized == "always" and self._vector is None:
+            raise ValueError(
+                "vectorized='always' but the batch engine cannot run here "
+                "(no compiled kernel, signature wider than 64 bits, or "
+                "symmetry reduction requested)"
+            )
         if self._expander is None:
             if self.workers > 1:
                 raise ValueError(
@@ -407,7 +701,12 @@ class ModelChecker:
             ),
         )
         if self.workers > 1:
-            self._run_sharded(report)
+            if self._vector is not None:
+                self._run_sharded(report, vector=True)
+            else:
+                self._run_sharded(report)
+        elif self._vector is not None:
+            self._run_vector(report)
         elif self._expander is not None:
             self._run_compiled(report)
         else:
@@ -424,6 +723,12 @@ class ModelChecker:
             registry.inc("checker.transitions", report.transitions_explored)
             if report.spilled:
                 registry.inc("checker.spilled_runs")
+            if report.spill_stats and report.spill_stats.get("spills"):
+                registry.inc("checker.spills", report.spill_stats["spills"])
+            if report.spill_stats and report.spill_stats.get("compactions"):
+                registry.inc(
+                    "checker.compactions", report.spill_stats["compactions"]
+                )
             if report.wall_time_s > 0:
                 registry.max_gauge(
                     "checker.states_per_s",
@@ -443,6 +748,7 @@ class ModelChecker:
             key_bytes=(expander.signature_bits + 7) // 8 if self.spill_threshold else None,
             spill_threshold=self.spill_threshold,
             spill_dir=self.spill_dir,
+            max_runs=self.spill_max_runs,
         )
         visited.add(initial)
         report.states_explored = 1
@@ -499,6 +805,201 @@ class ModelChecker:
                     queue.append((successor, depth + 1))
 
             report.spilled = visited.spilled_runs > 0
+            report.spill_stats = visited.stats
+            if self.collect_signatures:
+                report.signatures = set(visited)
+        finally:
+            visited.close()
+        self._attach_failures(report, raw_failures, predecessors)
+
+    # ------------------------------------------------------------------
+    # single-process vectorised path
+    # ------------------------------------------------------------------
+    def _run_vector(self, report: CheckReport) -> None:
+        """Whole-frontier BFS: one numpy round per level, scalar-exact.
+
+        Every accounting decision the scalar loop takes per state is taken
+        here per round, in a way provably equal to the scalar outcome:
+
+        * successors come out of the batch expander in exact scalar
+          generation order, so ``np.unique``'s first-occurrence indices pick
+          the same predecessor/token the scalar FIFO would have;
+        * truncation is emulated per state: the first genuinely-new
+          successor past ``max_states`` is located inside the round and
+          transitions/quiescents are only counted up to that point;
+        * failure ordering is reconstructed by sorting round events on
+          (frontier position, emission position, check index) — the order
+          the scalar loop emits them in.  Acyclicity is Kahn-checked as a
+          batch mask; when no predicate can interleave it is additionally
+          deferred across rounds in :data:`_ACYCLIC_BATCH` buffers.
+        """
+        expander = self._expander
+        vector = self._vector
+        instance = expander.instance
+        report.vectorized = True
+        edge_mask = np.uint64(expander._edge_mask)
+        initial = int(expander.initial_signature())
+        visited = VisitedSet(
+            key_bytes=(expander.signature_bits + 7) // 8 if self.spill_threshold else None,
+            spill_threshold=self.spill_threshold,
+            spill_dir=self.spill_dir,
+            max_runs=self.spill_max_runs,
+        )
+        visited.add(initial)
+        report.states_explored = 1
+        predecessors = _ArrayPredecessors(initial) if self.track_traces else None
+        raw_failures: List[Tuple[Hashable, str, str]] = []
+        # acyclicity can only be deferred across rounds when nothing else
+        # (predicate or progress failures) has to interleave with it
+        defer_acyclic = (
+            self.check_acyclicity
+            and not self.predicates
+            and not self.check_progress
+        )
+        pending: List = []
+        pending_count = 0
+
+        def flush_acyclic() -> None:
+            nonlocal pending_count
+            if not pending:
+                return
+            sigs = np.concatenate(pending) if len(pending) > 1 else pending[0]
+            pending.clear()
+            pending_count = 0
+            good = mask_is_acyclic_batch(instance, sigs & edge_mask)
+            for sig in sigs[~good]:
+                sig = int(sig)
+                cycle = expander.state_for(sig).orientation.find_cycle()
+                raw_failures.append(
+                    (sig, ACYCLIC, "cycle: " + " -> ".join(map(str, cycle)))
+                )
+
+        try:
+            if defer_acyclic:
+                pending.append(np.array([initial], dtype=np.uint64))
+                pending_count = 1
+            else:
+                raw_failures.extend(
+                    _discovery_failures(
+                        initial, expander, self.predicates, self.check_acyclicity
+                    )
+                )
+            frontier = np.array([initial], dtype=np.uint64)
+            depth = 0
+            while frontier.size:
+                report.max_depth = depth
+                if _telemetry.ENABLED:
+                    _telemetry.REGISTRY.observe("checker.frontier", frontier.size)
+                    _telemetry.REGISTRY.inc("checker.batch_rounds")
+                expansion = vector.expand(frontier)
+                successors = expansion.successors
+                parents = expansion.parents
+                # events: (frontier pos, emission pos, check idx, failure)
+                events: List[Tuple[int, int, int, Tuple]] = []
+                if successors.size:
+                    unique, first_index, _ = np.unique(
+                        successors, return_index=True, return_inverse=True
+                    )
+                    known = visited.contains_many(unique)
+                    new_first = np.sort(first_index[~known])
+                else:
+                    unique = successors
+                    known = np.zeros(0, dtype=bool)
+                    new_first = np.zeros(0, dtype=np.int64)
+                budget = self.max_states - report.states_explored
+                truncating = new_first.size > budget
+                if truncating:
+                    # exact scalar truncation: the (budget+1)-th new successor
+                    # is where the scalar loop would have stopped mid-state
+                    report.truncated = True
+                    cut = int(new_first[budget])
+                    accepted = new_first[:budget]
+                    report.transitions_explored += cut + 1
+                    quiescent = expansion.quiescent[
+                        expansion.quiescent < int(parents[cut])
+                    ]
+                else:
+                    accepted = new_first
+                    report.transitions_explored += int(successors.size)
+                    quiescent = expansion.quiescent
+                report.quiescent_states += int(quiescent.size)
+                if self.check_progress and quiescent.size:
+                    oriented = mask_is_destination_oriented_batch(
+                        instance, frontier[quiescent] & edge_mask
+                    )
+                    for position in quiescent[~oriented]:
+                        position = int(position)
+                        events.append(
+                            (
+                                position,
+                                -1,
+                                0,
+                                (int(frontier[position]), PROGRESS, _PROGRESS_DETAIL),
+                            )
+                        )
+                new_sigs = successors[accepted]
+                report.states_explored += int(accepted.size)
+                if predecessors is not None and accepted.size:
+                    predecessors.append_round(
+                        new_sigs,
+                        frontier[parents[accepted]],
+                        expansion.tokens[accepted],
+                    )
+                if self.check_acyclicity and new_sigs.size:
+                    if defer_acyclic:
+                        pending.append(new_sigs)
+                        pending_count += int(new_sigs.size)
+                        if pending_count >= _ACYCLIC_BATCH:
+                            flush_acyclic()
+                    else:
+                        good = mask_is_acyclic_batch(instance, new_sigs & edge_mask)
+                        for k in np.flatnonzero(~good):
+                            position = int(accepted[k])
+                            sig = int(new_sigs[k])
+                            cycle = expander.state_for(sig).orientation.find_cycle()
+                            events.append(
+                                (
+                                    int(parents[position]),
+                                    position,
+                                    0,
+                                    (
+                                        sig,
+                                        ACYCLIC,
+                                        "cycle: " + " -> ".join(map(str, cycle)),
+                                    ),
+                                )
+                            )
+                if self.predicates:
+                    for position in accepted:
+                        position = int(position)
+                        state = expander.state_for(int(successors[position]))
+                        for check, (name, predicate) in enumerate(
+                            self.predicates.items(), start=1
+                        ):
+                            holds, detail = _predicate_outcome(predicate(state))
+                            if not holds:
+                                events.append(
+                                    (
+                                        int(parents[position]),
+                                        position,
+                                        check,
+                                        (int(successors[position]), name, detail),
+                                    )
+                                )
+                if events:
+                    events.sort(key=lambda event: event[:3])
+                    raw_failures.extend(event[3] for event in events)
+                if truncating:
+                    if accepted.size:
+                        visited.update_sorted(np.sort(new_sigs))
+                    break
+                visited.update_sorted(unique[~known])
+                frontier = new_sigs
+                depth += 1
+
+            flush_acyclic()
+            report.spilled = visited.spilled_runs > 0
+            report.spill_stats = visited.stats
             if self.collect_signatures:
                 report.signatures = set(visited)
         finally:
@@ -637,7 +1138,7 @@ class ModelChecker:
     # ------------------------------------------------------------------
     # sharded multi-process path
     # ------------------------------------------------------------------
-    def _run_sharded(self, report: CheckReport) -> None:
+    def _run_sharded(self, report: CheckReport, vector: bool = False) -> None:
         expander = self._expander
         workers = self.workers
         context = fork_preferring_context()
@@ -648,7 +1149,9 @@ class ModelChecker:
             "check_progress": self.check_progress,
             "spill_threshold": self.spill_threshold,
             "spill_dir": None,
+            "spill_max_runs": self.spill_max_runs,
             "track_traces": self.track_traces,
+            "vectorized": vector,
         }
         connections = []
         processes = []
@@ -680,7 +1183,26 @@ class ModelChecker:
             initial = expander.initial_signature()
             if self.symmetry:
                 initial = expander.canonicalize(initial)
-            buckets: Dict[int, List] = {shard_of(initial, workers): [(initial, None, None)]}
+            if vector:
+                report.vectorized = True
+                root = (
+                    np.array([initial], dtype=np.uint64),
+                    np.array([initial], dtype=np.uint64),
+                    np.zeros(1, dtype=np.uint64),  # token 0 marks the root
+                )
+                buckets: Dict[int, List] = {shard_of(initial, workers): [root]}
+                empty_round = tuple(np.zeros(0, dtype=np.uint64) for _ in range(3))
+            else:
+                buckets = {shard_of(initial, workers): [(initial, None, None)]}
+
+            def round_payload(entries: List):
+                """Concatenate a bucket's array triples into one triple."""
+                if not entries:
+                    return empty_round
+                if len(entries) == 1:
+                    return entries[0]
+                return tuple(np.concatenate(parts) for parts in zip(*entries))
+
             raw_failures: List[Tuple[Hashable, str, str]] = []
             round_index = 0
             while buckets:
@@ -693,13 +1215,25 @@ class ModelChecker:
                     # or expanding them and report how many were new.
                     probe_new = 0
                     for index in range(workers):
-                        connections[index].send(("probe", buckets.get(index, [])))
+                        if vector:
+                            connections[index].send(
+                                ("probe", round_payload(buckets.get(index, []))[0])
+                            )
+                        else:
+                            connections[index].send(
+                                ("probe", buckets.get(index, []))
+                            )
                     for index in range(workers):
                         probe_new += _shard_recv(connections[index])
                     report.truncated = probe_new > 0
                     break
                 for index in range(workers):
-                    connections[index].send(("round", buckets.get(index, [])))
+                    if vector:
+                        connections[index].send(
+                            ("round", round_payload(buckets.get(index, [])))
+                        )
+                    else:
+                        connections[index].send(("round", buckets.get(index, [])))
                 next_buckets: Dict[int, List] = {}
                 round_new = 0
                 for index in range(workers):
@@ -711,20 +1245,40 @@ class ModelChecker:
                     report.quiescent_states += quiescent
                     raw_failures.extend(failures)
                     for owner, entries in out.items():
-                        next_buckets.setdefault(owner, []).extend(entries)
+                        if vector:
+                            next_buckets.setdefault(owner, []).append(entries)
+                        else:
+                            next_buckets.setdefault(owner, []).extend(entries)
                 report.states_explored += round_new
                 if round_new:
                     report.max_depth = round_index
-                frontier = sum(len(entries) for entries in next_buckets.values())
+                if vector:
+                    frontier = sum(
+                        int(triple[0].size)
+                        for entries in next_buckets.values()
+                        for triple in entries
+                    )
+                else:
+                    frontier = sum(len(entries) for entries in next_buckets.values())
                 logger.debug(
                     "sharded round %d: %d new states, frontier %d",
                     round_index, round_new, frontier,
                 )
-                if _telemetry.ENABLED and frontier:
-                    _telemetry.REGISTRY.observe("checker.frontier", frontier)
+                if _telemetry.ENABLED:
+                    if frontier:
+                        _telemetry.REGISTRY.observe("checker.frontier", frontier)
+                    if vector and round_new:
+                        _telemetry.REGISTRY.inc("checker.batch_rounds")
                 round_index += 1
                 buckets = next_buckets
 
+            if vector:
+                # flush each worker's deferred acyclicity buffer before
+                # collecting traces
+                for connection in connections:
+                    connection.send(("drain",))
+                for connection in connections:
+                    raw_failures.extend(_shard_recv(connection))
             self._collect_sharded_failures(report, raw_failures, connections)
             if self.collect_signatures:
                 collected: Set[Hashable] = set()
@@ -734,8 +1288,15 @@ class ModelChecker:
                 report.signatures = collected
             for connection in connections:
                 connection.send(("stats",))
-                if _shard_recv(connection)["spilled_runs"]:
+                stats = _shard_recv(connection)
+                if stats["spilled_runs"]:
                     report.spilled = True
+                if vector:
+                    totals = report.spill_stats or {}
+                    for key in ("spills", "compactions", "runs", "spilled_signatures"):
+                        if key in stats:
+                            totals[key] = totals.get(key, 0) + int(stats[key])
+                    report.spill_stats = totals
         finally:
             for connection in connections:
                 try:

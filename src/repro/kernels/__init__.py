@@ -16,6 +16,13 @@ ints* with no state objects on the hot path:
   unpacking a single neighbour set, consuming randomness identically to its
   object-level counterpart so seeded runs are bit-for-bit reproducible
   across engines.
+* :mod:`repro.kernels.vector` — batch twins of the compiled expanders:
+  :class:`VectorExpander` takes a numpy array of packed signatures and
+  returns the whole successor frontier via bitwise column operations, in
+  exact scalar generation order.  The model checker's vectorised frontier
+  path (:class:`repro.exploration.ModelChecker` with ``vectorized="auto"``)
+  builds on these, falling back to the scalar expanders whenever signatures
+  exceed the 64-bit packable word width.
 * :mod:`repro.kernels.simulator` — :class:`SignatureSimulator`, the
   scenario-execution fast path: convergence phases, work/round accounting
   via signature XOR and deadline handling, all as pure int operations; plus
@@ -47,6 +54,15 @@ from repro.kernels.schedulers import (
     make_mask_scheduler,
 )
 from repro.kernels.batch import BatchLaneOutcome, BatchSimulator
+from repro.kernels.vector import (
+    BatchExpansion,
+    VectorExpander,
+    compile_vector_expander,
+    decode_token,
+    mask_is_acyclic_batch,
+    mask_is_destination_oriented_batch,
+    shard_of_batch,
+)
 from repro.kernels.simulator import (
     KernelCache,
     PhaseOutcome,
@@ -57,9 +73,16 @@ from repro.kernels.simulator import (
 )
 
 __all__ = [
+    "BatchExpansion",
     "BatchLaneOutcome",
     "BatchSimulator",
     "FullReversalExpander",
+    "VectorExpander",
+    "compile_vector_expander",
+    "decode_token",
+    "mask_is_acyclic_batch",
+    "mask_is_destination_oriented_batch",
+    "shard_of_batch",
     "KernelCache",
     "cache_capacity_from_env",
     "MASK_SCHEDULER_FACTORIES",

@@ -34,6 +34,7 @@ def summarise_telemetry(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
           "workers": {pid: {"chunks", "runs", "busy_s", "cpu_s"}},
           "counters": {name: int},            # last metrics snapshot
           "gauges": {name: float},
+          "histograms": {name: {"count", "total", "min", "max", "mean"}},
           "point_events": {name: int},
         }
 
@@ -47,6 +48,7 @@ def summarise_telemetry(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     workers: Dict[Any, Dict[str, float]] = {}
     counters: Dict[str, int] = {}
     gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, float]] = {}
     point_events: Dict[str, int] = {}
 
     for event in events:
@@ -82,6 +84,11 @@ def summarise_telemetry(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             # later snapshots supersede earlier ones (one per campaign)
             counters = dict(event.get("counters") or {})
             gauges = dict(event.get("gauges") or {})
+            histograms = {
+                name: summary
+                for name, summary in (event.get("histograms") or {}).items()
+                if summary.get("count")
+            }
         elif kind == "event":
             name = event.get("name", "?")
             point_events[name] = point_events.get(name, 0) + 1
@@ -123,6 +130,7 @@ def summarise_telemetry(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         },
         "counters": dict(sorted(counters.items())),
         "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
         "point_events": dict(sorted(point_events.items())),
     }
 

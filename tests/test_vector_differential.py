@@ -1,0 +1,242 @@
+"""Differential pins for the vectorised frontier engine (PR 10).
+
+The batch kernels in :mod:`repro.kernels.vector` and the checker's
+``vectorized`` paths promise *exact* equality with the scalar oracle —
+not just the same verdict but the same state/transition counts, the same
+visited sets, the same truncation points, the same failure lists in the
+same order, and counterexample traces that replay.  Every promise gets a
+pin here, plus coverage for the batch-first :class:`VisitedSet` API the
+engine rides on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.full_reversal import FullReversal
+from repro.core.new_pr import NewPartialReversal
+from repro.core.one_step_pr import OneStepPartialReversal
+from repro.core.pr import PartialReversal
+from repro.exploration.checker import ModelChecker
+from repro.exploration.frontier import VisitedSet
+from repro.kernels.signature import compile_expander, shard_of
+from repro.kernels.vector import compile_vector_expander, shard_of_batch
+from repro.topology.generators import chain_instance, grid_instance
+
+ALGORITHM_CLASSES = (PartialReversal, OneStepPartialReversal, NewPartialReversal, FullReversal)
+
+REPORT_FIELDS = (
+    "states_explored",
+    "transitions_explored",
+    "quiescent_states",
+    "max_depth",
+    "truncated",
+)
+
+
+def _vectorisable_instance(automaton_class):
+    """A non-trivial instance whose signature fits the 64-bit batch lane."""
+    if automaton_class is NewPartialReversal:
+        # NewPR packs E + 16·n bits; only toy instances fit one word
+        return chain_instance(3, towards_destination=False)
+    return grid_instance(3, 3, oriented_towards_destination=False)
+
+
+def _run(automaton, predicates=None, **kwargs):
+    kwargs.setdefault("max_traced_failures", 10_000)
+    return ModelChecker(automaton, predicates, **kwargs).run()
+
+
+def _summaries(report):
+    return tuple(getattr(report, field) for field in REPORT_FIELDS)
+
+
+def _failure_keys(report):
+    return [
+        (
+            failure.predicate_name,
+            failure.detail,
+            tuple(failure.trace.signatures or ()),
+            tuple(str(action) for action in failure.trace.actions),
+        )
+        for failure in report.failures
+    ]
+
+
+def _planted_predicates(automaton):
+    initial_signature = automaton.initial_state().signature()
+    return {
+        "is-initial": lambda s: s.signature() == initial_signature,
+        "at-most-one-reversal": lambda s: bin(s.graph_signature()).count("1") <= 1,
+    }
+
+
+# ----------------------------------------------------------------------
+# engine-level pins: vectorised == scalar, field for field
+# ----------------------------------------------------------------------
+class TestVectorMatchesScalar:
+    @pytest.mark.parametrize("automaton_class", ALGORITHM_CLASSES)
+    def test_counts_and_visited_sets(self, automaton_class):
+        instance = _vectorisable_instance(automaton_class)
+        base = dict(check_acyclicity=True, collect_signatures=True)
+        scalar = _run(automaton_class(instance), vectorized="never", **base)
+        batch = _run(automaton_class(instance), vectorized="always", **base)
+        assert not scalar.vectorized and batch.vectorized
+        assert _summaries(scalar) == _summaries(batch)
+        assert scalar.signatures == batch.signatures
+
+    @pytest.mark.parametrize("automaton_class", ALGORITHM_CLASSES)
+    def test_failure_lists_identical_in_order(self, automaton_class):
+        instance = _vectorisable_instance(automaton_class)
+        automaton = automaton_class(instance)
+        predicates = _planted_predicates(automaton)
+        base = dict(check_acyclicity=True, check_progress=True)
+        scalar = _run(automaton_class(instance), predicates, vectorized="never", **base)
+        batch = _run(automaton_class(instance), predicates, vectorized="always", **base)
+        assert _failure_keys(scalar), "planted predicates must actually fail"
+        assert _failure_keys(scalar) == _failure_keys(batch)
+
+    @pytest.mark.parametrize("max_states", [1, 3, 10, 50, 200])
+    def test_truncation_points_identical(self, max_states):
+        instance = grid_instance(3, 3, oriented_towards_destination=False)
+        base = dict(check_acyclicity=True, collect_signatures=True, max_states=max_states)
+        scalar = _run(FullReversal(instance), vectorized="never", **base)
+        batch = _run(FullReversal(instance), vectorized="always", **base)
+        assert _summaries(scalar) == _summaries(batch)
+        assert scalar.signatures == batch.signatures
+
+    def test_sharded_vector_matches_single(self):
+        instance = grid_instance(3, 3, oriented_towards_destination=False)
+        base = dict(check_acyclicity=True, check_progress=True, collect_signatures=True)
+        single = _run(FullReversal(instance), vectorized="always", **base)
+        sharded = _run(FullReversal(instance), vectorized="always", workers=3, **base)
+        assert sharded.vectorized
+        assert _summaries(single) == _summaries(sharded)
+        assert single.signatures == sharded.signatures
+        assert sorted(_failure_keys(single)) == sorted(_failure_keys(sharded))
+
+    def test_sharded_spill_and_compaction_match_scalar(self, tmp_path):
+        instance = grid_instance(4, 4, oriented_towards_destination=False)
+        base = dict(check_acyclicity=True, collect_signatures=True,
+                    spill_threshold=200, spill_max_runs=2)
+        scalar = _run(FullReversal(instance), vectorized="never", workers=2,
+                      spill_dir=str(tmp_path / "scalar"), **base)
+        batch = _run(FullReversal(instance), vectorized="always", workers=2,
+                     spill_dir=str(tmp_path / "batch"), **base)
+        assert batch.spilled and scalar.spilled
+        assert batch.spill_stats["spills"] > 0
+        assert batch.spill_stats["compactions"] > 0
+        assert _summaries(scalar) == _summaries(batch)
+        assert scalar.signatures == batch.signatures
+
+    def test_counterexamples_replay(self):
+        instance = grid_instance(3, 3, oriented_towards_destination=False)
+        for workers in (1, 2):
+            automaton = OneStepPartialReversal(instance)
+            predicates = _planted_predicates(automaton)
+            report = _run(automaton, predicates, vectorized="always", workers=workers)
+            assert report.vectorized and report.failures
+            for failure in report.failures:
+                assert failure.trace.reconstructed
+                execution = failure.trace.replay(OneStepPartialReversal(instance))
+                execution.validate()
+                assert not predicates[failure.predicate_name](execution.final_state)
+
+    def test_wide_signatures_fall_back_to_scalar(self):
+        # NewPR on a 4×4 grid needs 24 + 16·16 bits — far past one word
+        instance = grid_instance(4, 4, oriented_towards_destination=False)
+        expander = compile_expander(NewPartialReversal(instance))
+        assert compile_vector_expander(expander) is None
+        report = _run(NewPartialReversal(instance), vectorized="auto", max_states=50)
+        assert not report.vectorized  # fell back, still answered
+        with pytest.raises(ValueError, match="vectorized='always'"):
+            ModelChecker(NewPartialReversal(instance), vectorized="always")
+
+    def test_shard_of_batch_matches_scalar_shard_of(self):
+        mersenne = (1 << 61) - 1
+        edge_values = [0, 1, mersenne - 1, mersenne, mersenne + 1, (1 << 64) - 1]
+        rng = np.random.default_rng(7)
+        values = np.concatenate([
+            np.array(edge_values, dtype=np.uint64),
+            rng.integers(0, 1 << 63, size=1000, dtype=np.uint64),
+        ])
+        for shards in (2, 3, 7):
+            batch = shard_of_batch(values, shards)
+            expected = [shard_of(int(v), shards) for v in values.tolist()]
+            assert batch.tolist() == expected
+
+
+# ----------------------------------------------------------------------
+# the batch-first VisitedSet underneath the engine
+# ----------------------------------------------------------------------
+class TestVisitedSetBatch:
+    def test_add_many_mask_matches_scalar_add_semantics(self, tmp_path):
+        vs = VisitedSet(key_bytes=8, spill_threshold=64, spill_dir=tmp_path)
+        reference: set = set()
+        rng = np.random.default_rng(11)
+        try:
+            for _ in range(40):
+                batch = rng.integers(0, 500, size=37, dtype=np.uint64)
+                expected = []
+                for value in batch.tolist():
+                    expected.append(value not in reference)
+                    reference.add(value)
+                mask = vs.add_many(batch)
+                assert mask.tolist() == expected
+            assert len(vs) == len(reference)
+            assert set(vs) == reference
+        finally:
+            vs.close()
+
+    def test_contains_many_across_memory_segments_and_runs(self, tmp_path):
+        vs = VisitedSet(key_bytes=8, spill_threshold=50, spill_dir=tmp_path, max_runs=2)
+        members = list(range(0, 600, 3))
+        try:
+            for value in members:
+                vs.add(value)
+            assert vs.spilled_runs > 0
+            probes = np.arange(0, 620, dtype=np.uint64)
+            hits = vs.contains_many(probes)
+            assert hits.tolist() == [int(p) in set(members) for p in probes.tolist()]
+        finally:
+            vs.close()
+
+    def test_iter_streams_spilled_runs(self, tmp_path):
+        vs = VisitedSet(key_bytes=8, spill_threshold=32, spill_dir=tmp_path)
+        values = set(range(1000, 1500))
+        try:
+            for value in values:
+                vs.add(value)
+            assert vs.spilled_runs > 1
+            assert set(vs) == values
+        finally:
+            vs.close()
+
+    def test_compaction_folds_runs_and_counts_survive(self, tmp_path):
+        vs = VisitedSet(key_bytes=8, spill_threshold=40, spill_dir=tmp_path, max_runs=2)
+        try:
+            for value in range(700):
+                vs.add(value)
+            stats = vs.stats
+            assert stats["compactions"] > 0
+            assert stats["runs"] <= 2
+            assert len(vs) == 700
+            assert all(value in vs for value in range(0, 700, 97))
+        finally:
+            vs.close()
+
+    def test_close_empties_the_set(self, tmp_path):
+        """Satellite pin: ``close()`` must leave a genuinely empty set."""
+        vs = VisitedSet(key_bytes=8, spill_threshold=16, spill_dir=tmp_path)
+        for value in range(100):
+            vs.add(value)
+        assert vs.spilled_runs > 0 and len(vs) == 100
+        vs.close()
+        assert len(vs) == 0
+        assert list(vs) == []
+        assert 5 not in vs
+        assert list(tmp_path.glob("run-*.bin")) == []
+        # close() is idempotent and the set stays usable as an empty one
+        vs.close()
+        assert len(vs) == 0
